@@ -1,0 +1,19 @@
+use stream_apps::AppId;
+use stream_machine::{Machine, SystemParams};
+use stream_sim::simulate;
+use stream_vlsi::Shape;
+
+fn main() {
+    let sys = SystemParams::paper_2007();
+    for id in AppId::ALL {
+        let small = Machine::baseline();
+        let big = Machine::paper(Shape::new(128, 10));
+        let rs = simulate(&id.program(&small).program, &small, &sys).unwrap();
+        let rb = simulate(&id.program(&big).program, &big, &sys).unwrap();
+        let (pb, pg, px) = id.paper_fig15();
+        println!("{:<8} base {:>9}cyc ({:>6.1} GOPS, util {:.2}, mem {:>8}) | big {:>8}cyc ({:>6.1} GOPS, util {:.2}, mem {:>8}) | speedup {:>5.1} (paper {px:.1}: {pb:.0}->{pg:.0})",
+            id.name(), rs.cycles, rs.gops(1.0), rs.cluster_utilization(), rs.memory_busy,
+            rb.cycles, rb.gops(1.0), rb.cluster_utilization(), rb.memory_busy,
+            rs.cycles as f64 / rb.cycles as f64);
+    }
+}

@@ -1,0 +1,505 @@
+//! Application-private kernels: the small glue kernels the six applications
+//! need beyond the Table 2 suite (every real StreamC application carried a
+//! handful of these).
+
+use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
+use stream_kernels::util::xor_cluster;
+use stream_machine::Machine;
+
+/// `sad_min`: running arg-min over disparity SAD maps (DEPTH).
+/// Inputs: `best_sad`, `best_d`, `sad`; param: current disparity `d`;
+/// outputs: updated `(best_sad, best_d)`.
+pub fn sad_min(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("sad_min");
+    let best_sad_in = b.in_stream(Ty::I32);
+    let best_d_in = b.in_stream(Ty::I32);
+    let sad_in = b.in_stream(Ty::I32);
+    let best_sad_out = b.out_stream(Ty::I32);
+    let best_d_out = b.out_stream(Ty::I32);
+    let d = b.param(Ty::I32);
+
+    let bs = b.read(best_sad_in);
+    let bd = b.read(best_d_in);
+    let s = b.read(sad_in);
+    let better = b.lt(s, bs);
+    let ns = b.select(better, s, bs);
+    let nd = b.select(better, d, bd);
+    b.write(best_sad_out, ns);
+    b.write(best_d_out, nd);
+    b.finish().expect("sad_min is structurally valid")
+}
+
+/// `sad_init`: seeds the arg-min chain with the first disparity's SAD.
+pub fn sad_init(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("sad_init");
+    let sad_in = b.in_stream(Ty::I32);
+    let best_sad_out = b.out_stream(Ty::I32);
+    let best_d_out = b.out_stream(Ty::I32);
+    let d = b.param(Ty::I32);
+    let s = b.read(sad_in);
+    b.write(best_sad_out, s);
+    b.write(best_d_out, d);
+    b.finish().expect("sad_init is structurally valid")
+}
+
+/// `transform`: affine vertex transform with perspective divide (RENDER).
+/// Inputs: x, y, z streams; params: a 3x4 matrix (row-major) and a focal
+/// scale; outputs: screen x, y and depth.
+pub fn transform(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("transform");
+    let xs = b.in_stream(Ty::F32);
+    let ys = b.in_stream(Ty::F32);
+    let zs = b.in_stream(Ty::F32);
+    let sx_out = b.out_stream(Ty::F32);
+    let sy_out = b.out_stream(Ty::F32);
+    let sz_out = b.out_stream(Ty::F32);
+    let m: Vec<ValueId> = (0..12).map(|_| b.param(Ty::F32)).collect();
+    let focal = b.param(Ty::F32);
+
+    let x = b.read(xs);
+    let y = b.read(ys);
+    let z = b.read(zs);
+    let row = |b: &mut KernelBuilder, r: usize, x: ValueId, y: ValueId, z: ValueId| {
+        let t0 = b.mul(m[4 * r], x);
+        let t1 = b.mul(m[4 * r + 1], y);
+        let t2 = b.mul(m[4 * r + 2], z);
+        let s01 = b.add(t0, t1);
+        let s012 = b.add(s01, t2);
+        b.add(s012, m[4 * r + 3])
+    };
+    let tx = row(&mut b, 0, x, y, z);
+    let ty = row(&mut b, 1, x, y, z);
+    let tz = row(&mut b, 2, x, y, z);
+    // Perspective divide with focal scale.
+    let fx = b.mul(focal, tx);
+    let fy = b.mul(focal, ty);
+    let sx = b.div(fx, tz);
+    let sy = b.div(fy, tz);
+    b.write(sx_out, sx);
+    b.write(sy_out, sy);
+    b.write(sz_out, tz);
+    b.finish().expect("transform is structurally valid")
+}
+
+/// Reference for [`transform`].
+pub fn transform_reference(
+    verts: &[(f32, f32, f32)],
+    m: &[f32; 12],
+    focal: f32,
+) -> Vec<(f32, f32, f32)> {
+    verts
+        .iter()
+        .map(|&(x, y, z)| {
+            let row = |r: usize| m[4 * r] * x + m[4 * r + 1] * y + m[4 * r + 2] * z + m[4 * r + 3];
+            let (tx, ty, tz) = (row(0), row(1), row(2));
+            (focal * tx / tz, focal * ty / tz, tz)
+        })
+        .collect()
+}
+
+/// `decode_frag`: unpack rasterizer fragments into float coordinates
+/// (RENDER shading front-end).
+pub fn decode_frag(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("decode_frag");
+    let frags = b.in_stream(Ty::I32);
+    let fx_out = b.out_stream(Ty::F32);
+    let fy_out = b.out_stream(Ty::F32);
+    let p = b.read(frags);
+    let mask = b.const_i(0x7ff);
+    let eleven = b.const_i(11);
+    let x = b.and(p, mask);
+    let ys = b.shr(p, eleven);
+    let y = b.and(ys, mask);
+    let fx = b.itof(x);
+    let fy = b.itof(y);
+    b.write(fx_out, fx);
+    b.write(fy_out, fy);
+    b.finish().expect("decode_frag is structurally valid")
+}
+
+/// Reference for [`decode_frag`].
+pub fn decode_frag_reference(packed: &[i32]) -> Vec<(f32, f32)> {
+    packed
+        .iter()
+        .map(|&p| (((p & 0x7ff) as f32), (((p >> 11) & 0x7ff) as f32)))
+        .collect()
+}
+
+/// `blend`: depth-attenuated shading (RENDER back-end):
+/// `out = shade / (1 + z * k)`.
+pub fn blend(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("blend");
+    let shade_in = b.in_stream(Ty::F32);
+    let z_in = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+    let k = b.param(Ty::F32);
+    let s = b.read(shade_in);
+    let z = b.read(z_in);
+    let zk = b.mul(z, k);
+    let one = b.const_f(1.0);
+    let d = b.add(one, zk);
+    let v = b.div(s, d);
+    b.write(out, v);
+    b.finish().expect("blend is structurally valid")
+}
+
+/// Reference for [`blend`].
+pub fn blend_reference(shade: &[f32], z: &[f32], k: f32) -> Vec<f32> {
+    shade
+        .iter()
+        .zip(z)
+        .map(|(&s, &zz)| s / (1.0 + zz * k))
+        .collect()
+}
+
+/// `colnorm`: one-column reduction (QRD panel step). The column is padded to
+/// a multiple of `8 * C` rows; each record holds 8 rows. Emits the column's
+/// sum of squares (one conditional word) and its first element (another).
+/// Params: `iters` (SIMD iterations over the padded column).
+pub fn colnorm(machine: &Machine) -> Kernel {
+    let c = machine.clusters();
+    let mut b = KernelBuilder::new("colnorm");
+    let col = b.in_stream(Ty::F32);
+    let ssq_out = b.out_stream(Ty::F32);
+    let head_out = b.out_stream(Ty::F32);
+    let iters = b.param(Ty::I32);
+
+    let e: Vec<ValueId> = (0..8).map(|_| b.read(col)).collect();
+    // Emit the global first element (iteration 0, cluster 0).
+    let iter = b.iter_index();
+    let cid = b.cluster_id();
+    let zero_i = b.const_i(0);
+    let iter0 = b.eq(iter, zero_i);
+    let cid0 = b.eq(cid, zero_i);
+    let first = b.and(iter0, cid0);
+    b.cond_write(head_out, first, e[0]);
+
+    // Partial sum of squares for this record.
+    let mut ssq = b.mul(e[0], e[0]);
+    for &x in &e[1..] {
+        let sq = b.mul(x, x);
+        ssq = b.add(ssq, sq);
+    }
+    // Butterfly all-reduce across clusters.
+    let mut bit = 1i32;
+    while (bit as u32) < c {
+        let partner = xor_cluster(&mut b, cid, bit);
+        let other = b.comm(ssq, partner);
+        ssq = b.add(ssq, other);
+        bit <<= 1;
+    }
+    // Accumulate across iterations.
+    let acc = b.recurrence(Scalar::F32(0.0));
+    let total = b.add(acc, ssq);
+    b.bind_next(acc, total);
+    // Emit from cluster 0 on the last iteration.
+    let one_i = b.const_i(1);
+    let last_idx = b.sub(iters, one_i);
+    let is_last = b.eq(iter, last_idx);
+    let emit = b.and(is_last, cid0);
+    b.cond_write(ssq_out, emit, total);
+
+    b.finish().expect("colnorm is structurally valid")
+}
+
+/// `vscale`: forms the normalized Householder vector
+/// `v = (a - alpha*e1) * inv_norm` over a padded column (QRD panel step).
+/// Params: `alpha`, `inv_norm`.
+pub fn vscale(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("vscale");
+    let col = b.in_stream(Ty::F32);
+    let v_out = b.out_stream(Ty::F32);
+    let alpha = b.param(Ty::F32);
+    let inv_norm = b.param(Ty::F32);
+
+    let iter = b.iter_index();
+    let cid = b.cluster_id();
+    let zero_i = b.const_i(0);
+    let iter0 = b.eq(iter, zero_i);
+    let cid0 = b.eq(cid, zero_i);
+    let first_record = b.and(iter0, cid0);
+
+    for k in 0..8 {
+        let e = b.read(col);
+        let v = if k == 0 {
+            let adj = b.sub(e, alpha);
+            b.select(first_record, adj, e)
+        } else {
+            e
+        };
+        let scaled = b.mul(v, inv_norm);
+        b.write(v_out, scaled);
+    }
+    b.finish().expect("vscale is structurally valid")
+}
+
+/// `coldot`: trailing-matrix inner products, column-per-cluster layout (QRD
+/// pass 1). Each cluster accumulates `v^T a` for its column over
+/// `row_iters` iterations and emits the dot on the last one.
+/// Params: `row_iters`.
+pub fn coldot(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("coldot");
+    let a_col = b.in_stream(Ty::F32);
+    let v_col = b.in_stream(Ty::F32);
+    let dots_out = b.out_stream(Ty::F32);
+    let row_iters = b.param(Ty::I32);
+
+    let iter = b.iter_index();
+    let phase = modulo(&mut b, iter, row_iters);
+    let zero_i = b.const_i(0);
+    let first = b.eq(phase, zero_i);
+    let one_i = b.const_i(1);
+    let last_idx = b.sub(row_iters, one_i);
+    let last = b.eq(phase, last_idx);
+
+    let mut contrib: Option<ValueId> = None;
+    for _ in 0..8 {
+        let a = b.read(a_col);
+        let v = b.read(v_col);
+        let p = b.mul(a, v);
+        contrib = Some(match contrib {
+            Some(acc) => b.add(acc, p),
+            None => p,
+        });
+    }
+    let contrib = contrib.expect("eight products");
+    let acc = b.recurrence(Scalar::F32(0.0));
+    let zero_f = b.const_f(0.0);
+    let base = b.select(first, zero_f, acc);
+    let total = b.add(base, contrib);
+    b.bind_next(acc, total);
+    b.cond_write(dots_out, last, total);
+
+    b.finish().expect("coldot is structurally valid")
+}
+
+/// `colaxpy`: trailing-matrix update `a -= tau * dot * v`, column-per-cluster
+/// layout (QRD pass 2). Reads each column's dot on its first iteration.
+/// Params: `row_iters`, `tau`.
+pub fn colaxpy(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("colaxpy");
+    let a_col = b.in_stream(Ty::F32);
+    let v_col = b.in_stream(Ty::F32);
+    let dots_in = b.in_stream(Ty::F32);
+    let a_out = b.out_stream(Ty::F32);
+    let row_iters = b.param(Ty::I32);
+    let tau = b.param(Ty::F32);
+
+    let iter = b.iter_index();
+    let phase = modulo(&mut b, iter, row_iters);
+    let zero_i = b.const_i(0);
+    let first = b.eq(phase, zero_i);
+
+    let fresh = b.cond_read(dots_in, first);
+    let held = b.recurrence(Scalar::F32(0.0));
+    let dot = b.select(first, fresh, held);
+    b.bind_next(held, dot);
+    let s = b.mul(tau, dot);
+
+    for _ in 0..8 {
+        let a = b.read(a_col);
+        let v = b.read(v_col);
+        let sv = b.mul(s, v);
+        let o = b.sub(a, sv);
+        b.write(a_out, o);
+    }
+    b.finish().expect("colaxpy is structurally valid")
+}
+
+/// Emits `x mod m` for non-negative `x` (div/mul/sub — the scratch integer
+/// arithmetic real kernels use for periodic addressing).
+fn modulo(b: &mut KernelBuilder, x: ValueId, m: ValueId) -> ValueId {
+    let q = b.div(x, m);
+    let qm = b.mul(q, m);
+    b.sub(x, qm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_ir::{execute, execute_with, ExecConfig, ExecOptions};
+    use stream_kernels::util::{to_f32, to_i32, words_f32, words_i32};
+
+    fn m() -> Machine {
+        Machine::baseline()
+    }
+
+    #[test]
+    fn sad_min_tracks_minimum() {
+        let k = sad_min(&m());
+        let best = words_i32(vec![10, 5, 8, 9, 10, 5, 8, 9]);
+        let bd = words_i32(vec![0; 8]);
+        let sad = words_i32(vec![7, 9, 8, 2, 7, 9, 8, 2]);
+        let outs = execute(
+            &k,
+            &[Scalar::I32(3)],
+            &[best, bd, sad],
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        assert_eq!(to_i32(&outs[0]), vec![7, 5, 8, 2, 7, 5, 8, 2]);
+        assert_eq!(to_i32(&outs[1]), vec![3, 0, 0, 3, 3, 0, 0, 3]);
+    }
+
+    #[test]
+    fn transform_matches_reference() {
+        let k = transform(&m());
+        let verts: Vec<(f32, f32, f32)> = (0..8)
+            .map(|i| (i as f32, 2.0 * i as f32, 5.0 + i as f32))
+            .collect();
+        let mat: [f32; 12] = [
+            1.0, 0.1, 0.0, 0.5, //
+            0.0, 1.0, 0.2, -0.5, //
+            0.0, 0.0, 1.0, 2.0,
+        ];
+        let params: Vec<Scalar> = mat
+            .iter()
+            .chain(&[2.0f32])
+            .map(|&v| Scalar::F32(v))
+            .collect();
+        let xs = words_f32(verts.iter().map(|v| v.0));
+        let ys = words_f32(verts.iter().map(|v| v.1));
+        let zs = words_f32(verts.iter().map(|v| v.2));
+        let outs = execute(&k, &params, &[xs, ys, zs], &ExecConfig::with_clusters(8)).unwrap();
+        let want = transform_reference(&verts, &mat, 2.0);
+        for i in 0..verts.len() {
+            assert!((to_f32(&outs[0])[i] - want[i].0).abs() < 1e-4);
+            assert!((to_f32(&outs[1])[i] - want[i].1).abs() < 1e-4);
+            assert!((to_f32(&outs[2])[i] - want[i].2).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_irast_packing() {
+        let k = decode_frag(&m());
+        let packed: Vec<i32> = vec![
+            100 | (7 << 11) | (5 << 22),
+            2000 | (1023 << 11),
+            0,
+            1 | (1 << 11),
+            5,
+            6,
+            7,
+            8,
+        ];
+        let outs = execute(
+            &k,
+            &[],
+            &[words_i32(packed.clone())],
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        let want = decode_frag_reference(&packed);
+        for i in 0..packed.len() {
+            assert_eq!(to_f32(&outs[0])[i], want[i].0);
+            assert_eq!(to_f32(&outs[1])[i], want[i].1);
+        }
+    }
+
+    #[test]
+    fn colnorm_computes_column_ssq() {
+        let mach = m();
+        let k = colnorm(&mach);
+        // 128 rows = 16 records = 2 iterations on 8 clusters.
+        let col: Vec<f32> = (0..128).map(|i| (i % 7) as f32 - 3.0).collect();
+        let outs = execute_with(
+            &k,
+            &ExecOptions {
+                params: &[Scalar::I32(2)],
+                sp_init: None,
+                iterations: None,
+            },
+            &[words_f32(col.clone())],
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        let ssq: f32 = col.iter().map(|x| x * x).sum();
+        let got = to_f32(&outs[0]);
+        assert_eq!(got.len(), 1);
+        assert!((got[0] - ssq).abs() < 1e-2, "{} vs {}", got[0], ssq);
+        assert_eq!(to_f32(&outs[1]), vec![col[0]]);
+    }
+
+    #[test]
+    fn vscale_normalizes_and_shifts_head() {
+        let mach = m();
+        let k = vscale(&mach);
+        let col: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let outs = execute(
+            &k,
+            &[Scalar::F32(10.0), Scalar::F32(0.5)],
+            &[words_f32(col.clone())],
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        let got = to_f32(&outs[0]);
+        assert!((got[0] - (0.0 - 10.0) * 0.5).abs() < 1e-6);
+        for i in 1..64 {
+            assert!((got[i] - col[i] * 0.5).abs() < 1e-5, "i={i}");
+        }
+    }
+
+    #[test]
+    fn coldot_and_colaxpy_update_columns() {
+        let mach = m();
+        let clusters = 8usize;
+        let row_iters = 2i32; // 16 records of 8 rows per column
+        let _rows = 8 * clusters * row_iters as usize / clusters; // 16 records -> 128 rows? no:
+        // Each column has row_iters * 8 rows; C columns per strip.
+        let rows_per_col = 8 * row_iters as usize;
+        let cols = clusters; // one strip
+        // Build strip layout: iteration i, cluster c reads rowblock i of
+        // column c -> record index i*C + c = rowblock i of column c.
+        let mut a_stream = Vec::new();
+        let mut v_stream = Vec::new();
+        let a_mat: Vec<Vec<f32>> = (0..cols)
+            .map(|c| (0..rows_per_col).map(|r| (c + r) as f32 * 0.1).collect())
+            .collect();
+        let v: Vec<f32> = (0..rows_per_col).map(|r| 1.0 / (1.0 + r as f32)).collect();
+        for i in 0..row_iters as usize {
+            for c in 0..cols {
+                for r in 0..8 {
+                    a_stream.push(a_mat[c][i * 8 + r]);
+                    v_stream.push(v[i * 8 + r]);
+                }
+            }
+        }
+        let dk = coldot(&mach);
+        let outs = execute(
+            &dk,
+            &[Scalar::I32(row_iters)],
+            &[words_f32(a_stream.clone()), words_f32(v_stream.clone())],
+            &ExecConfig::with_clusters(clusters),
+        )
+        .unwrap();
+        let dots = to_f32(&outs[0]);
+        assert_eq!(dots.len(), cols);
+        for c in 0..cols {
+            let want: f32 = (0..rows_per_col).map(|r| a_mat[c][r] * v[r]).sum();
+            assert!((dots[c] - want).abs() < 1e-3, "col {c}: {} vs {want}", dots[c]);
+        }
+
+        let ak = colaxpy(&mach);
+        let tau = 0.8f32;
+        let outs2 = execute(
+            &ak,
+            &[Scalar::I32(row_iters), Scalar::F32(tau)],
+            &[
+                words_f32(a_stream.clone()),
+                words_f32(v_stream.clone()),
+                words_f32(dots.clone()),
+            ],
+            &ExecConfig::with_clusters(clusters),
+        )
+        .unwrap();
+        let updated = to_f32(&outs2[0]);
+        // Check one element: column c, row r.
+        for (c, dot) in dots.iter().enumerate() {
+            for r in 0..rows_per_col {
+                let i = (r / 8) * cols * 8 + c * 8 + (r % 8);
+                let want = a_mat[c][r] - tau * dot * v[r];
+                assert!((updated[i] - want).abs() < 1e-3, "c={c} r={r}");
+            }
+        }
+    }
+}

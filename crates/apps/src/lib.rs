@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! The paper's application suite (Table 4, Figure 15) as stream programs.
+//!
+//! Each application module provides:
+//!
+//! * `program(cfg, machine)` — the paper-scale [`stream_sim::StreamProgram`]
+//!   (strip-mined to the machine's SRF capacity) for timing simulation,
+//! * `run_functional(cfg, clusters)` — end-to-end execution of the same
+//!   kernels through the `stream-ir` interpreter,
+//! * `reference(...)` — an independent scalar implementation the functional
+//!   output is verified against.
+//!
+//! [`AppId`] enumerates the suite for the Figure 15 reproduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use stream_apps::AppId;
+//! use stream_machine::{Machine, SystemParams};
+//! use stream_sim::simulate;
+//!
+//! let machine = Machine::baseline();
+//! let app = AppId::Fft1k.program(&machine);
+//! let report = simulate(&app.program, &machine, &SystemParams::paper_2007())?;
+//! assert!(report.gops(1.0) > 0.0);
+//! # Ok::<(), stream_sim::SimError>(())
+//! ```
+
+// Matrix/strip layouts index by (row, column, cluster) throughout.
+#![allow(clippy::needless_range_loop)]
+
+pub mod conv;
+pub mod depth;
+pub mod fft_app;
+pub mod kernels;
+pub mod qrd;
+pub mod render;
+
+mod suite;
+
+pub use suite::AppId;
+use stream_sim::StreamProgram;
+
+/// A named, paper-scale application program ready to simulate.
+#[derive(Debug, Clone)]
+pub struct AppProgram {
+    /// Display name (Figure 15 labels).
+    pub name: &'static str,
+    /// The stream program.
+    pub program: StreamProgram,
+}

@@ -1,0 +1,105 @@
+//! The six-application suite of Table 4/Figure 15 behind one enumeration.
+
+use crate::{conv, depth, fft_app, qrd, render, AppProgram};
+use std::fmt;
+use stream_machine::Machine;
+
+/// The paper's application suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppId {
+    /// Polygon rendering of a bowling pin with a marble shader.
+    Render,
+    /// Stereo depth extraction on a 512x384 image.
+    Depth,
+    /// Convolution filter on a 512x384 image.
+    Conv,
+    /// 256x256 matrix QR decomposition.
+    Qrd,
+    /// 1024-point complex FFT.
+    Fft1k,
+    /// 4096-point complex FFT.
+    Fft4k,
+}
+
+impl AppId {
+    /// All six applications, in Figure 15 order.
+    pub const ALL: [AppId; 6] = [
+        AppId::Render,
+        AppId::Depth,
+        AppId::Conv,
+        AppId::Qrd,
+        AppId::Fft1k,
+        AppId::Fft4k,
+    ];
+
+    /// Display name, as in Figure 15.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppId::Render => "RENDER",
+            AppId::Depth => "DEPTH",
+            AppId::Conv => "CONV",
+            AppId::Qrd => "QRD",
+            AppId::Fft1k => "FFT1K",
+            AppId::Fft4k => "FFT4K",
+        }
+    }
+
+    /// Builds this application's paper-scale stream program for `machine`.
+    pub fn program(&self, machine: &Machine) -> AppProgram {
+        match self {
+            AppId::Render => render::program(&render::Config::paper(), machine),
+            AppId::Depth => depth::program(&depth::Config::paper(), machine),
+            AppId::Conv => conv::program(&conv::Config::paper(), machine),
+            AppId::Qrd => qrd::program(&qrd::Config::paper(), machine),
+            AppId::Fft1k => fft_app::program(&fft_app::Config::fft1k(), machine),
+            AppId::Fft4k => fft_app::program(&fft_app::Config::fft4k(), machine),
+        }
+    }
+
+    /// Paper Figure 15 anchors: `(baseline GOPS at C=8 N=5, GOPS at C=128
+    /// N=10, speedup at C=128 N=10)`.
+    pub fn paper_fig15(&self) -> (f64, f64, f64) {
+        match self {
+            AppId::Render => (15.4, 311.0, 20.5),
+            AppId::Depth => (28.0, 328.0, 11.6),
+            AppId::Conv => (41.2, 469.0, 11.4),
+            AppId::Qrd => (25.6, 138.0, 5.4),
+            AppId::Fft1k => (14.6, 103.0, 7.1),
+            AppId::Fft4k => (18.3, 211.0, 11.5),
+        }
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_machine::SystemParams;
+    use stream_sim::simulate;
+
+    #[test]
+    fn all_apps_build_and_simulate_on_baseline() {
+        let m = Machine::baseline();
+        let sys = SystemParams::paper_2007();
+        for id in AppId::ALL {
+            let app = id.program(&m);
+            let r = simulate(&app.program, &m, &sys)
+                .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+            assert!(r.cycles > 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn names_match_figure_15() {
+        let names: Vec<_> = AppId::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["RENDER", "DEPTH", "CONV", "QRD", "FFT1K", "FFT4K"]
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Benchmarks for the stream-level simulator and the Section 5.3 experiment
+//! generators (Figure 15 and the headline claims).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use stream_apps::AppId;
+use stream_machine::{Machine, SystemParams};
+use stream_sim::simulate;
+use stream_vlsi::Shape;
+
+fn bench_simulator(c: &mut Criterion) {
+    let sys = SystemParams::paper_2007();
+    let machine = Machine::baseline();
+
+    // Program construction and simulation per application on the baseline.
+    let mut g = c.benchmark_group("app_baseline");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for id in AppId::ALL {
+        g.bench_function(format!("build_{}", id.name()), |b| {
+            b.iter(|| id.program(&machine))
+        });
+        let app = id.program(&machine);
+        g.bench_function(format!("simulate_{}", id.name()), |b| {
+            b.iter(|| simulate(&app.program, &machine, &sys))
+        });
+    }
+    g.finish();
+
+    // The big machine: build + simulate DEPTH (the instruction-heaviest).
+    let big = Machine::paper(Shape::HEADLINE_1280);
+    let mut g = c.benchmark_group("app_1280alu");
+    g.sample_size(10);
+    g.bench_function("simulate_DEPTH", |b| {
+        let app = AppId::Depth.program(&big);
+        b.iter(|| simulate(&app.program, &big, &sys))
+    });
+    g.finish();
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("fig15_applications", |b| b.iter(stream_repro::fig15));
+    g.bench_function("headline_claims", |b| b.iter(stream_repro::headline));
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks for the VLSI cost model and the Section 3/4 experiment
+//! generators (Tables 1/3, Figures 6-12).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use stream_vlsi::{
+    calibration_anchors, intercluster_sweep, intracluster_sweep, CostKind, CostModel, Shape,
+};
+
+fn bench_model(c: &mut Criterion) {
+    let model = CostModel::paper();
+    c.bench_function("cost_model/evaluate_baseline", |b| {
+        b.iter(|| model.evaluate(std::hint::black_box(Shape::BASELINE)))
+    });
+    c.bench_function("cost_model/evaluate_1280_alu", |b| {
+        b.iter(|| model.evaluate(std::hint::black_box(Shape::HEADLINE_1280)))
+    });
+    c.bench_function("cost_model/design_space_1k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for c in 1..=32u32 {
+                for n in 1..=32u32 {
+                    acc += model.evaluate(Shape::new(c * 8, n)).area.per_alu();
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("cost_model/calibration_anchors", |b| {
+        b.iter(|| calibration_anchors(&model))
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let model = CostModel::paper();
+    let mut g = c.benchmark_group("cost_figures");
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("fig06_intracluster_area", |b| {
+        b.iter(|| intracluster_sweep(&model, CostKind::Area, 8))
+    });
+    g.bench_function("fig07_intracluster_energy", |b| {
+        b.iter(|| intracluster_sweep(&model, CostKind::Energy, 8))
+    });
+    g.bench_function("fig08_intracluster_delay", |b| {
+        b.iter(stream_repro::fig8)
+    });
+    g.bench_function("fig09_intercluster_area", |b| {
+        b.iter(|| intercluster_sweep(&model, CostKind::Area, 5))
+    });
+    g.bench_function("fig10_intercluster_energy", |b| {
+        b.iter(|| intercluster_sweep(&model, CostKind::Energy, 5))
+    });
+    g.bench_function("fig11_intercluster_delay", |b| {
+        b.iter(stream_repro::fig11)
+    });
+    g.bench_function("fig12_combined_area", |b| {
+        b.iter(stream_repro::fig12)
+    });
+    g.bench_function("table1_parameters", |b| b.iter(stream_repro::table1));
+    g.bench_function("table3_cost_formulae", |b| {
+        b.iter_batched(|| (), |()| stream_repro::table3(), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model, bench_figures);
+criterion_main!(benches);

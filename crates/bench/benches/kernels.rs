@@ -1,0 +1,73 @@
+//! Benchmarks for the kernel toolchain (IR, interpreter, scheduler) and the
+//! Section 5.1/5.2 experiment generators (Table 2, Figures 13/14, Table 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use stream_ir::{execute, unroll, ExecConfig};
+use stream_kernels::util::words_f32;
+use stream_kernels::{convolve, KernelId};
+use stream_machine::Machine;
+use stream_sched::{modulo_schedule, CompiledKernel, Ddg};
+use stream_vlsi::Shape;
+
+fn bench_toolchain(c: &mut Criterion) {
+    let machine = Machine::baseline();
+    let kernel = KernelId::Fft.build(&machine);
+
+    c.bench_function("sched/ddg_build_fft", |b| {
+        b.iter(|| Ddg::build(std::hint::black_box(&kernel), &machine))
+    });
+    let ddg = Ddg::build(&kernel, &machine);
+    c.bench_function("sched/modulo_schedule_fft", |b| {
+        b.iter(|| modulo_schedule(std::hint::black_box(&ddg), &machine))
+    });
+    c.bench_function("sched/compile_fft_with_unroll_search", |b| {
+        b.iter(|| CompiledKernel::compile_default(&kernel, &machine))
+    });
+    c.bench_function("ir/unroll_x4_fft", |b| b.iter(|| unroll(&kernel, 4)));
+
+    // Interpreter throughput: convolve over one 512-column row.
+    let conv = convolve::kernel(&machine);
+    let taps = convolve::Taps::gaussian();
+    let rows = convolve::sample_rows(512, 3);
+    let inputs = convolve::input_streams(&rows);
+    let params = convolve::params(&taps);
+    c.bench_function("ir/interpret_convolve_512px", |b| {
+        b.iter(|| execute(&conv, &params, &inputs, &ExecConfig::with_clusters(8)))
+    });
+
+    // Raw stream scatter/gather cost.
+    let flat = words_f32((0..4096).map(|i| i as f32));
+    c.bench_function("ir/scatter_gather_4k_words", |b| {
+        b.iter(|| {
+            let s = stream_kernels::split::scatter_words(&flat, 8, 3);
+            stream_kernels::split::gather_words(&s, 8)
+        })
+    });
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("table2_kernel_stats", |b| b.iter(stream_repro::table2));
+    g.bench_function("fig13_intracluster_kernels", |b| b.iter(stream_repro::fig13));
+    g.bench_function("fig14_intercluster_kernels", |b| b.iter(stream_repro::fig14));
+    g.bench_function("table5_perf_per_area", |b| b.iter(stream_repro::table5));
+    g.finish();
+
+    // Per-kernel compile cost on the big machine.
+    let big = Machine::paper(Shape::HEADLINE_1280);
+    let mut g = c.benchmark_group("compile_1280alu");
+    g.sample_size(10);
+    for id in KernelId::ALL {
+        let kernel = id.build(&big);
+        g.bench_function(id.name(), |b| {
+            b.iter(|| CompiledKernel::compile_default(&kernel, &big))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_toolchain, bench_experiments);
+criterion_main!(benches);

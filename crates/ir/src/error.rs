@@ -1,0 +1,132 @@
+//! Error types for kernel construction, validation, and execution.
+
+use crate::{StreamId, Ty, ValueId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, validating, or executing a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Two operands (or an operand and an expected type) disagree.
+    TypeMismatch {
+        /// The op where the mismatch occurred.
+        at: ValueId,
+        /// The expected type.
+        expected: Ty,
+        /// The type found.
+        found: Ty,
+    },
+    /// A recurrence was never bound to a next-iteration value.
+    UnboundRecurrence(ValueId),
+    /// A kernel input stream ran out of data during execution.
+    StreamExhausted {
+        /// The exhausted stream.
+        stream: StreamId,
+        /// The iteration at which it happened.
+        iteration: usize,
+    },
+    /// Input stream length is not a whole number of records.
+    RaggedStream {
+        /// The offending stream.
+        stream: StreamId,
+        /// Its length in words.
+        words: usize,
+        /// The kernel's record width for it.
+        record_width: usize,
+    },
+    /// A scratchpad access fell outside the scratchpad.
+    SpOutOfBounds {
+        /// The op performing the access.
+        at: ValueId,
+        /// The address used.
+        addr: i32,
+        /// Scratchpad capacity in words.
+        capacity: usize,
+    },
+    /// A COMM operation named a cluster outside `0..C`.
+    BadCommSource {
+        /// The op performing the communication.
+        at: ValueId,
+        /// The source cluster index computed at runtime.
+        src: i32,
+        /// The cluster count.
+        clusters: usize,
+    },
+    /// Division by zero (integer).
+    DivideByZero(ValueId),
+    /// The number of input streams supplied does not match the kernel.
+    WrongInputCount {
+        /// Streams the kernel declares.
+        expected: usize,
+        /// Streams supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::TypeMismatch {
+                at,
+                expected,
+                found,
+            } => write!(f, "type mismatch at v{}: expected {expected}, found {found}", at.0),
+            IrError::UnboundRecurrence(v) => {
+                write!(f, "recurrence v{} was never bound to a next value", v.0)
+            }
+            IrError::StreamExhausted { stream, iteration } => write!(
+                f,
+                "input stream s{} exhausted at iteration {iteration}",
+                stream.0
+            ),
+            IrError::RaggedStream {
+                stream,
+                words,
+                record_width,
+            } => write!(
+                f,
+                "input stream s{} has {words} words, not a multiple of its {record_width}-word records",
+                stream.0
+            ),
+            IrError::SpOutOfBounds { at, addr, capacity } => write!(
+                f,
+                "scratchpad access at v{} out of bounds: address {addr}, capacity {capacity}",
+                at.0
+            ),
+            IrError::BadCommSource { at, src, clusters } => write!(
+                f,
+                "comm at v{} names cluster {src}, but the machine has {clusters}",
+                at.0
+            ),
+            IrError::DivideByZero(v) => write!(f, "integer divide by zero at v{}", v.0),
+            IrError::WrongInputCount { expected, found } => write!(
+                f,
+                "kernel declares {expected} input streams but {found} were supplied"
+            ),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = IrError::StreamExhausted {
+            stream: StreamId(3),
+            iteration: 7,
+        };
+        assert_eq!(e.to_string(), "input stream s3 exhausted at iteration 7");
+        let e = IrError::DivideByZero(ValueId(9));
+        assert!(e.to_string().contains("v9"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<IrError>();
+    }
+}

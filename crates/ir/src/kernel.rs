@@ -1,0 +1,862 @@
+//! Kernels: straight-line SIMD loop bodies over streams, and the builder
+//! used to construct them (the KernelC equivalent).
+
+use crate::{IrError, Op, Opcode, Scalar, StreamDir, StreamId, Ty, ValueId};
+use std::collections::BTreeMap;
+use std::fmt;
+use stream_machine::OpClass;
+
+/// Declaration of one kernel stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamDecl {
+    /// Word type of every element word in the stream.
+    pub ty: Ty,
+    /// Words accessed per loop iteration (the record width). Computed from
+    /// the kernel body at [`KernelBuilder::finish`].
+    pub record_width: u32,
+    /// Whether this stream is accessed conditionally (compacting access
+    /// through the intercluster switch).
+    pub conditional: bool,
+}
+
+/// A compiled-from-source kernel: the body of one stream-program kernel's
+/// inner loop, executed SIMD across all clusters.
+///
+/// Build one with [`KernelBuilder`]; run it with
+/// [`execute`](crate::execute); schedule it with the `stream-sched` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    ops: Vec<Op>,
+    types: Vec<Ty>,
+    inputs: Vec<StreamDecl>,
+    outputs: Vec<StreamDecl>,
+    recur_next: BTreeMap<ValueId, ValueId>,
+    sp_words: u32,
+    param_tys: Vec<Ty>,
+}
+
+impl Kernel {
+    /// The kernel's name (used in reports and Table 2/4 rows).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ops of the loop body, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The static type of a value.
+    pub fn ty(&self, v: ValueId) -> Ty {
+        self.types[v.index()]
+    }
+
+    /// Input stream declarations.
+    pub fn inputs(&self) -> &[StreamDecl] {
+        &self.inputs
+    }
+
+    /// Output stream declarations.
+    pub fn outputs(&self) -> &[StreamDecl] {
+        &self.outputs
+    }
+
+    /// Scratchpad words this kernel requires per cluster.
+    pub fn sp_words(&self) -> u32 {
+        self.sp_words
+    }
+
+    /// The declared types of the kernel's uniform scalar parameters, in
+    /// declaration order.
+    pub fn param_tys(&self) -> &[Ty] {
+        &self.param_tys
+    }
+
+    /// The bound next-iteration value for a recurrence op.
+    pub fn recur_next(&self, recurrence: ValueId) -> Option<ValueId> {
+        self.recur_next.get(&recurrence).copied()
+    }
+
+    /// All `(recurrence, next)` pairs — the loop-carried dependences.
+    pub fn recurrences(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
+        self.recur_next.iter().map(|(&r, &n)| (r, n))
+    }
+
+    /// The scheduling class of an op (`None` for free ops).
+    pub fn class_of(&self, v: ValueId) -> Option<OpClass> {
+        let op = &self.ops[v.index()];
+        let arg_tys: Vec<Ty> = op.args.iter().map(|&a| self.ty(a)).collect();
+        op.opcode.class(self.ty(v), &arg_tys)
+    }
+
+    /// Per-iteration operation statistics — one Table 2 row.
+    pub fn stats(&self) -> KernelStats {
+        let mut by_class: BTreeMap<OpClass, u32> = BTreeMap::new();
+        for i in 0..self.ops.len() {
+            if let Some(class) = self.class_of(ValueId(i as u32)) {
+                *by_class.entry(class).or_insert(0) += 1;
+            }
+        }
+        let count = |c: OpClass| by_class.get(&c).copied().unwrap_or(0);
+        let cond = count(OpClass::CondStream);
+        KernelStats {
+            alu_ops: by_class
+                .iter()
+                .filter(|(c, _)| c.is_alu_op())
+                .map(|(_, n)| n)
+                .sum(),
+            srf_accesses: count(OpClass::SbRead) + count(OpClass::SbWrite) + cond,
+            comms: count(OpClass::Comm) + cond,
+            sp_accesses: count(OpClass::SpRead) + count(OpClass::SpWrite),
+            by_class,
+        }
+    }
+
+    /// A human-readable listing of the kernel body, one op per line with
+    /// its scheduling class.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stream_ir::{KernelBuilder, Ty};
+    ///
+    /// let mut b = KernelBuilder::new("demo");
+    /// let s = b.in_stream(Ty::F32);
+    /// let o = b.out_stream(Ty::F32);
+    /// let x = b.read(s);
+    /// let y = b.mul(x, x);
+    /// b.write(o, y);
+    /// let k = b.finish()?;
+    /// assert!(k.dump().contains("Mul"));
+    /// # Ok::<(), stream_ir::IrError>(())
+    /// ```
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel {} ({} in, {} out, {} params, {} sp words)",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.param_tys.len(),
+            self.sp_words
+        );
+        for (i, op) in self.ops.iter().enumerate() {
+            let v = ValueId(i as u32);
+            let args: Vec<String> = op.args.iter().map(ToString::to_string).collect();
+            let class = self
+                .class_of(v)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "free".to_string());
+            let _ = writeln!(
+                out,
+                "  {v}: {ty} = {opcode:?}({args}) [{class}]",
+                ty = self.types[i],
+                opcode = op.opcode,
+                args = args.join(", ")
+            );
+        }
+        for (r, n) in self.recurrences() {
+            let _ = writeln!(out, "  loop: {r} <- {n}");
+        }
+        out
+    }
+
+    /// Program-order accesses to each input (`.0`) and output (`.1`) stream.
+    /// The scheduler uses this to keep same-stream pops ordered.
+    pub fn stream_access_order(&self) -> (Vec<Vec<ValueId>>, Vec<Vec<ValueId>>) {
+        let mut ins: Vec<Vec<ValueId>> = vec![Vec::new(); self.inputs.len()];
+        let mut outs: Vec<Vec<ValueId>> = vec![Vec::new(); self.outputs.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Some((s, dir)) = op.opcode.stream() {
+                match dir {
+                    StreamDir::Input => ins[s.index()].push(ValueId(i as u32)),
+                    StreamDir::Output => outs[s.index()].push(ValueId(i as u32)),
+                }
+            }
+        }
+        (ins, outs)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "kernel {} ({} ops: {} ALU, {} SRF, {} COMM, {} SP)",
+            self.name,
+            self.ops.len(),
+            s.alu_ops,
+            s.srf_accesses,
+            s.comms,
+            s.sp_accesses
+        )
+    }
+}
+
+/// Per-iteration operation counts — the measurements behind Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Operations executing on ALUs (the paper's "ALU Ops" column and the
+    /// numerator of all GOPS figures).
+    pub alu_ops: u32,
+    /// SRF accesses: plain stream reads/writes plus conditional-stream
+    /// accesses.
+    pub srf_accesses: u32,
+    /// Intercluster communications: COMM ops plus conditional-stream
+    /// accesses (which route through the intercluster switch).
+    pub comms: u32,
+    /// Scratchpad accesses.
+    pub sp_accesses: u32,
+    /// Raw per-class counts.
+    pub by_class: BTreeMap<OpClass, u32>,
+}
+
+impl KernelStats {
+    /// Accesses per ALU op, the parenthesized ratios in Table 2.
+    pub fn per_alu_op(&self, count: u32) -> f64 {
+        f64::from(count) / f64::from(self.alu_ops.max(1))
+    }
+}
+
+/// Incremental, type-checked construction of a [`Kernel`].
+///
+/// Arithmetic methods panic on type errors — a kernel with mismatched types
+/// is a programming bug in the kernel, not a runtime condition. Structural
+/// problems that can only be judged once the body is complete (unbound
+/// recurrences, stream shapes) are reported by [`KernelBuilder::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use stream_ir::{KernelBuilder, Ty};
+///
+/// // out[i] = a[i] * a[i] + 1.0
+/// let mut b = KernelBuilder::new("square_plus_one");
+/// let a = b.in_stream(Ty::F32);
+/// let out = b.out_stream(Ty::F32);
+/// let x = b.read(a);
+/// let sq = b.mul(x, x);
+/// let one = b.const_f(1.0);
+/// let y = b.add(sq, one);
+/// b.write(out, y);
+/// let kernel = b.finish()?;
+/// assert_eq!(kernel.stats().alu_ops, 2);
+/// # Ok::<(), stream_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    ops: Vec<Op>,
+    types: Vec<Ty>,
+    inputs: Vec<(Ty, Option<bool>)>,
+    outputs: Vec<(Ty, Option<bool>)>,
+    recur_next: BTreeMap<ValueId, Option<ValueId>>,
+    sp_words: u32,
+    param_tys: Vec<Ty>,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            types: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            recur_next: BTreeMap::new(),
+            sp_words: 0,
+            param_tys: Vec::new(),
+        }
+    }
+
+    /// Declares a uniform scalar parameter of type `ty`, set per invocation.
+    pub fn param(&mut self, ty: Ty) -> ValueId {
+        let idx = self.param_tys.len() as u32;
+        self.param_tys.push(ty);
+        self.push(Opcode::Param(idx, ty), vec![], ty)
+    }
+
+    /// Declares an input stream of `ty` words.
+    pub fn in_stream(&mut self, ty: Ty) -> StreamId {
+        self.inputs.push((ty, None));
+        StreamId(self.inputs.len() as u32 - 1)
+    }
+
+    /// Declares an output stream of `ty` words.
+    pub fn out_stream(&mut self, ty: Ty) -> StreamId {
+        self.outputs.push((ty, None));
+        StreamId(self.outputs.len() as u32 - 1)
+    }
+
+    /// Declares that the kernel uses `words` of per-cluster scratchpad.
+    pub fn require_sp(&mut self, words: u32) {
+        self.sp_words = self.sp_words.max(words);
+    }
+
+    fn push(&mut self, opcode: Opcode, args: Vec<ValueId>, ty: Ty) -> ValueId {
+        debug_assert_eq!(opcode.arity(), args.len());
+        self.ops.push(Op { opcode, args });
+        self.types.push(ty);
+        ValueId(self.ops.len() as u32 - 1)
+    }
+
+    fn ty(&self, v: ValueId) -> Ty {
+        self.types[v.index()]
+    }
+
+    fn require_ty(&self, v: ValueId, ty: Ty, ctx: &str) {
+        assert!(
+            self.ty(v) == ty,
+            "{}: {} has type {}, expected {}",
+            ctx,
+            v,
+            self.ty(v),
+            ty
+        );
+    }
+
+    fn require_same(&self, a: ValueId, b: ValueId, ctx: &str) -> Ty {
+        assert!(
+            self.ty(a) == self.ty(b),
+            "{}: operand types differ ({}: {}, {}: {})",
+            ctx,
+            a,
+            self.ty(a),
+            b,
+            self.ty(b)
+        );
+        self.ty(a)
+    }
+
+    fn require_value(&self, v: ValueId, ctx: &str) {
+        assert!(
+            v.index() < self.ops.len(),
+            "{ctx}: {v} is not defined yet"
+        );
+        assert!(
+            self.ops[v.index()].opcode.produces_value(),
+            "{ctx}: {v} does not produce a value"
+        );
+    }
+
+    /// Emits a constant.
+    pub fn constant(&mut self, value: Scalar) -> ValueId {
+        let ty = value.ty();
+        self.push(Opcode::Const(value), vec![], ty)
+    }
+
+    /// Emits an i32 constant.
+    pub fn const_i(&mut self, value: i32) -> ValueId {
+        self.constant(Scalar::I32(value))
+    }
+
+    /// Emits an f32 constant.
+    pub fn const_f(&mut self, value: f32) -> ValueId {
+        self.constant(Scalar::F32(value))
+    }
+
+    /// The global loop-iteration index (i32).
+    pub fn iter_index(&mut self) -> ValueId {
+        self.push(Opcode::IterIndex, vec![], Ty::I32)
+    }
+
+    /// This cluster's index (i32).
+    pub fn cluster_id(&mut self) -> ValueId {
+        self.push(Opcode::ClusterId, vec![], Ty::I32)
+    }
+
+    /// The cluster count `C` (i32).
+    pub fn cluster_count(&mut self) -> ValueId {
+        self.push(Opcode::ClusterCount, vec![], Ty::I32)
+    }
+
+    /// Declares a loop-carried value initialized to `init`. Bind its
+    /// next-iteration value with [`KernelBuilder::bind_next`] before
+    /// finishing.
+    pub fn recurrence(&mut self, init: Scalar) -> ValueId {
+        let ty = init.ty();
+        let v = self.push(Opcode::Recur(init), vec![], ty);
+        self.recur_next.insert(v, None);
+        v
+    }
+
+    /// Binds `next` as the value `recurrence` takes on the following
+    /// iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recurrence` is not an unbound recurrence or if the types
+    /// differ.
+    pub fn bind_next(&mut self, recurrence: ValueId, next: ValueId) {
+        self.require_value(next, "bind_next");
+        let slot = self
+            .recur_next
+            .get_mut(&recurrence)
+            .unwrap_or_else(|| panic!("bind_next: {recurrence} is not a recurrence"));
+        assert!(slot.is_none(), "bind_next: {recurrence} already bound");
+        assert!(
+            self.types[recurrence.index()] == self.types[next.index()],
+            "bind_next: recurrence {recurrence} is {}, next {next} is {}",
+            self.types[recurrence.index()],
+            self.types[next.index()]
+        );
+        *slot = Some(next);
+    }
+
+    fn binary(&mut self, opcode: Opcode, a: ValueId, b: ValueId, ctx: &str) -> ValueId {
+        self.require_value(a, ctx);
+        self.require_value(b, ctx);
+        let ty = self.require_same(a, b, ctx);
+        self.push(opcode, vec![a, b], ty)
+    }
+
+    fn binary_int(&mut self, opcode: Opcode, a: ValueId, b: ValueId, ctx: &str) -> ValueId {
+        self.require_value(a, ctx);
+        self.require_value(b, ctx);
+        self.require_ty(a, Ty::I32, ctx);
+        self.require_ty(b, Ty::I32, ctx);
+        self.push(opcode, vec![a, b], Ty::I32)
+    }
+
+    fn compare(&mut self, opcode: Opcode, a: ValueId, b: ValueId, ctx: &str) -> ValueId {
+        self.require_value(a, ctx);
+        self.require_value(b, ctx);
+        self.require_same(a, b, ctx);
+        self.push(opcode, vec![a, b], Ty::I32)
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Opcode::Add, a, b, "add")
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Opcode::Sub, a, b, "sub")
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Opcode::Mul, a, b, "mul")
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Opcode::Div, a, b, "div")
+    }
+
+    /// `min(a, b)`.
+    pub fn min(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Opcode::Min, a, b, "min")
+    }
+
+    /// `max(a, b)`.
+    pub fn max(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Opcode::Max, a, b, "max")
+    }
+
+    /// `sqrt(a)` (f32).
+    pub fn sqrt(&mut self, a: ValueId) -> ValueId {
+        self.require_value(a, "sqrt");
+        self.require_ty(a, Ty::F32, "sqrt");
+        self.push(Opcode::Sqrt, vec![a], Ty::F32)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: ValueId) -> ValueId {
+        self.require_value(a, "neg");
+        let ty = self.ty(a);
+        self.push(Opcode::Neg, vec![a], ty)
+    }
+
+    /// `|a|`.
+    pub fn abs(&mut self, a: ValueId) -> ValueId {
+        self.require_value(a, "abs");
+        let ty = self.ty(a);
+        self.push(Opcode::Abs, vec![a], ty)
+    }
+
+    /// `floor(a)` (f32).
+    pub fn floor(&mut self, a: ValueId) -> ValueId {
+        self.require_value(a, "floor");
+        self.require_ty(a, Ty::F32, "floor");
+        self.push(Opcode::Floor, vec![a], Ty::F32)
+    }
+
+    /// Bitwise `a & b` (i32).
+    pub fn and(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary_int(Opcode::And, a, b, "and")
+    }
+
+    /// Bitwise `a | b` (i32).
+    pub fn or(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary_int(Opcode::Or, a, b, "or")
+    }
+
+    /// Bitwise `a ^ b` (i32).
+    pub fn xor(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary_int(Opcode::Xor, a, b, "xor")
+    }
+
+    /// `a << b` (i32).
+    pub fn shl(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary_int(Opcode::Shl, a, b, "shl")
+    }
+
+    /// `a >> b` (arithmetic, i32).
+    pub fn shr(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary_int(Opcode::Shr, a, b, "shr")
+    }
+
+    /// `a == b` -> i32 0/1.
+    pub fn eq(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.compare(Opcode::Eq, a, b, "eq")
+    }
+
+    /// `a != b` -> i32 0/1.
+    pub fn ne(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.compare(Opcode::Ne, a, b, "ne")
+    }
+
+    /// `a < b` -> i32 0/1.
+    pub fn lt(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.compare(Opcode::Lt, a, b, "lt")
+    }
+
+    /// `a <= b` -> i32 0/1.
+    pub fn le(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.compare(Opcode::Le, a, b, "le")
+    }
+
+    /// `cond ? a : b` (cond is i32).
+    pub fn select(&mut self, cond: ValueId, a: ValueId, b: ValueId) -> ValueId {
+        self.require_value(cond, "select");
+        self.require_value(a, "select");
+        self.require_value(b, "select");
+        self.require_ty(cond, Ty::I32, "select");
+        let ty = self.require_same(a, b, "select");
+        self.push(Opcode::Select, vec![cond, a, b], ty)
+    }
+
+    /// Convert i32 -> f32.
+    pub fn itof(&mut self, a: ValueId) -> ValueId {
+        self.require_value(a, "itof");
+        self.require_ty(a, Ty::I32, "itof");
+        self.push(Opcode::ItoF, vec![a], Ty::F32)
+    }
+
+    /// Convert f32 -> i32 (truncating).
+    pub fn ftoi(&mut self, a: ValueId) -> ValueId {
+        self.require_value(a, "ftoi");
+        self.require_ty(a, Ty::F32, "ftoi");
+        self.push(Opcode::FtoI, vec![a], Ty::I32)
+    }
+
+    /// Reads the next word of this cluster's record from input stream `s`.
+    pub fn read(&mut self, s: StreamId) -> ValueId {
+        let (ty, _) = self.inputs[s.index()];
+        self.mark_stream(s, StreamDir::Input, false);
+        self.push(Opcode::Read(s), vec![], ty)
+    }
+
+    /// Writes `v` as the next word of this cluster's record on output
+    /// stream `s`.
+    pub fn write(&mut self, s: StreamId, v: ValueId) {
+        self.require_value(v, "write");
+        let (ty, _) = self.outputs[s.index()];
+        self.require_ty(v, ty, "write");
+        self.mark_stream(s, StreamDir::Output, false);
+        self.push(Opcode::Write(s), vec![v], ty);
+    }
+
+    /// Conditional read: clusters whose `pred` is nonzero pop successive
+    /// elements of `s` in cluster order; inactive clusters receive zero.
+    pub fn cond_read(&mut self, s: StreamId, pred: ValueId) -> ValueId {
+        self.require_value(pred, "cond_read");
+        self.require_ty(pred, Ty::I32, "cond_read");
+        let (ty, _) = self.inputs[s.index()];
+        self.mark_stream(s, StreamDir::Input, true);
+        self.push(Opcode::CondRead(s), vec![pred], ty)
+    }
+
+    /// Conditional write: clusters whose `pred` is nonzero append `v` to
+    /// `s` in cluster order.
+    pub fn cond_write(&mut self, s: StreamId, pred: ValueId, v: ValueId) {
+        self.require_value(pred, "cond_write");
+        self.require_value(v, "cond_write");
+        self.require_ty(pred, Ty::I32, "cond_write");
+        let (ty, _) = self.outputs[s.index()];
+        self.require_ty(v, ty, "cond_write");
+        self.mark_stream(s, StreamDir::Output, true);
+        self.push(Opcode::CondWrite(s), vec![pred, v], ty);
+    }
+
+    fn mark_stream(&mut self, s: StreamId, dir: StreamDir, conditional: bool) {
+        let decl = match dir {
+            StreamDir::Input => &mut self.inputs[s.index()],
+            StreamDir::Output => &mut self.outputs[s.index()],
+        };
+        match decl.1 {
+            None => decl.1 = Some(conditional),
+            Some(prev) => assert!(
+                prev == conditional,
+                "stream {s} mixes plain and conditional access"
+            ),
+        }
+    }
+
+    /// Reads scratchpad word `addr` (i32 address) as a `ty` value.
+    pub fn sp_read(&mut self, addr: ValueId, ty: Ty) -> ValueId {
+        self.require_value(addr, "sp_read");
+        self.require_ty(addr, Ty::I32, "sp_read");
+        self.push(Opcode::SpRead(ty), vec![addr], ty)
+    }
+
+    /// Writes `v` to scratchpad word `addr`.
+    pub fn sp_write(&mut self, addr: ValueId, v: ValueId) {
+        self.require_value(addr, "sp_write");
+        self.require_value(v, "sp_write");
+        self.require_ty(addr, Ty::I32, "sp_write");
+        let ty = self.ty(v);
+        self.push(Opcode::SpWrite, vec![addr, v], ty);
+    }
+
+    /// Intercluster communication: every cluster receives `data` from
+    /// cluster `src` (an i32 computed per cluster, `0..C`).
+    pub fn comm(&mut self, data: ValueId, src: ValueId) -> ValueId {
+        self.require_value(data, "comm");
+        self.require_value(src, "comm");
+        self.require_ty(src, Ty::I32, "comm");
+        let ty = self.ty(data);
+        self.push(Opcode::Comm, vec![data, src], ty)
+    }
+
+    /// Finishes the kernel, running structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a recurrence is unbound, a conditional stream has
+    /// a record wider than one word, or a declared stream is never accessed.
+    pub fn finish(self) -> Result<Kernel, IrError> {
+        // Resolve recurrences.
+        let mut recur_next = BTreeMap::new();
+        for (&r, &next) in &self.recur_next {
+            match next {
+                Some(n) => {
+                    recur_next.insert(r, n);
+                }
+                None => return Err(IrError::UnboundRecurrence(r)),
+            }
+        }
+
+        // Compute record widths from access counts.
+        let mut in_width = vec![0u32; self.inputs.len()];
+        let mut out_width = vec![0u32; self.outputs.len()];
+        for op in &self.ops {
+            if let Some((s, dir)) = op.opcode.stream() {
+                match dir {
+                    StreamDir::Input => in_width[s.index()] += 1,
+                    StreamDir::Output => out_width[s.index()] += 1,
+                }
+            }
+        }
+
+        let build_decls = |decls: &[(Ty, Option<bool>)], widths: &[u32]| -> Vec<StreamDecl> {
+            decls
+                .iter()
+                .zip(widths)
+                .map(|(&(ty, conditional), &record_width)| StreamDecl {
+                    ty,
+                    record_width,
+                    conditional: conditional.unwrap_or(false),
+                })
+                .collect()
+        };
+
+        let kernel = Kernel {
+            name: self.name,
+            ops: self.ops,
+            types: self.types,
+            inputs: build_decls(&self.inputs, &in_width),
+            outputs: build_decls(&self.outputs, &out_width),
+            recur_next,
+            sp_words: self.sp_words,
+            param_tys: self.param_tys,
+        };
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn saxpy() -> Kernel {
+        // out = a*x + y, all f32.
+        let mut b = KernelBuilder::new("saxpy");
+        let x = b.in_stream(Ty::F32);
+        let y = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let a = b.const_f(2.5);
+        let xv = b.read(x);
+        let yv = b.read(y);
+        let ax = b.mul(a, xv);
+        let r = b.add(ax, yv);
+        b.write(out, r);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn saxpy_shape() {
+        let k = saxpy();
+        assert_eq!(k.inputs().len(), 2);
+        assert_eq!(k.outputs().len(), 1);
+        assert_eq!(k.inputs()[0].record_width, 1);
+        assert_eq!(k.outputs()[0].record_width, 1);
+        assert!(!k.inputs()[0].conditional);
+    }
+
+    #[test]
+    fn saxpy_stats() {
+        let s = saxpy().stats();
+        assert_eq!(s.alu_ops, 2); // mul + add
+        assert_eq!(s.srf_accesses, 3); // 2 reads + 1 write
+        assert_eq!(s.comms, 0);
+        assert_eq!(s.sp_accesses, 0);
+        assert!((s.per_alu_op(s.srf_accesses) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_of_distinguishes_types() {
+        let k = saxpy();
+        // v3 = mul (f32) -> FloatMul, v4 = add -> FloatAdd.
+        assert_eq!(k.class_of(ValueId(3)), Some(OpClass::FloatMul));
+        assert_eq!(k.class_of(ValueId(4)), Some(OpClass::FloatAdd));
+        // The constant is free.
+        assert_eq!(k.class_of(ValueId(0)), None);
+    }
+
+    #[test]
+    fn recurrence_must_be_bound() {
+        let mut b = KernelBuilder::new("acc");
+        let s = b.in_stream(Ty::F32);
+        let acc = b.recurrence(Scalar::F32(0.0));
+        let x = b.read(s);
+        let _sum = b.add(acc, x);
+        // forgot bind_next
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, IrError::UnboundRecurrence(acc));
+    }
+
+    #[test]
+    fn bound_recurrence_round_trips() {
+        let mut b = KernelBuilder::new("acc");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let acc = b.recurrence(Scalar::F32(0.0));
+        let x = b.read(s);
+        let sum = b.add(acc, x);
+        b.bind_next(acc, sum);
+        b.write(out, sum);
+        let k = b.finish().unwrap();
+        assert_eq!(k.recur_next(acc), Some(sum));
+        assert_eq!(k.recurrences().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand types differ")]
+    fn type_mismatch_panics_at_build_time() {
+        let mut b = KernelBuilder::new("bad");
+        let i = b.const_i(1);
+        let f = b.const_f(1.0);
+        let _ = b.add(i, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not produce a value")]
+    fn using_a_write_as_operand_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        b.write(out, x);
+        // The write op is the last value id.
+        let w = ValueId(1);
+        let _ = b.add(w, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes plain and conditional")]
+    fn mixed_stream_access_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let s = b.in_stream(Ty::I32);
+        let _plain = b.read(s);
+        let p = b.const_i(1);
+        let _cond = b.cond_read(s, p);
+    }
+
+    #[test]
+    fn multiple_conditional_accesses_are_legal() {
+        // Variable-rate kernels (like the rasterizer) append several times
+        // per iteration; each conditional access is an independent pop.
+        let mut b = KernelBuilder::new("multi");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        let p = b.const_i(1);
+        b.cond_write(out, p, x);
+        b.cond_write(out, p, x);
+        let k = b.finish().unwrap();
+        assert!(k.outputs()[0].conditional);
+        assert_eq!(k.outputs()[0].record_width, 2);
+    }
+
+    #[test]
+    fn multi_word_records_counted() {
+        let mut b = KernelBuilder::new("wide");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let a = b.read(s);
+        let c = b.read(s);
+        let r = b.add(a, c);
+        b.write(out, r);
+        let k = b.finish().unwrap();
+        assert_eq!(k.inputs()[0].record_width, 2);
+        let (ins, outs) = k.stream_access_order();
+        assert_eq!(ins[0].len(), 2);
+        assert_eq!(outs[0].len(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let k = saxpy();
+        let s = k.to_string();
+        assert!(s.contains("saxpy"));
+        assert!(s.contains("2 ALU"));
+    }
+
+    #[test]
+    fn comm_and_sp_counted_in_stats() {
+        let mut b = KernelBuilder::new("mix");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        b.require_sp(16);
+        let x = b.read(s);
+        let cid = b.cluster_id();
+        let v = b.comm(x, cid);
+        let addr = b.const_i(3);
+        b.sp_write(addr, v);
+        let y = b.sp_read(addr, Ty::I32);
+        b.write(out, y);
+        let k = b.finish().unwrap();
+        let st = k.stats();
+        assert_eq!(st.comms, 1);
+        assert_eq!(st.sp_accesses, 2);
+        assert_eq!(k.sp_words(), 16);
+    }
+}

@@ -1,0 +1,276 @@
+//! Opcodes and the dataflow op representation.
+
+use crate::{Scalar, Ty};
+use std::fmt;
+use stream_machine::OpClass;
+
+/// Identifies a value (and the op that produces it) within one kernel.
+/// Values are numbered in program order; every operand refers to an earlier
+/// value (the IR is SSA over a straight-line loop body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The value's index into the kernel's op list.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifies a stream within one kernel. Inputs and outputs are numbered
+/// independently; the direction is carried by the opcode using the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The stream's index into the kernel's declaration list.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A kernel operation. One instance executes per cluster per loop iteration
+/// (SIMD), except that the "free" opcodes (constants, indices) are
+/// materialized by the microcontroller and occupy no functional unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Opcode {
+    /// A compile-time constant (carried in the VLIW immediate fields).
+    Const(Scalar),
+    /// A uniform scalar kernel argument (KernelC scalar parameter), set per
+    /// kernel invocation and broadcast to all clusters through microcode.
+    Param(u32, Ty),
+    /// The global loop-iteration index (i32), common to all clusters.
+    IterIndex,
+    /// This cluster's index, `0..C` (i32).
+    ClusterId,
+    /// The machine's cluster count `C` (i32). Exposing it lets kernels
+    /// compute machine-independent strides.
+    ClusterCount,
+    /// A loop-carried value: yields `init` on the first iteration and the
+    /// bound next-value of the previous iteration afterwards.
+    Recur(Scalar),
+    /// Addition (both operands the same type).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (f32 or i32; i32 division by zero is an execution error).
+    Div,
+    /// Square root (f32).
+    Sqrt,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Floor (f32 -> f32).
+    Floor,
+    /// Bitwise and (i32).
+    And,
+    /// Bitwise or (i32).
+    Or,
+    /// Bitwise xor (i32).
+    Xor,
+    /// Left shift (i32).
+    Shl,
+    /// Arithmetic right shift (i32).
+    Shr,
+    /// Equality compare -> i32 0/1.
+    Eq,
+    /// Inequality compare -> i32 0/1.
+    Ne,
+    /// Less-than compare -> i32 0/1.
+    Lt,
+    /// Less-or-equal compare -> i32 0/1.
+    Le,
+    /// `select(cond, a, b)`: `a` if `cond` is nonzero else `b`.
+    Select,
+    /// Convert i32 -> f32.
+    ItoF,
+    /// Convert f32 -> i32 (truncating).
+    FtoI,
+    /// Read the next word of this cluster's record from an input stream.
+    Read(StreamId),
+    /// Append a word to this cluster's record of an output stream.
+    Write(StreamId),
+    /// Conditional (compacting) read: active clusters pop successive
+    /// elements in cluster order. Inactive clusters receive zero.
+    CondRead(StreamId),
+    /// Conditional (compacting) write: active clusters append in cluster
+    /// order.
+    CondWrite(StreamId),
+    /// Indexed scratchpad read (per-cluster memory); the declared type is
+    /// the type of the loaded word.
+    SpRead(Ty),
+    /// Indexed scratchpad write.
+    SpWrite,
+    /// Intercluster communication: `comm(data, src)` makes each cluster
+    /// receive `data` from cluster `src` (computed per cluster).
+    Comm,
+}
+
+impl Opcode {
+    /// Number of operands this opcode takes.
+    pub fn arity(&self) -> usize {
+        use Opcode::*;
+        match self {
+            Const(_) | Param(..) | IterIndex | ClusterId | ClusterCount | Recur(_) => 0,
+            Sqrt | Neg | Abs | Floor | ItoF | FtoI | Write(_) | CondRead(_) | SpRead(_) => 1,
+            Read(_) => 0,
+            Add | Sub | Mul | Div | Min | Max | And | Or | Xor | Shl | Shr | Eq | Ne | Lt
+            | Le | CondWrite(_) | SpWrite | Comm => 2,
+            Select => 3,
+        }
+    }
+
+    /// Whether this opcode produces a usable value.
+    pub fn produces_value(&self) -> bool {
+        !matches!(
+            self,
+            Opcode::Write(_) | Opcode::CondWrite(_) | Opcode::SpWrite
+        )
+    }
+
+    /// The scheduling class, given the types of this op's result and
+    /// operands (`None` for free ops that occupy no functional unit).
+    pub fn class(&self, result_ty: Ty, arg_tys: &[Ty]) -> Option<OpClass> {
+        use Opcode::*;
+        let float_involved =
+            result_ty == Ty::F32 || arg_tys.contains(&Ty::F32);
+        Some(match self {
+            Const(_) | Param(..) | IterIndex | ClusterId | ClusterCount | Recur(_) => {
+                return None
+            }
+            Add | Sub | Min | Max | Neg | Abs | Floor | Eq | Ne | Lt | Le | ItoF | FtoI => {
+                if float_involved {
+                    OpClass::FloatAdd
+                } else {
+                    OpClass::IntAlu
+                }
+            }
+            Mul => {
+                if float_involved {
+                    OpClass::FloatMul
+                } else {
+                    OpClass::IntMul
+                }
+            }
+            Div | Sqrt => OpClass::FloatDiv,
+            And | Or | Xor | Shl | Shr => OpClass::Logic,
+            Select => OpClass::Select,
+            Read(_) => OpClass::SbRead,
+            Write(_) => OpClass::SbWrite,
+            CondRead(_) | CondWrite(_) => OpClass::CondStream,
+            SpRead(_) => OpClass::SpRead,
+            SpWrite => OpClass::SpWrite,
+            Comm => OpClass::Comm,
+        })
+    }
+
+    /// The stream this opcode touches, if any.
+    pub fn stream(&self) -> Option<(StreamId, StreamDir)> {
+        match self {
+            Opcode::Read(s) | Opcode::CondRead(s) => Some((*s, StreamDir::Input)),
+            Opcode::Write(s) | Opcode::CondWrite(s) => Some((*s, StreamDir::Output)),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a stream feeds the kernel or is produced by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamDir {
+    /// Read by the kernel.
+    Input,
+    /// Written by the kernel.
+    Output,
+}
+
+/// One node of the kernel dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// What the op does.
+    pub opcode: Opcode,
+    /// Operands, all defined earlier in program order.
+    pub args: Vec<ValueId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_operand_shape() {
+        assert_eq!(Opcode::Add.arity(), 2);
+        assert_eq!(Opcode::Select.arity(), 3);
+        assert_eq!(Opcode::Sqrt.arity(), 1);
+        assert_eq!(Opcode::Read(StreamId(0)).arity(), 0);
+        assert_eq!(Opcode::Const(Scalar::I32(1)).arity(), 0);
+    }
+
+    #[test]
+    fn writes_produce_no_value() {
+        assert!(!Opcode::Write(StreamId(0)).produces_value());
+        assert!(!Opcode::SpWrite.produces_value());
+        assert!(!Opcode::CondWrite(StreamId(0)).produces_value());
+        assert!(Opcode::Read(StreamId(0)).produces_value());
+    }
+
+    #[test]
+    fn class_depends_on_type() {
+        assert_eq!(
+            Opcode::Add.class(Ty::F32, &[Ty::F32, Ty::F32]),
+            Some(OpClass::FloatAdd)
+        );
+        assert_eq!(
+            Opcode::Add.class(Ty::I32, &[Ty::I32, Ty::I32]),
+            Some(OpClass::IntAlu)
+        );
+        assert_eq!(
+            Opcode::Mul.class(Ty::F32, &[Ty::F32, Ty::F32]),
+            Some(OpClass::FloatMul)
+        );
+        assert_eq!(Opcode::Const(Scalar::I32(0)).class(Ty::I32, &[]), None);
+    }
+
+    #[test]
+    fn stream_direction() {
+        assert_eq!(
+            Opcode::Read(StreamId(2)).stream(),
+            Some((StreamId(2), StreamDir::Input))
+        );
+        assert_eq!(
+            Opcode::CondWrite(StreamId(1)).stream(),
+            Some((StreamId(1), StreamDir::Output))
+        );
+        assert_eq!(Opcode::Add.stream(), None);
+    }
+
+    #[test]
+    fn compares_are_alu_class() {
+        assert_eq!(
+            Opcode::Lt.class(Ty::I32, &[Ty::F32, Ty::F32]),
+            Some(OpClass::FloatAdd)
+        );
+        assert_eq!(
+            Opcode::Lt.class(Ty::I32, &[Ty::I32, Ty::I32]),
+            Some(OpClass::IntAlu)
+        );
+    }
+}

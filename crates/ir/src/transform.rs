@@ -1,0 +1,256 @@
+//! Kernel transformations: loop unrolling.
+//!
+//! Unrolling converts data-level parallelism into instruction-level
+//! parallelism (Section 5.1: "abundant data-level parallelism that can be
+//! converted to ILP with software pipelining and loop unrolling"). Each
+//! unrolled iteration processes `factor` consecutive records per cluster.
+
+use crate::{IrError, Kernel, KernelBuilder, Opcode, StreamId, ValueId};
+use std::collections::HashMap;
+
+/// Unrolls `kernel` by `factor`: the resulting kernel's loop body contains
+/// `factor` copies of the original body, with recurrences chained through the
+/// copies and `IterIndex` rescaled to preserve per-record addressing
+/// (`iter * factor + copy`).
+///
+/// The unrolled kernel's streams have records `factor` times wider; the
+/// record-to-cluster assignment therefore changes, exactly as it does on real
+/// hardware when a compiler unrolls a stream loop. Elementwise kernels
+/// compute identical outputs; kernels with cross-record state (recurrences,
+/// cluster-indexed logic) see their records in a different grouping, which is
+/// why unrolling is a *scheduling* decision and functional simulation always
+/// runs the un-unrolled kernel.
+///
+/// # Errors
+///
+/// Propagates any structural validation error from rebuilding the kernel
+/// (none are expected for kernels produced by [`KernelBuilder`]).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn unroll(kernel: &Kernel, factor: u32) -> Result<Kernel, IrError> {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    if factor == 1 {
+        return Ok(kernel.clone());
+    }
+
+    let mut b = KernelBuilder::new(format!("{}(x{})", kernel.name(), factor));
+    b.require_sp(kernel.sp_words());
+    let in_ids: Vec<StreamId> = kernel.inputs().iter().map(|d| b.in_stream(d.ty)).collect();
+    let out_ids: Vec<StreamId> = kernel.outputs().iter().map(|d| b.out_stream(d.ty)).collect();
+    let param_ids: Vec<ValueId> = kernel.param_tys().iter().map(|&ty| b.param(ty)).collect();
+
+    // map[(copy, old_value)] -> new value
+    let mut map: HashMap<(u32, ValueId), ValueId> = HashMap::new();
+    // New recurrence op per original recurrence (created in copy 0).
+    let mut new_recur: HashMap<ValueId, ValueId> = HashMap::new();
+
+    for copy in 0..factor {
+        for (i, op) in kernel.ops().iter().enumerate() {
+            let old = ValueId(i as u32);
+            let arg = |m: &HashMap<(u32, ValueId), ValueId>, a: ValueId| m[&(copy, a)];
+            let new = match &op.opcode {
+                Opcode::Const(s) => Some(b.constant(*s)),
+                Opcode::Param(idx, _) => Some(param_ids[*idx as usize]),
+                Opcode::IterIndex => {
+                    // iter*factor + copy keeps record addressing intact.
+                    let base = b.iter_index();
+                    let f = b.const_i(factor as i32);
+                    let scaled = b.mul(base, f);
+                    let off = b.const_i(copy as i32);
+                    Some(b.add(scaled, off))
+                }
+                Opcode::ClusterId => Some(b.cluster_id()),
+                Opcode::ClusterCount => Some(b.cluster_count()),
+                Opcode::Recur(init) => {
+                    if copy == 0 {
+                        let r = b.recurrence(*init);
+                        new_recur.insert(old, r);
+                        Some(r)
+                    } else {
+                        // Later copies see the previous copy's next value.
+                        let next = kernel
+                            .recur_next(old)
+                            .expect("validated kernels have bound recurrences");
+                        Some(map[&(copy - 1, next)])
+                    }
+                }
+                Opcode::Read(s) => Some(b.read(in_ids[s.index()])),
+                Opcode::Write(s) => {
+                    b.write(out_ids[s.index()], arg(&map, op.args[0]));
+                    None
+                }
+                Opcode::CondRead(s) => Some(b.cond_read(in_ids[s.index()], arg(&map, op.args[0]))),
+                Opcode::CondWrite(s) => {
+                    b.cond_write(
+                        out_ids[s.index()],
+                        arg(&map, op.args[0]),
+                        arg(&map, op.args[1]),
+                    );
+                    None
+                }
+                Opcode::SpRead(ty) => Some(b.sp_read(arg(&map, op.args[0]), *ty)),
+                Opcode::SpWrite => {
+                    b.sp_write(arg(&map, op.args[0]), arg(&map, op.args[1]));
+                    None
+                }
+                Opcode::Comm => Some(b.comm(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Add => Some(b.add(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Sub => Some(b.sub(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Mul => Some(b.mul(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Div => Some(b.div(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Min => Some(b.min(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Max => Some(b.max(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::And => Some(b.and(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Or => Some(b.or(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Xor => Some(b.xor(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Shl => Some(b.shl(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Shr => Some(b.shr(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Eq => Some(b.eq(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Ne => Some(b.ne(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Lt => Some(b.lt(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Le => Some(b.le(arg(&map, op.args[0]), arg(&map, op.args[1]))),
+                Opcode::Select => Some(b.select(
+                    arg(&map, op.args[0]),
+                    arg(&map, op.args[1]),
+                    arg(&map, op.args[2]),
+                )),
+                Opcode::Sqrt => Some(b.sqrt(arg(&map, op.args[0]))),
+                Opcode::Neg => Some(b.neg(arg(&map, op.args[0]))),
+                Opcode::Abs => Some(b.abs(arg(&map, op.args[0]))),
+                Opcode::Floor => Some(b.floor(arg(&map, op.args[0]))),
+                Opcode::ItoF => Some(b.itof(arg(&map, op.args[0]))),
+                Opcode::FtoI => Some(b.ftoi(arg(&map, op.args[0]))),
+            };
+            if let Some(v) = new {
+                map.insert((copy, old), v);
+            }
+            // Writes produce no value; nothing may reference them, so no
+            // mapping is needed.
+        }
+    }
+
+    // Close the loop: each new recurrence's next is the last copy's next.
+    for (old_r, new_r) in &new_recur {
+        let next = kernel
+            .recur_next(*old_r)
+            .expect("validated kernels have bound recurrences");
+        b.bind_next(*new_r, map[&(factor - 1, next)]);
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute, ExecConfig, KernelBuilder, Scalar, Ty};
+
+    fn elementwise() -> Kernel {
+        let mut b = KernelBuilder::new("poly");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let x = b.read(s);
+        let x2 = b.mul(x, x);
+        let c = b.const_f(3.0);
+        let y = b.add(x2, c);
+        b.write(out, y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity() {
+        let k = elementwise();
+        let u = unroll(&k, 1).unwrap();
+        assert_eq!(k, u);
+    }
+
+    #[test]
+    fn unroll_widens_records() {
+        let k = elementwise();
+        let u = unroll(&k, 4).unwrap();
+        assert_eq!(u.inputs()[0].record_width, 4);
+        assert_eq!(u.outputs()[0].record_width, 4);
+        assert_eq!(u.stats().alu_ops, 4 * k.stats().alu_ops);
+    }
+
+    #[test]
+    fn elementwise_unroll_preserves_outputs() {
+        let k = elementwise();
+        let input: Vec<Scalar> = (0..32).map(|i| Scalar::F32(i as f32)).collect();
+        let cfg = ExecConfig::with_clusters(4);
+        let base = execute(&k, &[], std::slice::from_ref(&input), &cfg).unwrap();
+        for factor in [2u32, 4, 8] {
+            let u = unroll(&k, factor).unwrap();
+            let got = execute(&u, &[], std::slice::from_ref(&input), &cfg).unwrap();
+            assert_eq!(got, base, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn recurrences_chain_through_copies() {
+        // Sum-reduce everything into a final conditional write.
+        let mut b = KernelBuilder::new("sum");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let acc = b.recurrence(Scalar::I32(0));
+        let x = b.read(s);
+        let sum = b.add(acc, x);
+        b.bind_next(acc, sum);
+        b.write(out, sum);
+        let k = b.finish().unwrap();
+
+        let u = unroll(&k, 2).unwrap();
+        assert_eq!(u.recurrences().count(), 1);
+
+        // Per-cluster totals (last written element) must match: the total of
+        // a cluster's records is permutation-invariant only across the same
+        // record set, so check with C=1 where both orders coincide.
+        let input: Vec<Scalar> = (1..=8).map(Scalar::I32).collect();
+        let cfg = ExecConfig::with_clusters(1);
+        let base = execute(&k, &[], std::slice::from_ref(&input), &cfg).unwrap();
+        let got = execute(&u, &[], &[input], &cfg).unwrap();
+        assert_eq!(base[0].last(), got[0].last());
+        assert_eq!(base[0].last().unwrap().as_i32(), Some(36));
+    }
+
+    #[test]
+    fn iter_index_is_rescaled() {
+        let mut b = KernelBuilder::new("idx");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let _x = b.read(s);
+        let i = b.iter_index();
+        b.write(out, i);
+        let k = b.finish().unwrap();
+        let u = unroll(&k, 2).unwrap();
+
+        let input: Vec<Scalar> = vec![Scalar::I32(0); 8];
+        let cfg = ExecConfig::with_clusters(2);
+        let got = execute(&u, &[], &[input], &cfg).unwrap();
+        let vals: Vec<i32> = got[0].iter().map(|s| s.as_i32().unwrap()).collect();
+        // Cluster 0 record pair (0,1), cluster 1 record pair (2,3) in
+        // unrolled iteration 0, then (4,5),(6,7) in iteration 1 — the
+        // rescaled index is iter*2+copy.
+        assert_eq!(vals, vec![0, 1, 0, 1, 2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn params_are_shared_across_copies() {
+        let mut b = KernelBuilder::new("scale");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let p = b.param(Ty::F32);
+        let x = b.read(s);
+        let y = b.mul(p, x);
+        b.write(out, y);
+        let k = b.finish().unwrap();
+        let u = unroll(&k, 4).unwrap();
+        assert_eq!(u.param_tys().len(), 1);
+        let input: Vec<Scalar> = (0..16).map(|i| Scalar::F32(i as f32)).collect();
+        let cfg = ExecConfig::with_clusters(2);
+        let got = execute(&u, &[Scalar::F32(10.0)], &[input], &cfg).unwrap();
+        assert_eq!(got[0][7], Scalar::F32(70.0));
+    }
+}

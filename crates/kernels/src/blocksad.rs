@@ -1,0 +1,202 @@
+//! Blocksad: sum-of-absolute-differences kernel (Table 4, 16-bit data).
+//!
+//! The building block of stereo depth extraction: for every pixel column the
+//! kernel computes the SAD between co-located 3x3 windows of a left-image
+//! and a (disparity-shifted) right-image band, then temporally accumulates
+//! over a 4-strip scratchpad ring. Horizontal window neighbors come from
+//! adjacent clusters over the intercluster switch, exactly how Imagine's
+//! DEPTH kernels shared column data; columns wrap within a SIMD strip.
+
+use crate::util::{wrap_cluster, words_i32, XorShift32};
+use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
+use stream_machine::Machine;
+
+/// Words of scratchpad the kernel uses (the temporal accumulator ring).
+pub const SP_RING: u32 = 4;
+
+/// Builds the Blocksad kernel for `machine` (the COMM index arithmetic is
+/// specialized to the cluster count, as Imagine's per-configuration
+/// recompilation did).
+pub fn kernel(machine: &Machine) -> Kernel {
+    let c = machine.clusters();
+    let mut b = KernelBuilder::new("blocksad");
+    b.require_sp(SP_RING);
+
+    // Three rows per image: y-1, y, y+1; one pixel column per cluster.
+    let left: Vec<_> = (0..3).map(|_| b.in_stream(Ty::I32)).collect();
+    let right: Vec<_> = (0..3).map(|_| b.in_stream(Ty::I32)).collect();
+    let out = b.out_stream(Ty::I32);
+
+    let cid = b.cluster_id();
+    let left_nb = wrap_cluster(&mut b, cid, -1, c);
+    let right_nb = wrap_cluster(&mut b, cid, 1, c);
+
+    let mut terms: Vec<ValueId> = Vec::new();
+    for row in 0..3 {
+        let l = b.read(left[row]);
+        let r = b.read(right[row]);
+        // Own column.
+        let d = b.sub(l, r);
+        terms.push(b.abs(d));
+        // Neighbor columns via the intercluster switch.
+        for &nb in &[left_nb, right_nb] {
+            let ln = b.comm(l, nb);
+            let rn = b.comm(r, nb);
+            let dn = b.sub(ln, rn);
+            terms.push(b.abs(dn));
+        }
+    }
+    // Sum the nine absolute differences.
+    let mut sad = terms[0];
+    for &t in &terms[1..] {
+        sad = b.add(sad, t);
+    }
+
+    // Temporal accumulation over a scratchpad ring: out = sad + sad from
+    // four strips ago (zero before the ring fills).
+    let iter = b.iter_index();
+    let ring_mask = b.const_i(SP_RING as i32 - 1);
+    let addr = b.and(iter, ring_mask);
+    let prev = b.sp_read(addr, Ty::I32);
+    let smoothed = b.add(sad, prev);
+    b.sp_write(addr, sad);
+
+    b.write(out, smoothed);
+    b.finish().expect("blocksad kernel is structurally valid")
+}
+
+/// Scalar reference: the exact values [`kernel`] produces for the same
+/// per-row column streams on a `clusters`-wide machine.
+pub fn reference(left: &[Vec<i32>; 3], right: &[Vec<i32>; 3], clusters: usize) -> Vec<i32> {
+    let cols = left[0].len();
+    assert!(cols.is_multiple_of(clusters));
+    let strips = cols / clusters;
+    let mut raw = vec![0i32; cols];
+    let mut out = vec![0i32; cols];
+    for t in 0..strips {
+        for c in 0..clusters {
+            let mut sad = 0i32;
+            for row in 0..3 {
+                for dc in [0i32, -1, 1] {
+                    let nb = (c as i32 + dc).rem_euclid(clusters as i32) as usize;
+                    let col = t * clusters + nb;
+                    sad += (left[row][col] - right[row][col]).abs();
+                }
+            }
+            let col = t * clusters + c;
+            raw[col] = sad;
+            let prev = if t >= SP_RING as usize {
+                raw[(t - SP_RING as usize) * clusters + c]
+            } else {
+                0
+            };
+            out[col] = sad + prev;
+        }
+    }
+    out
+}
+
+/// Deterministic sample inputs: three left rows and three right rows of
+/// 16-bit pixel values over `columns` columns.
+pub fn sample_inputs(columns: usize, seed: u32) -> ([Vec<i32>; 3], [Vec<i32>; 3]) {
+    let mut rng = XorShift32(seed);
+    let mut row = |_: usize| -> Vec<i32> {
+        (0..columns).map(|_| rng.next_below(1 << 16) as i32).collect()
+    };
+    (
+        [row(0), row(1), row(2)],
+        [row(3), row(4), row(5)],
+    )
+}
+
+/// Packs the reference-format rows into the kernel's input streams.
+pub fn input_streams(left: &[Vec<i32>; 3], right: &[Vec<i32>; 3]) -> Vec<Vec<Scalar>> {
+    left.iter()
+        .chain(right.iter())
+        .map(|r| words_i32(r.iter().copied()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_i32;
+    use stream_ir::{execute, ExecConfig};
+
+    #[test]
+    fn matches_reference() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let (left, right) = sample_inputs(64, 7);
+        let outs = execute(
+            &k,
+            &[],
+            &input_streams(&left, &right),
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        assert_eq!(to_i32(&outs[0]), reference(&left, &right, 8));
+    }
+
+    #[test]
+    fn matches_reference_on_wide_machine() {
+        let machine = Machine::paper(stream_vlsi::Shape::new(32, 5));
+        let k = kernel(&machine);
+        let (left, right) = sample_inputs(128, 9);
+        let outs = execute(
+            &k,
+            &[],
+            &input_streams(&left, &right),
+            &ExecConfig::with_clusters(32),
+        )
+        .unwrap();
+        assert_eq!(to_i32(&outs[0]), reference(&left, &right, 32));
+    }
+
+    #[test]
+    fn identical_images_give_zero_sad() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let (left, _) = sample_inputs(32, 3);
+        let outs = execute(
+            &k,
+            &[],
+            &input_streams(&left, &left.clone()),
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        assert!(to_i32(&outs[0]).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn stats_are_in_the_expected_band() {
+        let machine = Machine::baseline();
+        let s = kernel(&machine).stats();
+        // Tens of ALU ops, ~7 SRF accesses, 12 comms, 2 SP accesses.
+        assert!(s.alu_ops >= 25 && s.alu_ops <= 45, "alu = {}", s.alu_ops);
+        assert_eq!(s.srf_accesses, 7);
+        assert_eq!(s.comms, 12);
+        assert_eq!(s.sp_accesses, 2);
+    }
+
+    #[test]
+    fn temporal_ring_accumulates() {
+        // Constant unit difference: raw sad = 9 everywhere; after the ring
+        // fills, output doubles.
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let cols = 8 * (SP_RING as usize + 2);
+        let left = [vec![1; cols], vec![1; cols], vec![1; cols]];
+        let right = [vec![0; cols], vec![0; cols], vec![0; cols]];
+        let outs = execute(
+            &k,
+            &[],
+            &input_streams(&left, &right),
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        let got = to_i32(&outs[0]);
+        assert_eq!(got[0], 9);
+        assert_eq!(*got.last().unwrap(), 18);
+    }
+}

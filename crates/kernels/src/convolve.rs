@@ -1,0 +1,306 @@
+//! Convolve: separable 7x7 steerable filter pair (Table 4, 16-bit data,
+//! computed in f32 as Imagine's tools did for filter kernels).
+//!
+//! Seven image rows stream in (one pixel column per cluster): the center
+//! row as a one-word stream and the three symmetric row pairs packed as
+//! two-word records, so the kernel fits the cluster's streambuffers even at
+//! small `N`. The kernel computes a vertical Gaussian `G_v` and a vertical
+//! derivative `D_v`,
+//! exchanges both with the six horizontally adjacent clusters over the
+//! intercluster switch, then forms the smoothed plane (`G_h * G_v`), the
+//! gradient pair (`D_h * G_v`, `G_h * D_v`), and the edge magnitude — the
+//! filter bank a stereo/feature front end actually runs. Columns wrap
+//! within a SIMD strip.
+
+use crate::util::{wrap_cluster, words_f32, XorShift32};
+use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
+use stream_machine::Machine;
+
+/// Filter taps: a symmetric 7-tap Gaussian (`g[|k|]`, offsets 0..=3) and an
+/// antisymmetric 7-tap derivative (`d[k]`, offsets 1..=3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Taps {
+    /// Gaussian taps by absolute offset.
+    pub gauss: [f32; 4],
+    /// Derivative taps by positive offset (applied antisymmetrically).
+    pub deriv: [f32; 3],
+}
+
+impl Taps {
+    /// A Gaussian/derivative-of-Gaussian pair.
+    pub fn gaussian() -> Self {
+        Self {
+            gauss: [0.3125, 0.234_375, 0.09375, 0.015_625],
+            deriv: [0.5, 0.15, 0.025],
+        }
+    }
+
+    fn params(&self) -> Vec<Scalar> {
+        self.gauss
+            .iter()
+            .chain(self.deriv.iter())
+            .map(|&v| Scalar::F32(v))
+            .collect()
+    }
+}
+
+/// Builds the Convolve kernel for `machine`. Coefficients are uniform
+/// scalar parameters — pass [`params`] at execution.
+pub fn kernel(machine: &Machine) -> Kernel {
+    let c = machine.clusters();
+    let mut b = KernelBuilder::new("convolve");
+
+    let center = b.in_stream(Ty::F32);
+    let pairs: Vec<_> = (0..3).map(|_| b.in_stream(Ty::F32)).collect();
+    let smooth_out = b.out_stream(Ty::F32);
+    let edge_out = b.out_stream(Ty::F32);
+
+    let g: Vec<ValueId> = (0..4).map(|_| b.param(Ty::F32)).collect();
+    let d: Vec<ValueId> = (0..3).map(|_| b.param(Ty::F32)).collect();
+
+    // Vertical passes over the streamed rows: px[3] is the center row;
+    // pair stream k carries (row[3-k], row[3+k]) records.
+    let mut px: Vec<ValueId> = vec![ValueId(0); 7];
+    px[3] = b.read(center);
+    for k in 1..=3usize {
+        px[3 - k] = b.read(pairs[k - 1]);
+        px[3 + k] = b.read(pairs[k - 1]);
+    }
+    let mut gv = b.mul(g[0], px[3]);
+    for k in 1..=3usize {
+        let lo = b.mul(g[k], px[3 - k]);
+        let hi = b.mul(g[k], px[3 + k]);
+        gv = b.add(gv, lo);
+        gv = b.add(gv, hi);
+    }
+    let mut dv: Option<ValueId> = None;
+    for k in 1..=3usize {
+        let diff = b.sub(px[3 + k], px[3 - k]);
+        let term = b.mul(d[k - 1], diff);
+        dv = Some(match dv {
+            Some(acc) => b.add(acc, term),
+            None => term,
+        });
+    }
+    let dv = dv.expect("three derivative taps");
+
+    // Exchange both vertical responses with the six column neighbors.
+    let cid = b.cluster_id();
+    let mut nb: Vec<(i32, ValueId, ValueId)> = Vec::new();
+    for dc in [-3i32, -2, -1, 1, 2, 3] {
+        let idx = wrap_cluster(&mut b, cid, dc, c);
+        let ngv = b.comm(gv, idx);
+        let ndv = b.comm(dv, idx);
+        nb.push((dc, ngv, ndv));
+    }
+    let gv_at = |dc: i32| -> ValueId {
+        if dc == 0 {
+            gv
+        } else {
+            nb.iter().find(|&&(o, _, _)| o == dc).unwrap().1
+        }
+    };
+    let dv_at = |dc: i32| -> ValueId {
+        if dc == 0 {
+            dv
+        } else {
+            nb.iter().find(|&&(o, _, _)| o == dc).unwrap().2
+        }
+    };
+
+    // smooth = G_h * G_v ; gy = G_h * D_v (same symmetric structure).
+    let symmetric = |b: &mut KernelBuilder, at: &dyn Fn(i32) -> ValueId| -> ValueId {
+        let mut acc = b.mul(g[0], at(0));
+        for k in 1..=3i32 {
+            let pair = b.add(at(-k), at(k));
+            let term = b.mul(g[k as usize], pair);
+            acc = b.add(acc, term);
+        }
+        acc
+    };
+    let smooth = symmetric(&mut b, &gv_at);
+    let gy = symmetric(&mut b, &dv_at);
+    // gx = D_h * G_v (antisymmetric).
+    let mut gx: Option<ValueId> = None;
+    for k in 1..=3i32 {
+        let diff = b.sub(gv_at(k), gv_at(-k));
+        let term = b.mul(d[k as usize - 1], diff);
+        gx = Some(match gx {
+            Some(acc) => b.add(acc, term),
+            None => term,
+        });
+    }
+    let gx = gx.expect("three taps");
+
+    // Edge magnitude.
+    let gx2 = b.mul(gx, gx);
+    let gy2 = b.mul(gy, gy);
+    let e2 = b.add(gx2, gy2);
+    let edge = b.sqrt(e2);
+
+    b.write(smooth_out, smooth);
+    b.write(edge_out, edge);
+    b.finish().expect("convolve kernel is structurally valid")
+}
+
+/// The kernel's parameter vector for `taps`.
+pub fn params(taps: &Taps) -> Vec<Scalar> {
+    taps.params()
+}
+
+/// Scalar reference producing `(smoothed, edge)` with the kernel's
+/// strip-wrapped column semantics and accumulation order.
+pub fn reference(rows: &[Vec<f32>; 7], taps: &Taps, clusters: usize) -> (Vec<f32>, Vec<f32>) {
+    let cols = rows[0].len();
+    assert!(cols.is_multiple_of(clusters));
+    let strips = cols / clusters;
+    let mut gv = vec![0f32; cols];
+    let mut dv = vec![0f32; cols];
+    for col in 0..cols {
+        let mut acc = taps.gauss[0] * rows[3][col];
+        for k in 1..=3usize {
+            acc += taps.gauss[k] * rows[3 - k][col];
+            acc += taps.gauss[k] * rows[3 + k][col];
+        }
+        gv[col] = acc;
+        let mut dacc = 0f32;
+        for k in 1..=3usize {
+            dacc += taps.deriv[k - 1] * (rows[3 + k][col] - rows[3 - k][col]);
+        }
+        dv[col] = dacc;
+    }
+    let mut smooth = vec![0f32; cols];
+    let mut edge = vec![0f32; cols];
+    for t in 0..strips {
+        let at = |v: &[f32], c: i32| -> f32 {
+            let nb = c.rem_euclid(clusters as i32) as usize;
+            v[t * clusters + nb]
+        };
+        for c in 0..clusters {
+            let col = t * clusters + c;
+            let ci = c as i32;
+            let sym = |v: &[f32]| -> f32 {
+                let mut acc = taps.gauss[0] * at(v, ci);
+                for k in 1..=3i32 {
+                    acc += taps.gauss[k as usize] * (at(v, ci - k) + at(v, ci + k));
+                }
+                acc
+            };
+            smooth[col] = sym(&gv);
+            let gy = sym(&dv);
+            let mut gx = 0f32;
+            for k in 1..=3i32 {
+                gx += taps.deriv[k as usize - 1] * (at(&gv, ci + k) - at(&gv, ci - k));
+            }
+            edge[col] = (gx * gx + gy * gy).sqrt();
+        }
+    }
+    (smooth, edge)
+}
+
+/// Deterministic sample rows of pixel data.
+pub fn sample_rows(columns: usize, seed: u32) -> [Vec<f32>; 7] {
+    let mut rng = XorShift32(seed);
+    std::array::from_fn(|_| (0..columns).map(|_| rng.next_f32() * 255.0).collect())
+}
+
+/// Packs reference-format rows into kernel input streams: the center row
+/// plus three interleaved symmetric pair streams.
+pub fn input_streams(rows: &[Vec<f32>; 7]) -> Vec<Vec<Scalar>> {
+    let mut streams = vec![words_f32(rows[3].iter().copied())];
+    for k in 1..=3usize {
+        let interleaved: Vec<f32> = rows[3 - k]
+            .iter()
+            .zip(&rows[3 + k])
+            .flat_map(|(&lo, &hi)| [lo, hi])
+            .collect();
+        streams.push(words_f32(interleaved));
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_f32;
+    use stream_ir::{execute, ExecConfig};
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                "index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let taps = Taps::gaussian();
+        let rows = sample_rows(64, 11);
+        let outs = execute(
+            &k,
+            &params(&taps),
+            &input_streams(&rows),
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        let (smooth, edge) = reference(&rows, &taps, 8);
+        assert_close(&to_f32(&outs[0]), &smooth);
+        assert_close(&to_f32(&outs[1]), &edge);
+    }
+
+    #[test]
+    fn constant_image_has_zero_edges() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let taps = Taps::gaussian();
+        let rows: [Vec<f32>; 7] = std::array::from_fn(|_| vec![100.0; 16]);
+        let outs = execute(
+            &k,
+            &params(&taps),
+            &input_streams(&rows),
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        let gain: f32 =
+            taps.gauss[0] + 2.0 * (taps.gauss[1] + taps.gauss[2] + taps.gauss[3]);
+        for &v in to_f32(&outs[0]).iter() {
+            assert!((v - 100.0 * gain * gain).abs() < 1e-2);
+        }
+        for &v in to_f32(&outs[1]).iter() {
+            assert!(v.abs() < 1e-3, "edge of constant image = {v}");
+        }
+    }
+
+    #[test]
+    fn stats_are_in_the_expected_band() {
+        let machine = Machine::baseline();
+        let s = kernel(&machine).stats();
+        assert!(s.alu_ops >= 55 && s.alu_ops <= 85, "alu = {}", s.alu_ops);
+        assert_eq!(s.srf_accesses, 9); // 7 reads + 2 writes
+        assert_eq!(s.comms, 12);
+        assert_eq!(s.sp_accesses, 0);
+    }
+
+    #[test]
+    fn matches_reference_on_16_clusters() {
+        let machine = Machine::paper(stream_vlsi::Shape::new(16, 5));
+        let k = kernel(&machine);
+        let taps = Taps::gaussian();
+        let rows = sample_rows(64, 5);
+        let outs = execute(
+            &k,
+            &params(&taps),
+            &input_streams(&rows),
+            &ExecConfig::with_clusters(16),
+        )
+        .unwrap();
+        let (smooth, edge) = reference(&rows, &taps, 16);
+        assert_close(&to_f32(&outs[0]), &smooth);
+        assert_close(&to_f32(&outs[1]), &edge);
+    }
+}

@@ -1,0 +1,534 @@
+//! FFT: radix-4 decimation-in-time butterfly kernel (Table 4, floating
+//! point), plus the scalar reference FFT and the per-stage record builders
+//! the FFT applications use.
+//!
+//! Each stream record carries one radix-4 butterfly: four complex points and
+//! three complex twiddles (twiddles are streamed, as Imagine's FFT did —
+//! they account for much of the paper's high SRF access count). The
+//! application composes `log4(n)` stage invocations over digit-reversed
+//! input; inter-stage reordering is SRF addressing.
+
+use crate::split::{gather_words, scatter_words, split_plan};
+use crate::util::words_f32;
+use std::f32::consts::PI;
+use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
+use stream_machine::Machine;
+
+/// Words per data record: four complex points.
+pub const DATA_WIDTH: u32 = 8;
+/// Words per twiddle record: three complex twiddles.
+pub const TWIDDLE_WIDTH: u32 = 6;
+
+/// Streambuffer split plan `(data_in, twiddle_in, data_out)` for `machine`.
+pub fn splits(machine: &Machine) -> [u32; 3] {
+    let widths = [DATA_WIDTH, TWIDDLE_WIDTH, DATA_WIDTH];
+    let plan = split_plan(&widths, machine.derived().cluster_sbs);
+    [plan[0], plan[1], plan[2]]
+}
+
+/// Builds the radix-4 butterfly stage kernel for `machine`.
+pub fn kernel(machine: &Machine) -> Kernel {
+    let [kd, kt, ko] = splits(machine);
+    let mut b = KernelBuilder::new("fft");
+
+    let data: Vec<_> = (0..kd).map(|_| b.in_stream(Ty::F32)).collect();
+    let twid: Vec<_> = (0..kt).map(|_| b.in_stream(Ty::F32)).collect();
+    let outs: Vec<_> = (0..ko).map(|_| b.out_stream(Ty::F32)).collect();
+
+    let x: Vec<ValueId> = (0..DATA_WIDTH as usize)
+        .map(|j| b.read(data[j % kd as usize]))
+        .collect();
+    let w: Vec<ValueId> = (0..TWIDDLE_WIDTH as usize)
+        .map(|j| b.read(twid[j % kt as usize]))
+        .collect();
+
+    // Complex multiply helper.
+    let cmul = |b: &mut KernelBuilder,
+                    ar: ValueId,
+                    ai: ValueId,
+                    br: ValueId,
+                    bi: ValueId|
+     -> (ValueId, ValueId) {
+        let rr = b.mul(ar, br);
+        let ii = b.mul(ai, bi);
+        let ri = b.mul(ar, bi);
+        let ir = b.mul(ai, br);
+        (b.sub(rr, ii), b.add(ri, ir))
+    };
+
+    // t0 = x0; tq = wq * xq for q = 1..3.
+    let (t0r, t0i) = (x[0], x[1]);
+    let (t1r, t1i) = cmul(&mut b, x[2], x[3], w[0], w[1]);
+    let (t2r, t2i) = cmul(&mut b, x[4], x[5], w[2], w[3]);
+    let (t3r, t3i) = cmul(&mut b, x[6], x[7], w[4], w[5]);
+
+    // Radix-4 combine (W4 = -i).
+    let u0r = b.add(t0r, t2r);
+    let u0i = b.add(t0i, t2i);
+    let u1r = b.sub(t0r, t2r);
+    let u1i = b.sub(t0i, t2i);
+    let u2r = b.add(t1r, t3r);
+    let u2i = b.add(t1i, t3i);
+    let u3r = b.sub(t1r, t3r);
+    let u3i = b.sub(t1i, t3i);
+
+    let y0r = b.add(u0r, u2r);
+    let y0i = b.add(u0i, u2i);
+    let y2r = b.sub(u0r, u2r);
+    let y2i = b.sub(u0i, u2i);
+    // y1 = u1 - i*u3; y3 = u1 + i*u3.
+    let y1r = b.add(u1r, u3i);
+    let y1i = b.sub(u1i, u3r);
+    let y3r = b.sub(u1r, u3i);
+    let y3i = b.add(u1i, u3r);
+
+    let y = [y0r, y0i, y1r, y1i, y2r, y2i, y3r, y3i];
+    for (j, &v) in y.iter().enumerate() {
+        b.write(outs[j % ko as usize], v);
+    }
+
+    b.finish().expect("fft kernel is structurally valid")
+}
+
+/// Builds the radix-2 *exchange* butterfly stage: partners sit in different
+/// clusters (cluster ids differing in `bit`), so the butterfly's second
+/// operand arrives over the intercluster switch — the COMM-heavy FFT
+/// formulation the paper's Table 2 row reflects (40 comms per iteration).
+/// Used for stages whose span is smaller than the cluster count.
+///
+/// Record: `(x_re, x_im)` for this cluster's point plus `(w_re, w_im)`,
+/// the butterfly's twiddle (supplied identically to both partners).
+///
+/// # Panics
+///
+/// Panics unless `bit` is a power of two below the cluster count.
+pub fn exchange_kernel(machine: &Machine, bit: u32) -> Kernel {
+    let c = machine.clusters();
+    assert!(bit.is_power_of_two() && bit < c, "bit {bit} vs C={c}");
+    let mut b = KernelBuilder::new(format!("fft_exchange_b{bit}"));
+
+    let data = b.in_stream(Ty::F32);
+    let twid = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+
+    let xr = b.read(data);
+    let xi = b.read(data);
+    let wr = b.read(twid);
+    let wi = b.read(twid);
+
+    // Fetch the partner's point across the intercluster switch.
+    let cid = b.cluster_id();
+    let bitv = b.const_i(bit as i32);
+    let partner = b.xor(cid, bitv);
+    let or = b.comm(xr, partner);
+    let oi = b.comm(xi, partner);
+
+    // Upper half (bit clear) holds `a`; lower half holds `b`.
+    let masked = b.and(cid, bitv);
+    let zero = b.const_i(0);
+    let upper = b.eq(masked, zero);
+    let ar = b.select(upper, xr, or);
+    let ai = b.select(upper, xi, oi);
+    let br = b.select(upper, or, xr);
+    let bi = b.select(upper, oi, xi);
+
+    // t = w * b.
+    let rr = b.mul(wr, br);
+    let ii = b.mul(wi, bi);
+    let ri = b.mul(wr, bi);
+    let ir = b.mul(wi, br);
+    let tr = b.sub(rr, ii);
+    let ti = b.add(ri, ir);
+
+    // Upper emits a + t, lower emits a - t.
+    let sum_r = b.add(ar, tr);
+    let sum_i = b.add(ai, ti);
+    let dif_r = b.sub(ar, tr);
+    let dif_i = b.sub(ai, ti);
+    let yr = b.select(upper, sum_r, dif_r);
+    let yi = b.select(upper, sum_i, dif_i);
+    b.write(out, yr);
+    b.write(out, yi);
+
+    b.finish().expect("fft exchange kernel is structurally valid")
+}
+
+/// Reverses the low `log2(n)` bits of `i` (radix-2 input ordering).
+pub fn bit_reverse2(i: usize, n: usize) -> usize {
+    let bits = n.trailing_zeros();
+    let mut r = 0usize;
+    let mut x = i;
+    for _ in 0..bits {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    r
+}
+
+/// Builds the exchange-stage input streams over `points` for butterfly
+/// `span` (each cluster holds point `iter * C + cid`; partners differ in
+/// the `span` bit of the point index, so `span < C` is required for the
+/// partners to share an iteration).
+pub fn exchange_stage_streams(points: &[C32], span: usize) -> Vec<Vec<Scalar>> {
+    let n = points.len();
+    let mut data = Vec::with_capacity(2 * n);
+    let mut twid = Vec::with_capacity(2 * n);
+    for (p, &(re, im)) in points.iter().enumerate() {
+        data.push(re);
+        data.push(im);
+        // Twiddle of this point's butterfly: j = position within the
+        // half-group, W over n points.
+        let j = p % span;
+        let w = twiddle(j * (n / (2 * span)), n);
+        twid.push(w.0);
+        twid.push(w.1);
+    }
+    vec![words_f32(data), words_f32(twid)]
+}
+
+/// Scalar reference for one radix-2 exchange stage over `points`.
+pub fn apply_exchange_stage_reference(points: &mut [C32], span: usize) {
+    let n = points.len();
+    for p in 0..n {
+        if p & span == 0 {
+            let q = p + span;
+            let j = p % span;
+            let w = twiddle(j * (n / (2 * span)), n);
+            let a = points[p];
+            let t = cmul_ref(points[q], w);
+            points[p] = cadd(a, t);
+            points[q] = csub(a, t);
+        }
+    }
+}
+
+/// A complex sample.
+pub type C32 = (f32, f32);
+
+fn cmul_ref(a: C32, b: C32) -> C32 {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cadd(a: C32, b: C32) -> C32 {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn csub(a: C32, b: C32) -> C32 {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+fn twiddle(k: usize, n: usize) -> C32 {
+    let theta = -2.0 * PI * k as f32 / n as f32;
+    (theta.cos(), theta.sin())
+}
+
+/// Reverses the base-4 digits of `i` within `n = 4^m` points.
+pub fn digit_reverse4(i: usize, n: usize) -> usize {
+    let mut m = 0;
+    let mut nn = n;
+    while nn > 1 {
+        nn /= 4;
+        m += 1;
+    }
+    let mut r = 0usize;
+    let mut x = i;
+    for _ in 0..m {
+        r = r * 4 + (x & 3);
+        x >>= 2;
+    }
+    r
+}
+
+/// One stage's butterfly records: for each butterfly, the four point
+/// indices and the three twiddles. `span` is `4^stage`.
+#[derive(Debug, Clone)]
+pub struct StageLayout {
+    /// Point indices `(i0, i1, i2, i3)` per butterfly, in record order.
+    pub indices: Vec<[usize; 4]>,
+    /// Twiddle words (w1, w2, w3 interleaved re/im) per butterfly.
+    pub twiddles: Vec<[f32; 6]>,
+}
+
+/// Computes the butterfly layout of one radix-4 DIT stage over `n` points
+/// with butterfly `span` (1, 4, 16, ...).
+pub fn stage_layout(n: usize, span: usize) -> StageLayout {
+    let step = span * 4;
+    let mut indices = Vec::with_capacity(n / 4);
+    let mut twiddles = Vec::with_capacity(n / 4);
+    let mut group = 0;
+    while group < n {
+        for j in 0..span {
+            let i0 = group + j;
+            indices.push([i0, i0 + span, i0 + 2 * span, i0 + 3 * span]);
+            let base = j * (n / step);
+            let w1 = twiddle(base, n);
+            let w2 = twiddle(2 * base, n);
+            let w3 = twiddle(3 * base, n);
+            twiddles.push([w1.0, w1.1, w2.0, w2.1, w3.0, w3.1]);
+        }
+        group += step;
+    }
+    StageLayout { indices, twiddles }
+}
+
+/// Applies one stage to `points` using the scalar butterfly (reference
+/// semantics identical to the kernel).
+pub fn apply_stage_reference(points: &mut [C32], layout: &StageLayout) {
+    for (idx, tw) in layout.indices.iter().zip(&layout.twiddles) {
+        let x0 = points[idx[0]];
+        let t1 = cmul_ref(points[idx[1]], (tw[0], tw[1]));
+        let t2 = cmul_ref(points[idx[2]], (tw[2], tw[3]));
+        let t3 = cmul_ref(points[idx[3]], (tw[4], tw[5]));
+        let u0 = cadd(x0, t2);
+        let u1 = csub(x0, t2);
+        let u2 = cadd(t1, t3);
+        let u3 = csub(t1, t3);
+        points[idx[0]] = cadd(u0, u2);
+        points[idx[2]] = csub(u0, u2);
+        points[idx[1]] = (u1.0 + u3.1, u1.1 - u3.0);
+        points[idx[3]] = (u1.0 - u3.1, u1.1 + u3.0);
+    }
+}
+
+/// Full radix-4 FFT reference: digit-reverses the input, then applies all
+/// stages. `n` must be a power of four.
+pub fn fft_reference(input: &[C32]) -> Vec<C32> {
+    let n = input.len();
+    assert!(n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2), "n must be 4^m");
+    let mut x: Vec<C32> = (0..n).map(|i| input[digit_reverse4(i, n)]).collect();
+    let mut span = 1;
+    while span < n {
+        let layout = stage_layout(n, span);
+        apply_stage_reference(&mut x, &layout);
+        span *= 4;
+    }
+    x
+}
+
+/// Naive DFT, for verification.
+pub fn dft_reference(input: &[C32]) -> Vec<C32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0f32, 0f32);
+            for (j, &x) in input.iter().enumerate() {
+                let w = twiddle(k * j, n);
+                acc = cadd(acc, cmul_ref(x, w));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Builds the split input streams for one stage invocation over `points`
+/// (gathering each butterfly's four points) and returns them with the
+/// layout used.
+pub fn stage_streams(
+    points: &[C32],
+    span: usize,
+    machine: &Machine,
+) -> (Vec<Vec<Scalar>>, StageLayout) {
+    let layout = stage_layout(points.len(), span);
+    let mut data = Vec::with_capacity(layout.indices.len() * DATA_WIDTH as usize);
+    let mut twid = Vec::with_capacity(layout.indices.len() * TWIDDLE_WIDTH as usize);
+    for (idx, tw) in layout.indices.iter().zip(&layout.twiddles) {
+        for &i in idx {
+            data.push(points[i].0);
+            data.push(points[i].1);
+        }
+        twid.extend_from_slice(tw);
+    }
+    let [kd, kt, _] = splits(machine);
+    let mut streams = scatter_words(&words_f32(data), DATA_WIDTH, kd);
+    streams.extend(scatter_words(&words_f32(twid), TWIDDLE_WIDTH, kt));
+    (streams, layout)
+}
+
+/// Scatters a stage's kernel outputs back into the point array.
+pub fn scatter_stage_outputs(
+    outs: &[Vec<Scalar>],
+    layout: &StageLayout,
+    points: &mut [C32],
+    machine: &Machine,
+) {
+    let [_, _, ko] = splits(machine);
+    assert_eq!(outs.len(), ko as usize);
+    let flat = gather_words(outs, DATA_WIDTH);
+    for (r, idx) in layout.indices.iter().enumerate() {
+        for (q, &i) in idx.iter().enumerate() {
+            let re = flat[r * DATA_WIDTH as usize + 2 * q].as_f32().expect("f32");
+            let im = flat[r * DATA_WIDTH as usize + 2 * q + 1]
+                .as_f32()
+                .expect("f32");
+            points[i] = (re, im);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::XorShift32;
+    use stream_ir::{execute, ExecConfig};
+
+    fn sample(n: usize, seed: u32) -> Vec<C32> {
+        let mut rng = XorShift32(seed);
+        (0..n)
+            .map(|_| (rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0))
+            .collect()
+    }
+
+    fn assert_close(a: &[C32], b: &[C32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol,
+                "index {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_matches_dft() {
+        for n in [4usize, 16, 64] {
+            let input = sample(n, 7);
+            let fft = fft_reference(&input);
+            let dft = dft_reference(&input);
+            assert_close(&fft, &dft, 1e-2 * n as f32);
+        }
+    }
+
+    #[test]
+    fn kernel_stage_matches_reference_stage() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let n = 64;
+        let input = sample(n, 13);
+        // Digit-reversed order, first stage (span 1).
+        let mut pts: Vec<C32> = (0..n).map(|i| input[digit_reverse4(i, n)]).collect();
+        let (streams, layout) = stage_streams(&pts, 1, &machine);
+        let outs = execute(&k, &[], &streams, &ExecConfig::with_clusters(8)).unwrap();
+        let mut got = pts.clone();
+        scatter_stage_outputs(&outs, &layout, &mut got, &machine);
+        apply_stage_reference(&mut pts, &layout);
+        assert_close(&got, &pts, 1e-4);
+    }
+
+    #[test]
+    fn full_fft_through_kernel_matches_dft() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let n = 64;
+        let input = sample(n, 21);
+        let mut pts: Vec<C32> = (0..n).map(|i| input[digit_reverse4(i, n)]).collect();
+        let mut span = 1;
+        while span < n {
+            let (streams, layout) = stage_streams(&pts, span, &machine);
+            let outs = execute(&k, &[], &streams, &ExecConfig::with_clusters(8)).unwrap();
+            let mut next = pts.clone();
+            scatter_stage_outputs(&outs, &layout, &mut next, &machine);
+            pts = next;
+            span *= 4;
+        }
+        let dft = dft_reference(&input);
+        assert_close(&pts, &dft, 0.5);
+    }
+
+    #[test]
+    fn stats_are_in_the_expected_band() {
+        let s = kernel(&Machine::baseline()).stats();
+        assert_eq!(s.alu_ops, 34); // 3 cmuls (18) + 16 adds/subs
+        assert_eq!(s.srf_accesses, 22); // 8 + 6 reads, 8 writes
+        assert_eq!(s.comms, 0);
+        assert_eq!(s.sp_accesses, 0);
+    }
+
+
+    #[test]
+    fn exchange_stage_matches_reference() {
+        let machine = Machine::baseline();
+        let n = 8usize; // one point per cluster, C = 8
+        let mut pts = sample(n, 33);
+        for span in [1usize, 2, 4] {
+            let k = exchange_kernel(&machine, span as u32);
+            let streams = exchange_stage_streams(&pts, span);
+            let outs = execute(&k, &[], &streams, &ExecConfig::with_clusters(8)).unwrap();
+            let mut want = pts.clone();
+            apply_exchange_stage_reference(&mut want, span);
+            let flat = &outs[0];
+            for (i, w) in want.iter().enumerate() {
+                let gr = flat[2 * i].as_f32().unwrap();
+                let gi = flat[2 * i + 1].as_f32().unwrap();
+                assert!((gr - w.0).abs() < 1e-4 && (gi - w.1).abs() < 1e-4, "span {span} pt {i}");
+            }
+            pts = want;
+        }
+    }
+
+    #[test]
+    fn exchange_stages_compose_to_a_full_fft() {
+        // 8 points on 8 clusters: every stage is an exchange stage.
+        let machine = Machine::baseline();
+        let n = 8usize;
+        let input = sample(n, 41);
+        let mut pts: Vec<C32> = (0..n).map(|i| input[bit_reverse2(i, n)]).collect();
+        let mut span = 1usize;
+        while span < n {
+            let k = exchange_kernel(&machine, span as u32);
+            let streams = exchange_stage_streams(&pts, span);
+            let outs = execute(&k, &[], &streams, &ExecConfig::with_clusters(8)).unwrap();
+            for i in 0..n {
+                pts[i] = (
+                    outs[0][2 * i].as_f32().unwrap(),
+                    outs[0][2 * i + 1].as_f32().unwrap(),
+                );
+            }
+            span *= 2;
+        }
+        let want = dft_reference(&input);
+        for i in 0..n {
+            assert!(
+                (pts[i].0 - want[i].0).abs() < 1e-2 && (pts[i].1 - want[i].1).abs() < 1e-2,
+                "bin {i}: {:?} vs {:?}",
+                pts[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_kernel_is_comm_bound_structurally() {
+        let machine = Machine::baseline();
+        let k = exchange_kernel(&machine, 1);
+        let s = k.stats();
+        assert_eq!(s.comms, 2);
+        assert!(s.alu_ops >= 14 && s.alu_ops <= 24, "alu = {}", s.alu_ops);
+    }
+
+    #[test]
+    fn bit_reverse2_is_involution() {
+        for n in [8usize, 64, 1024] {
+            for i in 0..n {
+                assert_eq!(bit_reverse2(bit_reverse2(i, n), n), i);
+            }
+        }
+    }
+
+    #[test]
+    fn digit_reverse_is_involution() {
+        for n in [16usize, 64, 256, 1024] {
+            for i in 0..n {
+                assert_eq!(digit_reverse4(digit_reverse4(i, n), n), i);
+            }
+        }
+    }
+
+    #[test]
+    fn split_plan_fits_streambuffers() {
+        for n in [2u32, 5, 10, 14, 16] {
+            let m = Machine::paper(stream_vlsi::Shape::new(8, n));
+            let s = splits(&m);
+            assert!(s.iter().sum::<u32>() <= m.derived().cluster_sbs);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! The paper's media-processing kernel suite (Tables 2 and 4), written
+//! against the `stream-ir` KernelC-equivalent builder.
+//!
+//! Every kernel is a *real computation* with a scalar reference
+//! implementation verified bit-for-bit (integer kernels) or to float
+//! tolerance: [`blocksad`] (stereo SAD with intercluster neighbor
+//! exchange), [`convolve`] (separable 7x7 filter plus Laplacian),
+//! [`update`] (Householder block update with a butterfly all-reduce),
+//! [`fft`] (radix-4 DIT butterfly stage), [`noise`] (Perlin marble
+//! shader), and [`irast`] (span rasterization through conditional
+//! streams).
+//!
+//! Kernels are built *per machine*, mirroring the paper's per-configuration
+//! recompilation: COMM index arithmetic depends on the cluster count, and
+//! wide records are split across the available streambuffers (module
+//! [`split`]) exactly as the paper's hand optimization did.
+//!
+//! # Examples
+//!
+//! ```
+//! use stream_kernels::KernelId;
+//! use stream_machine::Machine;
+//!
+//! let machine = Machine::baseline();
+//! for id in KernelId::ALL {
+//!     let kernel = id.build(&machine);
+//!     let stats = kernel.stats(); // a Table 2 row
+//!     assert!(stats.alu_ops > 0);
+//! }
+//! ```
+
+// Kernel construction mirrors the mathematics (basis[k][j], cluster c):
+// index loops are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod blocksad;
+pub mod convolve;
+pub mod dct;
+pub mod fft;
+pub mod irast;
+pub mod noise;
+pub mod split;
+pub mod update;
+pub mod util;
+
+mod suite;
+
+pub use suite::KernelId;

@@ -1,0 +1,286 @@
+//! Noise: two-octave Perlin gradient noise driving a procedural marble
+//! shader (Table 4) — the perfectly data-parallel kernel whose intercluster
+//! speedup is linear in the paper's Figure 14.
+//!
+//! Per sample and octave: integer lattice hashing (wrapping integer
+//! arithmetic), gradient lookup from a scratchpad table, quintic fade, and
+//! bilinear gradient interpolation; the octaves combine into a
+//! triangle-wave marble stripe.
+
+use crate::util::{words_f32, XorShift32};
+use stream_ir::{Kernel, KernelBuilder, Ty, ValueId};
+use stream_machine::Machine;
+
+/// Number of gradients in the scratchpad table.
+pub const GRADIENTS: usize = 8;
+/// Marble stripe frequency (the `x` coefficient added to the noise).
+pub const STRIPE: f32 = 0.15;
+/// Noise amplitude in the marble argument.
+pub const AMP: f32 = 1.5;
+/// Second-octave weight.
+pub const OCTAVE2: f32 = 0.5;
+/// Second-octave coordinate transform: `p2 = 2p + offset`.
+pub const OCT2_OFFSET: (f32, f32) = (17.0, 31.0);
+
+/// The gradient table, as interleaved `(gx, gy)` scratchpad words.
+pub fn gradient_table() -> Vec<f32> {
+    const D: f32 = std::f32::consts::FRAC_1_SQRT_2;
+    let dirs: [(f32, f32); GRADIENTS] = [
+        (1.0, 0.0),
+        (D, D),
+        (0.0, 1.0),
+        (-D, D),
+        (-1.0, 0.0),
+        (-D, -D),
+        (0.0, -1.0),
+        (D, -D),
+    ];
+    dirs.iter().flat_map(|&(x, y)| [x, y]).collect()
+}
+
+/// Scratchpad initialization words for [`kernel`].
+pub fn sp_init() -> Vec<stream_ir::Scalar> {
+    words_f32(gradient_table())
+}
+
+const HASH_MUL_1: i32 = 0x27d4_eb2fu32 as i32;
+const HASH_MUL_2: i32 = 0x85eb_ca6bu32 as i32;
+
+/// Emits one octave of Perlin noise at `(x, y)`.
+fn emit_perlin(b: &mut KernelBuilder, x: ValueId, y: ValueId) -> ValueId {
+    let xf = b.floor(x);
+    let yf = b.floor(y);
+    let xi = b.ftoi(xf);
+    let yi = b.ftoi(yf);
+    let fx = b.sub(x, xf);
+    let fy = b.sub(y, yf);
+    let one = b.const_f(1.0);
+    let fxm1 = b.sub(fx, one);
+    let fym1 = b.sub(fy, one);
+
+    let m1 = b.const_i(HASH_MUL_1);
+    let m2 = b.const_i(HASH_MUL_2);
+    let fifteen = b.const_i(15);
+    let gmask = b.const_i(GRADIENTS as i32 - 1);
+
+    let corner_dot = |b: &mut KernelBuilder, dx: i32, dy: i32| -> ValueId {
+        let cx = if dx == 0 {
+            xi
+        } else {
+            let d = b.const_i(dx);
+            b.add(xi, d)
+        };
+        let cy = if dy == 0 {
+            yi
+        } else {
+            let d = b.const_i(dy);
+            b.add(yi, d)
+        };
+        let hx = b.mul(cx, m1);
+        let hy = b.mul(cy, m2);
+        let h0 = b.xor(hx, hy);
+        let h1 = b.shr(h0, fifteen);
+        let h2 = b.xor(h0, h1);
+        let g = b.and(h2, gmask);
+        let two = b.const_i(2);
+        let base = b.mul(g, two);
+        let one_i = b.const_i(1);
+        let base1 = b.add(base, one_i);
+        let gx = b.sp_read(base, Ty::F32);
+        let gy = b.sp_read(base1, Ty::F32);
+        let px = if dx == 0 { fx } else { fxm1 };
+        let py = if dy == 0 { fy } else { fym1 };
+        let tx = b.mul(gx, px);
+        let ty = b.mul(gy, py);
+        b.add(tx, ty)
+    };
+
+    let d00 = corner_dot(b, 0, 0);
+    let d10 = corner_dot(b, 1, 0);
+    let d01 = corner_dot(b, 0, 1);
+    let d11 = corner_dot(b, 1, 1);
+
+    // Quintic fade: t^3 (t (6t - 15) + 10).
+    let fade = |b: &mut KernelBuilder, t: ValueId| -> ValueId {
+        let six = b.const_f(6.0);
+        let fifteen_f = b.const_f(15.0);
+        let ten = b.const_f(10.0);
+        let t6 = b.mul(t, six);
+        let t6m15 = b.sub(t6, fifteen_f);
+        let inner = b.mul(t, t6m15);
+        let poly = b.add(inner, ten);
+        let t2 = b.mul(t, t);
+        let t3 = b.mul(t2, t);
+        b.mul(t3, poly)
+    };
+    let u = fade(b, fx);
+    let v = fade(b, fy);
+
+    let lerp = |b: &mut KernelBuilder, a: ValueId, c: ValueId, t: ValueId| -> ValueId {
+        let d = b.sub(c, a);
+        let td = b.mul(t, d);
+        b.add(a, td)
+    };
+    let nx0 = lerp(b, d00, d10, u);
+    let nx1 = lerp(b, d01, d11, u);
+    lerp(b, nx0, nx1, v)
+}
+
+/// Builds the Noise kernel. The structure is machine-independent (no COMM);
+/// `machine` is accepted for interface uniformity with the other kernels.
+pub fn kernel(_machine: &Machine) -> Kernel {
+    let mut b = KernelBuilder::new("noise");
+    b.require_sp(2 * GRADIENTS as u32);
+
+    let xs = b.in_stream(Ty::F32);
+    let ys = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+
+    let x = b.read(xs);
+    let y = b.read(ys);
+
+    // Octave 1 at the sample point; octave 2 at 2p + offset.
+    let n1 = emit_perlin(&mut b, x, y);
+    let two_f = b.const_f(2.0);
+    let offx = b.const_f(OCT2_OFFSET.0);
+    let offy = b.const_f(OCT2_OFFSET.1);
+    let x2a = b.mul(x, two_f);
+    let x2 = b.add(x2a, offx);
+    let y2a = b.mul(y, two_f);
+    let y2 = b.add(y2a, offy);
+    let n2 = emit_perlin(&mut b, x2, y2);
+    let w2 = b.const_f(OCTAVE2);
+    let n2w = b.mul(n2, w2);
+    let noise = b.add(n1, n2w);
+
+    // Marble: triangle wave of (stripe * x + amp * noise).
+    let stripe = b.const_f(STRIPE);
+    let amp = b.const_f(AMP);
+    let sx = b.mul(stripe, x);
+    let an = b.mul(amp, noise);
+    let m = b.add(sx, an);
+    let mf = b.floor(m);
+    let frac = b.sub(m, mf);
+    let fr2 = b.mul(frac, two_f);
+    let one = b.const_f(1.0);
+    let fr2m1 = b.sub(fr2, one);
+    let tri = b.abs(fr2m1);
+    b.write(out, tri);
+
+    b.finish().expect("noise kernel is structurally valid")
+}
+
+fn perlin_ref(x: f32, y: f32, grads: &[f32]) -> f32 {
+    let corner = |xi: i32, yi: i32, px: f32, py: f32| -> f32 {
+        let hx = xi.wrapping_mul(HASH_MUL_1);
+        let hy = yi.wrapping_mul(HASH_MUL_2);
+        let h0 = hx ^ hy;
+        let h = h0 ^ (h0 >> 15);
+        let g = (h & (GRADIENTS as i32 - 1)) as usize;
+        grads[2 * g] * px + grads[2 * g + 1] * py
+    };
+    let fade = |t: f32| t * t * t * (t * (6.0 * t - 15.0) + 10.0);
+    let lerp = |a: f32, b: f32, t: f32| a + t * (b - a);
+    let (xf, yf) = (x.floor(), y.floor());
+    let (xi, yi) = (xf as i32, yf as i32);
+    let (fx, fy) = (x - xf, y - yf);
+    let d00 = corner(xi, yi, fx, fy);
+    let d10 = corner(xi.wrapping_add(1), yi, fx - 1.0, fy);
+    let d01 = corner(xi, yi.wrapping_add(1), fx, fy - 1.0);
+    let d11 = corner(xi.wrapping_add(1), yi.wrapping_add(1), fx - 1.0, fy - 1.0);
+    let (u, v) = (fade(fx), fade(fy));
+    lerp(lerp(d00, d10, u), lerp(d01, d11, u), v)
+}
+
+/// Scalar reference computing exactly what [`kernel`] computes.
+pub fn reference(xs: &[f32], ys: &[f32]) -> Vec<f32> {
+    let grads = gradient_table();
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let n1 = perlin_ref(x, y, &grads);
+            let n2 = perlin_ref(x * 2.0 + OCT2_OFFSET.0, y * 2.0 + OCT2_OFFSET.1, &grads);
+            let noise = n1 + OCTAVE2 * n2;
+            let m = STRIPE * x + AMP * noise;
+            let frac = m - m.floor();
+            (2.0 * frac - 1.0).abs()
+        })
+        .collect()
+}
+
+/// Deterministic sample coordinates.
+pub fn sample_coords(count: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32(seed);
+    let xs = (0..count).map(|_| rng.next_f32() * 64.0).collect();
+    let ys = (0..count).map(|_| rng.next_f32() * 64.0).collect();
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_f32;
+    use stream_ir::{execute_with, ExecConfig, ExecOptions};
+
+    fn run(xs: &[f32], ys: &[f32], clusters: usize) -> Vec<f32> {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let sp = sp_init();
+        let opts = ExecOptions {
+            params: &[],
+            sp_init: Some(&sp),
+            iterations: None,
+        };
+        let outs = execute_with(
+            &k,
+            &opts,
+            &[words_f32(xs.to_vec()), words_f32(ys.to_vec())],
+            &ExecConfig::with_clusters(clusters),
+        )
+        .unwrap();
+        to_f32(&outs[0])
+    }
+
+    #[test]
+    fn matches_reference() {
+        let (xs, ys) = sample_coords(64, 17);
+        let got = run(&xs, &ys, 8);
+        let want = reference(&xs, &ys);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-3, "index {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn output_is_in_unit_range() {
+        let (xs, ys) = sample_coords(128, 23);
+        for v in run(&xs, &ys, 8) {
+            assert!((0.0..=1.0).contains(&v), "marble value {v}");
+        }
+    }
+
+    #[test]
+    fn noise_varies() {
+        let (xs, ys) = sample_coords(64, 29);
+        let vals = run(&xs, &ys, 8);
+        let min = vals.iter().cloned().fold(f32::MAX, f32::min);
+        let max = vals.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max - min > 0.2, "marble should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn stats_are_in_the_expected_band() {
+        let s = kernel(&Machine::baseline()).stats();
+        // Two octaves of Perlin: ALU-heavy, scratchpad gradient lookups.
+        assert!(s.alu_ops >= 120 && s.alu_ops <= 190, "alu = {}", s.alu_ops);
+        assert_eq!(s.srf_accesses, 3);
+        assert_eq!(s.comms, 0);
+        assert_eq!(s.sp_accesses, 16);
+    }
+
+    #[test]
+    fn deterministic_across_cluster_counts() {
+        let (xs, ys) = sample_coords(32, 31);
+        assert_eq!(run(&xs, &ys, 4), run(&xs, &ys, 16));
+    }
+}

@@ -1,0 +1,156 @@
+//! Record splitting across streambuffers.
+//!
+//! Each streambuffer delivers one word per cycle, so a kernel reading a
+//! `W`-word record from a single stream serializes `W` pops per iteration.
+//! The paper's kernels split wide records across multiple streams by hand
+//! (Section 3.1.1, footnote: "splitting multi-word-record streams into
+//! multiple streams was done by hand to optimize performance"). This module
+//! automates that: a [`split_plan`] distributes the cluster's streambuffers
+//! across a kernel's logical streams to minimize the longest per-stream pop
+//! chain, and [`scatter_words`]/[`gather_words`] convert between the logical
+//! record layout and the split stream layout.
+
+use stream_ir::Scalar;
+
+/// Given the logical record widths of a kernel's streams (inputs and
+/// outputs together) and the number of cluster streambuffers available,
+/// returns how many physical streams to give each logical stream.
+///
+/// Every logical stream gets at least one; remaining buffers go wherever the
+/// per-iteration pop chain is longest.
+///
+/// # Panics
+///
+/// Panics if `budget < widths.len()` (each logical stream needs a
+/// streambuffer) or any width is zero.
+pub fn split_plan(widths: &[u32], budget: u32) -> Vec<u32> {
+    assert!(
+        budget as usize >= widths.len(),
+        "need at least one streambuffer per logical stream ({} > {budget})",
+        widths.len()
+    );
+    assert!(widths.iter().all(|&w| w > 0), "stream widths must be positive");
+    let mut splits = vec![1u32; widths.len()];
+    let mut spare = budget - widths.len() as u32;
+    while spare > 0 {
+        let chain = |i: usize| widths[i].div_ceil(splits[i]);
+        let Some(worst) = (0..widths.len())
+            .filter(|&i| chain(i) > 1)
+            .max_by_key(|&i| chain(i))
+        else {
+            break; // every chain is already one pop long
+        };
+        splits[worst] += 1;
+        spare -= 1;
+    }
+    splits
+}
+
+/// The longest per-iteration pop chain a plan leaves (the streambuffer
+/// contribution to the initiation interval).
+pub fn max_chain(widths: &[u32], splits: &[u32]) -> u32 {
+    widths
+        .iter()
+        .zip(splits)
+        .map(|(&w, &k)| w.div_ceil(k))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Scatters a flat logical stream (records of `width` words) into `k`
+/// physical streams: word `j` of each record goes to stream `j % k`.
+pub fn scatter_words(words: &[Scalar], width: u32, k: u32) -> Vec<Vec<Scalar>> {
+    let (width, k) = (width as usize, k as usize);
+    assert!(width > 0 && k > 0);
+    assert_eq!(words.len() % width, 0, "ragged logical stream");
+    let mut out = vec![Vec::with_capacity(words.len() / k + 1); k];
+    for record in words.chunks(width) {
+        for (j, &w) in record.iter().enumerate() {
+            out[j % k].push(w);
+        }
+    }
+    out
+}
+
+/// Gathers `k` physical streams back into flat records of `width` words —
+/// the inverse of [`scatter_words`].
+///
+/// # Panics
+///
+/// Panics if the physical streams are inconsistent with `width`.
+pub fn gather_words(streams: &[Vec<Scalar>], width: u32) -> Vec<Scalar> {
+    let width = width as usize;
+    let k = streams.len();
+    assert!(k > 0);
+    let records: usize = streams.iter().map(Vec::len).sum::<usize>() / width;
+    let mut cursors = vec![0usize; k];
+    let mut out = Vec::with_capacity(records * width);
+    for _ in 0..records {
+        for j in 0..width {
+            let s = j % k;
+            out.push(streams[s][cursors[s]]);
+            cursors[s] += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::words_i32;
+
+    #[test]
+    fn plan_gives_everyone_one() {
+        let p = split_plan(&[1, 1, 1], 7);
+        assert_eq!(p, vec![1, 1, 1]); // chains already 1, spare unused
+    }
+
+    #[test]
+    fn plan_attacks_longest_chain() {
+        // widths 8 and 2 with 5 buffers: 8 -> 4 buffers (chain 2),
+        // 2 -> 1 buffer (chain 2).
+        let p = split_plan(&[8, 2], 5);
+        assert_eq!(p.iter().sum::<u32>(), 5);
+        assert!(max_chain(&[8, 2], &p) <= 2);
+    }
+
+    #[test]
+    fn plan_respects_budget() {
+        let widths = [8, 6, 8];
+        for budget in 3..=16 {
+            let p = split_plan(&widths, budget);
+            assert!(p.iter().sum::<u32>() <= budget);
+            assert!(p.iter().all(|&k| k >= 1));
+        }
+        // More budget never hurts the chain.
+        let c7 = max_chain(&widths, &split_plan(&widths, 7));
+        let c10 = max_chain(&widths, &split_plan(&widths, 10));
+        assert!(c10 <= c7);
+    }
+
+    #[test]
+    #[should_panic(expected = "streambuffer per logical stream")]
+    fn plan_rejects_starved_budget() {
+        let _ = split_plan(&[1, 1, 1], 2);
+    }
+
+    #[test]
+    fn scatter_gather_round_trips() {
+        let words = words_i32(0..24); // 4 records of width 6
+        for k in 1..=6 {
+            let streams = scatter_words(&words, 6, k);
+            assert_eq!(streams.len(), k as usize);
+            let back = gather_words(&streams, 6);
+            assert_eq!(back, words, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn scatter_layout_is_round_robin() {
+        let words = words_i32(0..8); // 2 records of width 4
+        let streams = scatter_words(&words, 4, 2);
+        assert_eq!(crate::util::to_i32(&streams[0]), vec![0, 2, 4, 6]);
+        assert_eq!(crate::util::to_i32(&streams[1]), vec![1, 3, 5, 7]);
+    }
+}

@@ -1,0 +1,130 @@
+//! The six-kernel suite of Tables 2 and 4, behind one enumeration so the
+//! figure generators can sweep it.
+
+use crate::{blocksad, convolve, fft, irast, noise, update};
+use std::fmt;
+use stream_ir::Kernel;
+use stream_machine::Machine;
+
+/// The paper's kernel suite (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelId {
+    /// Sum-of-absolute-differences (image processing, 16-bit).
+    Blocksad,
+    /// Separable convolution filter (image processing, 16-bit).
+    Convolve,
+    /// QRD matrix block update (floating point).
+    Update,
+    /// Radix-4 FFT butterfly stage (floating point).
+    Fft,
+    /// Perlin noise for a procedural marble shader (floating point).
+    Noise,
+    /// Triangle/span rasterizer (16-bit, conditional streams).
+    Irast,
+}
+
+impl KernelId {
+    /// All six kernels in Table 2/4 order.
+    pub const ALL: [KernelId; 6] = [
+        KernelId::Blocksad,
+        KernelId::Convolve,
+        KernelId::Update,
+        KernelId::Fft,
+        KernelId::Noise,
+        KernelId::Irast,
+    ];
+
+    /// The kernel's display name, as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelId::Blocksad => "Blocksad",
+            KernelId::Convolve => "Convolve",
+            KernelId::Update => "Update",
+            KernelId::Fft => "FFT",
+            KernelId::Noise => "Noise",
+            KernelId::Irast => "Irast",
+        }
+    }
+
+    /// The Table 4 description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            KernelId::Blocksad => "sum-of-absolute-differences kernel for image processing",
+            KernelId::Convolve => "convolution filter for image processing",
+            KernelId::Update => "matrix block update for QRD",
+            KernelId::Fft => "radix-4 fast Fourier transform",
+            KernelId::Noise => "Perlin noise function used in procedural marble shader",
+            KernelId::Irast => "triangle rasterizer",
+        }
+    }
+
+    /// Builds this kernel for `machine` (kernels are recompiled per
+    /// configuration: COMM index arithmetic and stream splitting depend on
+    /// the machine).
+    pub fn build(&self, machine: &Machine) -> Kernel {
+        match self {
+            KernelId::Blocksad => blocksad::kernel(machine),
+            KernelId::Convolve => convolve::kernel(machine),
+            KernelId::Update => update::kernel(machine),
+            KernelId::Fft => fft::kernel(machine),
+            KernelId::Noise => noise::kernel(machine),
+            KernelId::Irast => irast::kernel(machine),
+        }
+    }
+
+    /// The paper's Table 2 row `(alu_ops, srf, comm, sp)` for comparison,
+    /// when the kernel appears there.
+    pub fn paper_table2(&self) -> Option<(u32, u32, u32, u32)> {
+        match self {
+            KernelId::Blocksad => Some((59, 28, 10, 4)),
+            KernelId::Convolve => Some((133, 14, 5, 2)),
+            KernelId::Update => Some((61, 4, 16, 32)),
+            KernelId::Fft => Some((145, 64, 40, 72)),
+            // DCT appears in the paper's Table 2 instead of Noise/Irast.
+            KernelId::Noise | KernelId::Irast => None,
+        }
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build_on_all_paper_machines() {
+        for &c in &[8u32, 16, 32, 64, 128] {
+            for &n in &[2u32, 5, 10, 14] {
+                let m = Machine::paper(stream_vlsi::Shape::new(c, n));
+                for id in KernelId::ALL {
+                    let k = id.build(&m);
+                    assert!(
+                        k.stats().alu_ops > 0,
+                        "{id} on C={c} N={n} has no ALU work"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = KernelId::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Blocksad", "Convolve", "Update", "FFT", "Noise", "Irast"]
+        );
+    }
+
+    #[test]
+    fn table2_rows_exist_for_measured_kernels() {
+        assert!(KernelId::Blocksad.paper_table2().is_some());
+        assert!(KernelId::Fft.paper_table2().is_some());
+        assert!(KernelId::Noise.paper_table2().is_none());
+    }
+}

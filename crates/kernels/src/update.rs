@@ -1,0 +1,252 @@
+//! Update: the QRD matrix block-update kernel (Table 4, floating point).
+//!
+//! One Householder update step `a <- a - tau * scale_j * (v^T a) * v`
+//! applied to one matrix column per SIMD iteration. Columns span all `C`
+//! clusters (each cluster holds an 8-row segment), so the inner product
+//! `v^T a` is completed with a butterfly all-reduce over the intercluster
+//! switch — the paper's Update kernel is likewise dominated by intercluster
+//! communication. A per-column scale table lives in the scratchpad.
+
+use crate::split::{gather_words, scatter_words, split_plan};
+use crate::util::{xor_cluster, XorShift32};
+use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
+use stream_machine::Machine;
+
+/// Rows of a column segment held by one cluster.
+pub const SEG: usize = 8;
+/// Entries in the scratchpad scale table.
+pub const SCALE_TABLE: usize = 16;
+
+/// Streambuffer split plan `(a_in, v_in, a_out)` for `machine`.
+pub fn splits(machine: &Machine) -> [u32; 3] {
+    let widths = [SEG as u32, SEG as u32, SEG as u32];
+    let plan = split_plan(&widths, machine.derived().cluster_sbs);
+    [plan[0], plan[1], plan[2]]
+}
+
+/// Builds the Update kernel for `machine`.
+pub fn kernel(machine: &Machine) -> Kernel {
+    let c = machine.clusters();
+    let [ka, kv, ko] = splits(machine);
+    let mut b = KernelBuilder::new("update");
+    b.require_sp(SCALE_TABLE as u32);
+
+    let a_streams: Vec<_> = (0..ka).map(|_| b.in_stream(Ty::F32)).collect();
+    let v_streams: Vec<_> = (0..kv).map(|_| b.in_stream(Ty::F32)).collect();
+    let out_streams: Vec<_> = (0..ko).map(|_| b.out_stream(Ty::F32)).collect();
+    let tau = b.param(Ty::F32);
+
+    // Read the column and Householder segments (round-robin across splits).
+    let a: Vec<ValueId> = (0..SEG)
+        .map(|j| b.read(a_streams[j % ka as usize]))
+        .collect();
+    let v: Vec<ValueId> = (0..SEG)
+        .map(|j| b.read(v_streams[j % kv as usize]))
+        .collect();
+
+    // Partial inner product over this cluster's rows.
+    let mut dot = b.mul(a[0], v[0]);
+    for j in 1..SEG {
+        let t = b.mul(a[j], v[j]);
+        dot = b.add(dot, t);
+    }
+
+    // Butterfly all-reduce across clusters.
+    let cid = b.cluster_id();
+    let mut bit = 1i32;
+    while (bit as u32) < c {
+        let partner = xor_cluster(&mut b, cid, bit);
+        let other = b.comm(dot, partner);
+        dot = b.add(dot, other);
+        bit <<= 1;
+    }
+
+    // Per-column pivot scale from the scratchpad table.
+    let iter = b.iter_index();
+    let mask = b.const_i(SCALE_TABLE as i32 - 1);
+    let addr = b.and(iter, mask);
+    let scale = b.sp_read(addr, Ty::F32);
+
+    let ts = b.mul(tau, scale);
+    let s = b.mul(ts, dot);
+
+    // a' = a - s * v.
+    for j in 0..SEG {
+        let sv = b.mul(s, v[j]);
+        let o = b.sub(a[j], sv);
+        b.write(out_streams[j % ko as usize], o);
+    }
+
+    b.finish().expect("update kernel is structurally valid")
+}
+
+/// Scatters logical column data (`SEG * C` rows per column, column-major)
+/// into the kernel's split input streams. `a` and `v` are flat logical
+/// streams of `SEG`-word records.
+pub fn input_streams(a: &[Scalar], v: &[Scalar], machine: &Machine) -> Vec<Vec<Scalar>> {
+    let [ka, kv, _] = splits(machine);
+    let mut streams = scatter_words(a, SEG as u32, ka);
+    streams.extend(scatter_words(v, SEG as u32, kv));
+    streams
+}
+
+/// Gathers the kernel's split outputs back into a flat logical stream.
+pub fn gather_output(outs: &[Vec<Scalar>], machine: &Machine) -> Vec<Scalar> {
+    let [_, _, ko] = splits(machine);
+    assert_eq!(outs.len(), ko as usize);
+    gather_words(outs, SEG as u32)
+}
+
+/// Scalar reference: applies the update to `columns` columns of height
+/// `SEG * clusters`, with per-column scales cycling through `scale_table`.
+pub fn reference(
+    a: &[f32],
+    v: &[f32],
+    tau: f32,
+    scale_table: &[f32],
+    clusters: usize,
+    columns: usize,
+) -> Vec<f32> {
+    let height = SEG * clusters;
+    assert_eq!(a.len(), height * columns);
+    assert_eq!(v.len(), height * columns);
+    let mut out = vec![0f32; a.len()];
+    for j in 0..columns {
+        let col = &a[j * height..(j + 1) * height];
+        let vcol = &v[j * height..(j + 1) * height];
+        // Match the kernel's reduction order: per-cluster partial dots in
+        // row order, then a butterfly sum. Since f32 addition is not
+        // associative, reproduce the butterfly exactly.
+        let mut partial: Vec<f32> = (0..clusters)
+            .map(|c| {
+                let base = c * SEG;
+                let mut d = col[base] * vcol[base];
+                for r in 1..SEG {
+                    d += col[base + r] * vcol[base + r];
+                }
+                d
+            })
+            .collect();
+        let mut bit = 1usize;
+        while bit < clusters {
+            let snapshot = partial.clone();
+            for (c, p) in partial.iter_mut().enumerate() {
+                *p = snapshot[c] + snapshot[c ^ bit];
+            }
+            bit <<= 1;
+        }
+        for c in 0..clusters {
+            let s = tau * scale_table[j % scale_table.len()] * partial[c];
+            for r in 0..SEG {
+                let i = j * height + c * SEG + r;
+                out[i] = a[i] - s * v[i];
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic sample data: `(a, v, tau, scale_table)` for `columns`
+/// columns on a `clusters`-wide machine.
+pub fn sample_inputs(
+    columns: usize,
+    clusters: usize,
+    seed: u32,
+) -> (Vec<f32>, Vec<f32>, f32, Vec<f32>) {
+    let mut rng = XorShift32(seed);
+    let n = SEG * clusters * columns;
+    let a: Vec<f32> = (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+    let v: Vec<f32> = (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+    let scale: Vec<f32> = (0..SCALE_TABLE).map(|_| 0.5 + rng.next_f32()).collect();
+    (a, v, 0.75, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_f32;
+    use crate::util::words_f32;
+    use stream_ir::{execute_with, ExecConfig, ExecOptions};
+
+    fn run(clusters: u32, columns: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+        let machine = Machine::paper(stream_vlsi::Shape::new(clusters, 5));
+        let k = kernel(&machine);
+        let (a, v, tau, scale) = sample_inputs(columns, clusters as usize, seed);
+        let inputs = input_streams(&words_f32(a.clone()), &words_f32(v.clone()), &machine);
+        let sp: Vec<Scalar> = words_f32(scale.clone());
+        let opts = ExecOptions {
+            params: &[Scalar::F32(tau)],
+            sp_init: Some(&sp),
+            iterations: None,
+        };
+        let outs = execute_with(&k, &opts, &inputs, &ExecConfig::with_clusters(clusters as usize))
+            .unwrap();
+        let [_, _, ko] = splits(&machine);
+        let got = to_f32(&gather_output(&outs[..ko as usize], &machine));
+        let want = reference(&a, &v, tau, &scale, clusters as usize, columns);
+        (got, want)
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                "index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_c8() {
+        let (got, want) = run(8, 16, 3);
+        assert_close(&got, &want);
+    }
+
+    #[test]
+    fn matches_reference_c16() {
+        let (got, want) = run(16, 8, 5);
+        assert_close(&got, &want);
+    }
+
+    #[test]
+    fn zero_tau_is_identity() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let (a, v, _, scale) = sample_inputs(4, 8, 9);
+        let inputs = input_streams(&words_f32(a.clone()), &words_f32(v), &machine);
+        let sp = words_f32(scale);
+        let opts = ExecOptions {
+            params: &[Scalar::F32(0.0)],
+            sp_init: Some(&sp),
+            iterations: None,
+        };
+        let outs = execute_with(&k, &opts, &inputs, &ExecConfig::with_clusters(8)).unwrap();
+        let [_, _, ko] = splits(&machine);
+        let got = to_f32(&gather_output(&outs[..ko as usize], &machine));
+        assert_close(&got, &a);
+    }
+
+    #[test]
+    fn comm_count_grows_with_clusters() {
+        let k8 = kernel(&Machine::paper(stream_vlsi::Shape::new(8, 5)));
+        let k128 = kernel(&Machine::paper(stream_vlsi::Shape::new(128, 5)));
+        assert_eq!(k8.stats().comms, 3); // log2(8)
+        assert_eq!(k128.stats().comms, 7); // log2(128)
+    }
+
+    #[test]
+    fn stats_are_in_the_expected_band() {
+        let s = kernel(&Machine::baseline()).stats();
+        assert!(s.alu_ops >= 30 && s.alu_ops <= 55, "alu = {}", s.alu_ops);
+        assert_eq!(s.sp_accesses, 1);
+        assert_eq!(s.srf_accesses, 24); // 8 + 8 reads, 8 writes
+    }
+
+    #[test]
+    fn split_plan_uses_available_sbs() {
+        let machine = Machine::baseline(); // 7 cluster SBs
+        let s = splits(&machine);
+        assert_eq!(s.iter().sum::<u32>(), 7);
+    }
+}

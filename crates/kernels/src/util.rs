@@ -1,0 +1,124 @@
+//! Shared helpers for kernel construction and test data.
+
+use stream_ir::{KernelBuilder, Scalar, ValueId};
+
+/// Emits `(base + delta) mod c` for a power-of-two cluster count `c`, the
+/// index arithmetic every neighbor-exchange kernel needs.
+///
+/// # Panics
+///
+/// Panics if `c` is not a power of two (the paper's machines are 8..256).
+pub fn wrap_cluster(b: &mut KernelBuilder, base: ValueId, delta: i32, c: u32) -> ValueId {
+    assert!(c.is_power_of_two(), "cluster counts are powers of two");
+    let d = b.const_i(delta.rem_euclid(c as i32));
+    let sum = b.add(base, d);
+    let mask = b.const_i(c as i32 - 1);
+    b.and(sum, mask)
+}
+
+/// Emits `base ^ bit` (butterfly partner index).
+pub fn xor_cluster(b: &mut KernelBuilder, base: ValueId, bit: i32) -> ValueId {
+    let x = b.const_i(bit);
+    b.xor(base, x)
+}
+
+/// Wraps `i32` samples as IR scalars.
+pub fn words_i32(values: impl IntoIterator<Item = i32>) -> Vec<Scalar> {
+    values.into_iter().map(Scalar::I32).collect()
+}
+
+/// Wraps `f32` samples as IR scalars.
+pub fn words_f32(values: impl IntoIterator<Item = f32>) -> Vec<Scalar> {
+    values.into_iter().map(Scalar::F32).collect()
+}
+
+/// Unwraps i32 outputs (panics on type confusion — tests only).
+pub fn to_i32(words: &[Scalar]) -> Vec<i32> {
+    words
+        .iter()
+        .map(|w| w.as_i32().expect("i32 stream"))
+        .collect()
+}
+
+/// Unwraps f32 outputs (panics on type confusion — tests only).
+pub fn to_f32(words: &[Scalar]) -> Vec<f32> {
+    words
+        .iter()
+        .map(|w| w.as_f32().expect("f32 stream"))
+        .collect()
+}
+
+/// A tiny deterministic PRNG (xorshift32) so kernels and references see the
+/// same data without pulling `rand` into the library's public surface.
+#[derive(Debug, Clone)]
+pub struct XorShift32(pub u32);
+
+impl XorShift32 {
+    /// Next raw value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform integer in `0..bound`.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound.max(1)
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1 << 24) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_ir::{execute, ExecConfig, Ty};
+
+    #[test]
+    fn wrap_cluster_wraps() {
+        let mut b = KernelBuilder::new("wrap");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let _x = b.read(s);
+        let cid = b.cluster_id();
+        let left = wrap_cluster(&mut b, cid, -1, 4);
+        b.write(out, left);
+        let k = b.finish().unwrap();
+        let outs = execute(&k, &[], &[words_i32(0..4)], &ExecConfig::with_clusters(4)).unwrap();
+        assert_eq!(to_i32(&outs[0]), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn xor_cluster_is_butterfly() {
+        let mut b = KernelBuilder::new("xor");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let _x = b.read(s);
+        let cid = b.cluster_id();
+        let p = xor_cluster(&mut b, cid, 2);
+        b.write(out, p);
+        let k = b.finish().unwrap();
+        let outs = execute(&k, &[], &[words_i32(0..4)], &ExecConfig::with_clusters(4)).unwrap();
+        assert_eq!(to_i32(&outs[0]), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn prng_is_deterministic_and_bounded() {
+        let mut a = XorShift32(42);
+        let mut b = XorShift32(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+            let f = a.next_f32();
+            assert!((0.0..1.0).contains(&f));
+            let _ = b.next_f32();
+            assert!(a.next_below(7) < 7);
+            let _ = b.next_below(7);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The three-tier data bandwidth hierarchy (paper Section 2.2).
+//!
+//! Stream processors work because their register organization provides
+//! successively wider tiers: external memory, the SRF, and the cluster
+//! LRFs behind the intracluster switch. For the Imagine prototype the paper
+//! quotes 2.3 / 19.2 / 326.4 GB/s; this module computes the same three
+//! numbers for any machine so scaling studies can check that the hierarchy
+//! ratios survive.
+
+use crate::{Machine, SystemParams};
+
+/// Peak bandwidths of the three hierarchy tiers, in 32-bit words per cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthHierarchy {
+    /// Tier 1: external memory (pin/DRAM limited).
+    pub memory_words: f64,
+    /// Tier 2: SRF — every bank transfers `G_SRF * N` words per cycle.
+    pub srf_words: f64,
+    /// Tier 3: LRFs — every functional unit sustains two reads and one
+    /// write per cycle through the intracluster switch.
+    pub lrf_words: f64,
+}
+
+impl BandwidthHierarchy {
+    /// Computes the hierarchy for `machine` under `system`.
+    pub fn compute(machine: &Machine, system: &SystemParams) -> Self {
+        let c = f64::from(machine.clusters());
+        let n = f64::from(machine.alus_per_cluster());
+        let n_fu = f64::from(machine.derived().fus_per_cluster);
+        let g_srf = 0.5; // Table 1's G_SRF
+        Self {
+            memory_words: system.memory_words_per_cycle,
+            srf_words: g_srf * n * c,
+            lrf_words: 3.0 * n_fu * c,
+        }
+    }
+
+    /// Tier bandwidth in GB/s at `clock_ghz` (4-byte words).
+    pub fn gbps(words_per_cycle: f64, clock_ghz: f64) -> f64 {
+        words_per_cycle * 4.0 * clock_ghz
+    }
+
+    /// SRF-to-memory bandwidth ratio.
+    pub fn srf_over_memory(&self) -> f64 {
+        self.srf_words / self.memory_words
+    }
+
+    /// LRF-to-SRF bandwidth ratio.
+    pub fn lrf_over_srf(&self) -> f64 {
+        self.lrf_words / self.srf_words
+    }
+
+    /// Peak ALU operations per word of memory bandwidth — the machine
+    /// balance point. Applications whose inherent ops-per-word exceed this
+    /// stay compute-bound (Section 2.2 quotes 28 for Imagine and inherent
+    /// application ratios of 57.9–473.3).
+    pub fn ops_per_memory_word(&self, machine: &Machine) -> f64 {
+        machine.shape().total_alus() as f64 / self.memory_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_vlsi::Shape;
+
+    fn hierarchy(c: u32, n: u32) -> BandwidthHierarchy {
+        BandwidthHierarchy::compute(&Machine::paper(Shape::new(c, n)), &SystemParams::paper_2007())
+    }
+
+    #[test]
+    fn tiers_are_ordered() {
+        for &(c, n) in &[(8u32, 5u32), (32, 5), (128, 10)] {
+            let h = hierarchy(c, n);
+            assert!(h.memory_words < h.srf_words, "C={c} N={n}");
+            assert!(h.srf_words < h.lrf_words, "C={c} N={n}");
+        }
+    }
+
+    #[test]
+    fn baseline_matches_imagine_character() {
+        // Imagine: 2.3 / 19.2 / 326.4 GB/s — ratios ~8.3x and ~17x.
+        let h = hierarchy(8, 5);
+        assert_eq!(h.srf_words, 20.0); // 0.5 * 5 * 8
+        assert_eq!(h.lrf_words, 168.0); // 3 * 7 * 8
+        assert!(h.srf_over_memory() > 3.0 && h.srf_over_memory() < 10.0);
+        assert!(h.lrf_over_srf() > 5.0 && h.lrf_over_srf() < 15.0);
+    }
+
+    #[test]
+    fn hierarchy_widens_with_scaling_while_memory_stays() {
+        let small = hierarchy(8, 5);
+        let big = hierarchy(128, 10);
+        assert_eq!(small.memory_words, big.memory_words);
+        assert!(big.srf_words > 10.0 * small.srf_words);
+        assert!(big.lrf_words > 10.0 * small.lrf_words);
+        // The widening gap is the paper's whole motivation: ops per memory
+        // word grows from 10 to 320.
+        let m = Machine::paper(Shape::new(128, 10));
+        assert!(big.ops_per_memory_word(&m) > 300.0);
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        assert_eq!(BandwidthHierarchy::gbps(4.0, 1.0), 16.0); // 16 GB/s memory
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Machine descriptions for stream processors.
+//!
+//! Bridges the VLSI cost model ([`stream_vlsi`]) and the compiler/simulator:
+//! a [`Machine`] is a `(C, N)` configuration elaborated with functional-unit
+//! counts, operation latencies (Imagine values plus the pipeline stages the
+//! Section 4 delay model imposes), register capacity, and SRF sizing. The
+//! [`SystemParams`] describe the 2007 technology point of the paper's
+//! Section 5 evaluation (1 GHz, 16 GB/s memory, 2 GB/s host channel).
+//!
+//! # Examples
+//!
+//! ```
+//! use stream_machine::{Machine, OpClass};
+//! use stream_vlsi::Shape;
+//!
+//! // COMM operations get slower as the cluster grid grows.
+//! let near = Machine::paper(Shape::new(8, 5)).latency(OpClass::Comm);
+//! let far = Machine::paper(Shape::new(128, 5)).latency(OpClass::Comm);
+//! assert!(far > near);
+//! ```
+
+mod bandwidth;
+mod machine;
+mod op_class;
+
+pub use bandwidth::BandwidthHierarchy;
+pub use machine::{Machine, SystemParams};
+pub use op_class::{FuKind, OpClass};

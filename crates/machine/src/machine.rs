@@ -1,0 +1,291 @@
+//! A concrete stream processor a kernel can be compiled for and a program
+//! simulated on: shape + derived unit counts + delay-derived latencies.
+
+use crate::{FuKind, OpClass};
+use std::fmt;
+use stream_vlsi::{CostModel, CostReport, DelayModel, DerivedCounts, Shape, TechParams};
+
+/// A fully-elaborated machine configuration.
+///
+/// Construction runs the VLSI cost model once so that switch delays are
+/// available to derive operation latencies, exactly as Section 5.1 does:
+/// "the latencies of communications were taken from the results presented in
+/// Section 4".
+///
+/// # Examples
+///
+/// ```
+/// use stream_machine::Machine;
+/// use stream_vlsi::Shape;
+///
+/// let m = Machine::paper(Shape::BASELINE);
+/// assert_eq!(m.clusters(), 8);
+/// assert_eq!(m.alus_per_cluster(), 5);
+/// // One COMM unit and one scratchpad at N = 5.
+/// assert_eq!(m.fu_count(stream_machine::FuKind::Comm), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    shape: Shape,
+    derived: DerivedCounts,
+    cost: CostReport,
+    extra_intra_stages: u32,
+    intercluster_cycles: u32,
+    lrf_words_per_fu: u32,
+}
+
+/// Registers per LRF on Imagine; each FU input has two LRFs, and we expose
+/// the aggregate as schedulable register capacity.
+const LRF_REGISTERS: u32 = 16;
+const LRFS_PER_FU: u32 = 2;
+
+impl Machine {
+    /// Builds a machine from a shape and technology parameters.
+    pub fn new(shape: Shape, params: &TechParams) -> Self {
+        let model = CostModel::new(params.clone());
+        let cost = model.evaluate(shape);
+        let derived = shape.derive(params);
+        let delay: DelayModel = cost.delay;
+        Self {
+            shape,
+            derived,
+            cost,
+            extra_intra_stages: delay.extra_intracluster_stages(),
+            intercluster_cycles: delay.intercluster_cycles(),
+            lrf_words_per_fu: LRF_REGISTERS * LRFS_PER_FU,
+        }
+    }
+
+    /// Builds a machine with the published Table 1 parameters.
+    pub fn paper(shape: Shape) -> Self {
+        Self::new(shape, &TechParams::paper())
+    }
+
+    /// The paper's baseline `C = 8, N = 5` machine.
+    pub fn baseline() -> Self {
+        Self::paper(Shape::BASELINE)
+    }
+
+    /// The machine's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// `C`: the number of SIMD clusters.
+    pub fn clusters(&self) -> u32 {
+        self.shape.clusters
+    }
+
+    /// `N`: ALUs per cluster.
+    pub fn alus_per_cluster(&self) -> u32 {
+        self.shape.alus_per_cluster
+    }
+
+    /// Derived per-cluster unit counts.
+    pub fn derived(&self) -> &DerivedCounts {
+        &self.derived
+    }
+
+    /// The VLSI cost report computed at construction.
+    pub fn cost(&self) -> &CostReport {
+        &self.cost
+    }
+
+    /// Number of functional units of `kind` available per cluster per cycle.
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        match kind {
+            FuKind::Alu => self.shape.alus_per_cluster,
+            FuKind::Scratchpad => self.derived.sp_units,
+            FuKind::Comm => self.derived.comm_units,
+            FuKind::SbPort => self.derived.cluster_sbs,
+        }
+    }
+
+    /// Operation latency in cycles for this machine.
+    ///
+    /// ALU-class results and streambuffer reads pay the extra intracluster
+    /// pipeline stages when the cluster has outgrown its half-cycle switch
+    /// budget (Section 5.1); COMM-class operations pay the pipelined
+    /// intercluster traversal (Figure 11).
+    pub fn latency(&self, class: OpClass) -> u32 {
+        let base = class.base_latency();
+        match class.fu_kind() {
+            FuKind::Alu => base + self.extra_intra_stages,
+            FuKind::Scratchpad => base + self.extra_intra_stages,
+            FuKind::Comm => base + self.intercluster_cycles,
+            FuKind::SbPort => match class {
+                OpClass::SbRead => base + self.extra_intra_stages,
+                _ => base,
+            },
+        }
+    }
+
+    /// Extra pipeline stages from intracluster switch delay (0 for N <= 10).
+    pub fn extra_intracluster_stages(&self) -> u32 {
+        self.extra_intra_stages
+    }
+
+    /// Pipelined intercluster traversal in cycles.
+    pub fn intercluster_cycles(&self) -> u32 {
+        self.intercluster_cycles
+    }
+
+    /// Aggregate schedulable registers per cluster (all LRFs). Bounds the
+    /// values simultaneously live in a software-pipelined schedule.
+    pub fn register_capacity(&self) -> u32 {
+        self.derived.fus_per_cluster * self.lrf_words_per_fu
+    }
+
+    /// Depth of the instruction-issue plus cluster pipeline, paid on every
+    /// kernel invocation (Section 5.3's "cost associated with filling the
+    /// microcontroller and cluster pipeline every time a kernel is
+    /// executed").
+    pub fn pipeline_fill_cycles(&self) -> u32 {
+        // Microcontroller sequencing and decode, instruction distribution to
+        // the grid, plus the deepest FU pipeline.
+        8 + self.extra_intra_stages + self.intercluster_cycles
+    }
+
+    /// SRF bank capacity in words (per cluster).
+    pub fn srf_bank_words(&self) -> u64 {
+        self.derived.srf_bank_words(&TechParams::paper())
+    }
+
+    /// Total SRF capacity in words.
+    pub fn srf_total_words(&self) -> u64 {
+        self.srf_bank_words() * u64::from(self.clusters())
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} ALUs, {} FUs/cluster)",
+            self.shape,
+            self.shape.total_alus(),
+            self.derived.fus_per_cluster
+        )
+    }
+}
+
+/// System-level parameters for the 2007 technology point simulated in
+/// Section 5: 45 nm, 1 GHz clock, eight Rambus channels, 2 GB/s host link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemParams {
+    /// Processor clock in GHz (1 GHz at 45 FO4 in 45 nm).
+    pub clock_ghz: f64,
+    /// External memory bandwidth in 32-bit words per cycle (16 GB/s at
+    /// 1 GHz = 4 words/cycle).
+    pub memory_words_per_cycle: f64,
+    /// External memory latency in cycles (Table 1's `T`).
+    pub memory_latency_cycles: u32,
+    /// Host-to-stream-processor channel bandwidth in bytes per cycle
+    /// (2 GB/s at 1 GHz).
+    pub host_bytes_per_cycle: f64,
+    /// Size of one stream instruction on the host channel, in bytes.
+    pub stream_instruction_bytes: u32,
+}
+
+impl SystemParams {
+    /// The 2007 technology point of Section 5.
+    pub fn paper_2007() -> Self {
+        Self {
+            clock_ghz: 1.0,
+            memory_words_per_cycle: 4.0,
+            memory_latency_cycles: 55,
+            host_bytes_per_cycle: 2.0,
+            stream_instruction_bytes: 32,
+        }
+    }
+
+    /// Cycles for the host to issue one stream instruction.
+    pub fn host_issue_cycles(&self) -> u64 {
+        (f64::from(self.stream_instruction_bytes) / self.host_bytes_per_cycle).ceil() as u64
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self::paper_2007()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_resources() {
+        let m = Machine::baseline();
+        assert_eq!(m.fu_count(FuKind::Alu), 5);
+        assert_eq!(m.fu_count(FuKind::Scratchpad), 1);
+        assert_eq!(m.fu_count(FuKind::Comm), 1);
+        assert_eq!(m.fu_count(FuKind::SbPort), 7);
+        assert_eq!(m.extra_intracluster_stages(), 0);
+    }
+
+    #[test]
+    fn baseline_latencies_are_imagine_values() {
+        let m = Machine::baseline();
+        assert_eq!(m.latency(OpClass::FloatAdd), 4);
+        assert_eq!(m.latency(OpClass::FloatMul), 4);
+        assert_eq!(m.latency(OpClass::FloatDiv), 17);
+        assert_eq!(m.latency(OpClass::IntAlu), 2);
+        assert_eq!(m.latency(OpClass::SbRead), 3);
+    }
+
+    #[test]
+    fn n14_alu_ops_pay_extra_stage() {
+        let m = Machine::paper(Shape::new(8, 14));
+        assert_eq!(m.extra_intracluster_stages(), 1);
+        assert_eq!(m.latency(OpClass::FloatAdd), 5);
+        assert_eq!(m.latency(OpClass::SbRead), 4);
+        // SB writes head outward; no extra read stage.
+        assert_eq!(m.latency(OpClass::SbWrite), 1);
+    }
+
+    #[test]
+    fn comm_latency_grows_with_clusters() {
+        let small = Machine::paper(Shape::new(8, 5));
+        let big = Machine::paper(Shape::new(128, 5));
+        assert!(big.latency(OpClass::Comm) > small.latency(OpClass::Comm));
+        assert!(big.latency(OpClass::CondStream) > small.latency(OpClass::CondStream));
+    }
+
+    #[test]
+    fn register_capacity_scales_with_fus() {
+        let n5 = Machine::paper(Shape::new(8, 5));
+        let n10 = Machine::paper(Shape::new(8, 10));
+        assert_eq!(n5.register_capacity(), 7 * 32);
+        assert!(n10.register_capacity() > n5.register_capacity());
+    }
+
+    #[test]
+    fn srf_capacity_matches_model() {
+        let m = Machine::baseline();
+        assert_eq!(m.srf_bank_words(), 5500);
+        assert_eq!(m.srf_total_words(), 44_000);
+    }
+
+    #[test]
+    fn pipeline_fill_grows_with_machine_span() {
+        let small = Machine::paper(Shape::new(8, 5));
+        let big = Machine::paper(Shape::new(128, 14));
+        assert!(big.pipeline_fill_cycles() > small.pipeline_fill_cycles());
+    }
+
+    #[test]
+    fn system_params_2007() {
+        let s = SystemParams::paper_2007();
+        assert_eq!(s.memory_words_per_cycle, 4.0);
+        assert_eq!(s.host_issue_cycles(), 16);
+        assert_eq!(s, SystemParams::default());
+    }
+
+    #[test]
+    fn display_mentions_alu_total() {
+        let m = Machine::paper(Shape::new(128, 5));
+        assert!(m.to_string().contains("640 ALUs"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Operation classes and the functional units that execute them.
+
+use std::fmt;
+
+/// The kinds of functional unit in an arithmetic cluster (Figure 3).
+///
+/// Counts per cluster come from [`stream_vlsi::DerivedCounts`]: `N` ALUs,
+/// `N_SP` scratchpads, `N_COMM` intercluster communication units, plus
+/// `N_CLSB` streambuffer ports into the SRF bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// A 32-bit arithmetic unit (the paper treats ALUs as homogeneous).
+    Alu,
+    /// Scratchpad unit for small indexed addressing within a cluster.
+    Scratchpad,
+    /// Intercluster communication unit.
+    Comm,
+    /// A streambuffer port between the cluster and its SRF bank.
+    SbPort,
+}
+
+impl FuKind {
+    /// All functional-unit kinds, in display order.
+    pub const ALL: [FuKind; 4] = [FuKind::Alu, FuKind::Scratchpad, FuKind::Comm, FuKind::SbPort];
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::Alu => "ALU",
+            FuKind::Scratchpad => "SP",
+            FuKind::Comm => "COMM",
+            FuKind::SbPort => "SB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scheduling classes of kernel operations.
+///
+/// Each class occupies one functional unit of its [`FuKind`] for one issue
+/// slot and produces its result after a class- and machine-dependent latency
+/// (see [`crate::Machine::latency`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer add/subtract/compare.
+    IntAlu,
+    /// Integer logic and shifts (single-stage).
+    Logic,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/subtract/compare/convert.
+    FloatAdd,
+    /// Floating-point multiply.
+    FloatMul,
+    /// Floating-point divide or square root (the divide-square-root unit's
+    /// iterative operation, executed on an ALU slot as in the cost model).
+    FloatDiv,
+    /// Select / conditional move (predication support).
+    Select,
+    /// Scratchpad read (indexed).
+    SpRead,
+    /// Scratchpad write (indexed).
+    SpWrite,
+    /// Intercluster communication: exchange one word with another cluster
+    /// across the intercluster switch.
+    Comm,
+    /// Conditional-stream access: data-dependent stream read/write routed
+    /// through the intercluster switch (Kapasi et al., MICRO 2000).
+    CondStream,
+    /// Streambuffer read (stream input element into the cluster).
+    SbRead,
+    /// Streambuffer write (result element out to the SRF).
+    SbWrite,
+}
+
+impl OpClass {
+    /// The functional unit kind this class executes on.
+    pub fn fu_kind(&self) -> FuKind {
+        match self {
+            OpClass::IntAlu
+            | OpClass::Logic
+            | OpClass::IntMul
+            | OpClass::FloatAdd
+            | OpClass::FloatMul
+            | OpClass::FloatDiv
+            | OpClass::Select => FuKind::Alu,
+            OpClass::SpRead | OpClass::SpWrite => FuKind::Scratchpad,
+            OpClass::Comm | OpClass::CondStream => FuKind::Comm,
+            OpClass::SbRead | OpClass::SbWrite => FuKind::SbPort,
+        }
+    }
+
+    /// Whether this class counts as an "ALU operation" in the paper's GOPS
+    /// accounting (Table 5 normalizes to `N` ALU ops per cycle).
+    pub fn is_alu_op(&self) -> bool {
+        self.fu_kind() == FuKind::Alu
+    }
+
+    /// Base latency in cycles on the Imagine prototype (before any extra
+    /// switch-traversal pipeline stages).
+    pub(crate) fn base_latency(&self) -> u32 {
+        match self {
+            OpClass::Logic | OpClass::Select => 1,
+            OpClass::IntAlu => 2,
+            OpClass::IntMul | OpClass::FloatAdd | OpClass::FloatMul => 4,
+            OpClass::FloatDiv => 17,
+            OpClass::SpRead => 2,
+            OpClass::SpWrite => 1,
+            // COMM and conditional streams add the pipelined intercluster
+            // traversal on top of this issue stage.
+            OpClass::Comm => 1,
+            OpClass::CondStream => 2,
+            OpClass::SbRead => 3,
+            OpClass::SbWrite => 1,
+        }
+    }
+
+    /// All operation classes.
+    pub const ALL: [OpClass; 13] = [
+        OpClass::IntAlu,
+        OpClass::Logic,
+        OpClass::IntMul,
+        OpClass::FloatAdd,
+        OpClass::FloatMul,
+        OpClass::FloatDiv,
+        OpClass::Select,
+        OpClass::SpRead,
+        OpClass::SpWrite,
+        OpClass::Comm,
+        OpClass::CondStream,
+        OpClass::SbRead,
+        OpClass::SbWrite,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "ialu",
+            OpClass::Logic => "logic",
+            OpClass::IntMul => "imul",
+            OpClass::FloatAdd => "fadd",
+            OpClass::FloatMul => "fmul",
+            OpClass::FloatDiv => "fdiv",
+            OpClass::Select => "select",
+            OpClass::SpRead => "sp_rd",
+            OpClass::SpWrite => "sp_wr",
+            OpClass::Comm => "comm",
+            OpClass::CondStream => "cond",
+            OpClass::SbRead => "sb_rd",
+            OpClass::SbWrite => "sb_wr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_classes_map_to_alu() {
+        for c in [
+            OpClass::IntAlu,
+            OpClass::Logic,
+            OpClass::IntMul,
+            OpClass::FloatAdd,
+            OpClass::FloatMul,
+            OpClass::FloatDiv,
+            OpClass::Select,
+        ] {
+            assert_eq!(c.fu_kind(), FuKind::Alu);
+            assert!(c.is_alu_op());
+        }
+    }
+
+    #[test]
+    fn non_alu_classes_are_not_gops() {
+        for c in [
+            OpClass::SpRead,
+            OpClass::SpWrite,
+            OpClass::Comm,
+            OpClass::CondStream,
+            OpClass::SbRead,
+            OpClass::SbWrite,
+        ] {
+            assert!(!c.is_alu_op());
+        }
+    }
+
+    #[test]
+    fn every_class_has_positive_latency() {
+        for c in OpClass::ALL {
+            assert!(c.base_latency() >= 1);
+        }
+    }
+
+    #[test]
+    fn divide_is_the_long_pole() {
+        for c in OpClass::ALL {
+            assert!(OpClass::FloatDiv.base_latency() >= c.base_latency());
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(OpClass::FloatMul.to_string(), "fmul");
+        assert_eq!(FuKind::Comm.to_string(), "COMM");
+    }
+}

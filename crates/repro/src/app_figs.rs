@@ -1,0 +1,195 @@
+//! Section 5.3 reproductions: Figure 15 (application performance) and the
+//! abstract's headline claims.
+
+use crate::kernel_figs::FIG14_CS;
+use crate::Report;
+use stream_apps::AppId;
+use stream_kernels::KernelId;
+use stream_machine::{Machine, SystemParams};
+use stream_sched::CompiledKernel;
+use stream_sim::simulate;
+use stream_vlsi::Shape;
+
+fn cycles(id: AppId, shape: Shape) -> (u64, f64) {
+    let machine = Machine::paper(shape);
+    let report = simulate(
+        &id.program(&machine).program,
+        &machine,
+        &SystemParams::paper_2007(),
+    )
+    .expect("paper-scale programs fit their machines");
+    (report.cycles, report.gops(1.0))
+}
+
+fn harmonic_mean(values: &[f64]) -> f64 {
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Figure 15: application speedups over the `C=8 N=5` baseline, with GOPS
+/// annotations, across cluster counts at `N = 5` and at the `N = 10`
+/// configurations the paper highlights.
+pub fn fig15() -> Report {
+    let mut r = Report::new(
+        "fig15",
+        "Application Performance (speedup over C=8 N=5; GOPS in parentheses)",
+    )
+    .headers([
+        "app", "C=8", "C=16", "C=32", "C=64", "C=128", "C=128 N=2", "C=128 N=10", "C=128 N=14",
+        "paper C128N10",
+    ]);
+    let mut big_speedups = Vec::new();
+    for id in AppId::ALL {
+        let (base_cycles, base_gops) = cycles(id, Shape::new(8, 5));
+        let mut row = vec![id.name().to_string()];
+        for &c in FIG14_CS.iter() {
+            let (cyc, gops) = cycles(id, Shape::new(c, 5));
+            let speedup = base_cycles as f64 / cyc as f64;
+            row.push(format!("{speedup:.1} ({gops:.0})"));
+        }
+        for n in [2u32, 10, 14] {
+            let (cyc, gops) = cycles(id, Shape::new(128, n));
+            let speedup = base_cycles as f64 / cyc as f64;
+            if n == 10 {
+                big_speedups.push(speedup);
+            }
+            row.push(format!("{speedup:.1} ({gops:.0})"));
+        }
+        let (pb, pg, px) = id.paper_fig15();
+        row.push(format!("{px:.1} ({pb:.0}->{pg:.0})"));
+        r.row(row);
+        let _ = base_gops;
+    }
+    let mut hm_row = vec!["Harmonic Mean".to_string()];
+    hm_row.extend(std::iter::repeat_n(String::new(), 6));
+    hm_row.push(format!("{:.1}", harmonic_mean(&big_speedups)));
+    hm_row.push(String::new());
+    hm_row.push("10.4".to_string());
+    r.row(hm_row);
+    r.note("paper: RENDER/DEPTH/CONV scale well; QRD and FFT1K poorly beyond C=32; FFT4K beats FFT1K at scale");
+    r
+}
+
+/// The abstract's headline claims vs this reproduction.
+pub fn headline() -> Report {
+    let model = stream_vlsi::CostModel::paper();
+    let base = model.evaluate(Shape::BASELINE);
+    let big = model.evaluate(Shape::HEADLINE_640);
+    let area = big.area.per_alu() / base.area.per_alu() - 1.0;
+    let energy = big.energy.per_alu_op() / base.energy.per_alu_op() - 1.0;
+
+    // Kernel harmonic-mean speedups.
+    let kernel_speedup = |shape: Shape| -> f64 {
+        let vals: Vec<f64> = KernelId::ALL
+            .iter()
+            .map(|&id| {
+                let m0 = Machine::baseline();
+                let m1 = Machine::paper(shape);
+                let k0 = CompiledKernel::compile_default(&id.build(&m0), &m0).unwrap();
+                let k1 = CompiledKernel::compile_default(&id.build(&m1), &m1).unwrap();
+                k1.elements_per_cycle() / k0.elements_per_cycle()
+            })
+            .collect();
+        harmonic_mean(&vals)
+    };
+    let k640 = kernel_speedup(Shape::HEADLINE_640);
+    let k1280 = kernel_speedup(Shape::HEADLINE_1280);
+
+    // Application harmonic-mean speedups.
+    let app_speedup = |shape: Shape| -> f64 {
+        let vals: Vec<f64> = AppId::ALL
+            .iter()
+            .map(|&id| {
+                let (b, _) = cycles(id, Shape::BASELINE);
+                let (x, _) = cycles(id, shape);
+                b as f64 / x as f64
+            })
+            .collect();
+        harmonic_mean(&vals)
+    };
+    let a640 = app_speedup(Shape::HEADLINE_640);
+    let a1280 = app_speedup(Shape::HEADLINE_1280);
+
+    // Sustained kernel GOPS on the 640-ALU machine.
+    let m640 = Machine::paper(Shape::HEADLINE_640);
+    let gops640: f64 = KernelId::ALL
+        .iter()
+        .map(|&id| {
+            CompiledKernel::compile_default(&id.build(&m640), &m640)
+                .unwrap()
+                .alu_ops_per_cycle()
+        })
+        .fold(0.0f64, f64::max);
+
+    let mut r = Report::new("headline", "Abstract claims vs reproduction")
+        .headers(["claim", "paper", "measured"]);
+    r.row([
+        "640-ALU area per ALU vs 40-ALU".to_string(),
+        "+2%".to_string(),
+        format!("{:+.1}%", area * 100.0),
+    ]);
+    r.row([
+        "640-ALU energy per ALU op vs 40-ALU".to_string(),
+        "+7%".to_string(),
+        format!("{:+.1}%", energy * 100.0),
+    ]);
+    r.row([
+        "640-ALU kernel speedup (HM)".to_string(),
+        "15.3x".to_string(),
+        format!("{k640:.1}x"),
+    ]);
+    r.row([
+        "640-ALU application speedup (HM)".to_string(),
+        "8.0x".to_string(),
+        format!("{a640:.1}x"),
+    ]);
+    r.row([
+        "1280-ALU kernel speedup (HM)".to_string(),
+        "27.9x".to_string(),
+        format!("{k1280:.1}x"),
+    ]);
+    r.row([
+        "1280-ALU application speedup (HM)".to_string(),
+        "10.0x".to_string(),
+        format!("{a1280:.1}x"),
+    ]);
+    r.row([
+        "640-ALU peak kernel GOPS (best kernel)".to_string(),
+        ">300".to_string(),
+        format!("{gops640:.0}"),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_reports_all_apps() {
+        let r = fig15();
+        assert_eq!(r.rows.len(), 7); // 6 apps + harmonic mean
+        // RENDER (well-scaling) speedup at C=128 N=10 should exceed QRD's.
+        let find = |name: &str| -> f64 {
+            let row = r.rows.iter().find(|row| row[0] == name).unwrap();
+            row[7].split_whitespace().next().unwrap().parse().unwrap()
+        };
+        assert!(find("RENDER") > find("QRD"));
+        assert!(find("FFT4K") > find("FFT1K"));
+    }
+
+    #[test]
+    fn headline_directionally_matches() {
+        let r = headline();
+        let measured = |i: usize| -> f64 {
+            r.rows[i][2]
+                .trim_end_matches(['%', 'x'])
+                .trim_start_matches('+')
+                .parse()
+                .unwrap()
+        };
+        assert!(measured(0) < 8.0); // area overhead small
+        assert!(measured(1) < 13.0); // energy overhead small
+        assert!(measured(2) > 10.0); // 640-ALU kernel speedup double digit
+        assert!(measured(4) > measured(2)); // 1280 beats 640 on kernels
+    }
+}

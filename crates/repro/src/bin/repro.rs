@@ -1,0 +1,42 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all            # every experiment, paper order
+//! repro fig13 table5   # a subset
+//! repro list           # list experiment ids
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <all | list | experiment...>");
+        eprintln!("experiments: {}", stream_repro::EXPERIMENTS.join(" "));
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        for id in stream_repro::EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        stream_repro::EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !stream_repro::EXPERIMENTS.contains(id) {
+            eprintln!("unknown experiment: {id}");
+            eprintln!("known: {}", stream_repro::EXPERIMENTS.join(" "));
+            return ExitCode::from(2);
+        }
+    }
+    for id in ids {
+        println!("{}", stream_repro::run(id));
+    }
+    ExitCode::SUCCESS
+}

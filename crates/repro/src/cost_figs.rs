@@ -1,0 +1,320 @@
+//! Section 3/4 reproductions: Tables 1 and 3, Figures 6–12 (the VLSI cost
+//! model results).
+
+use crate::Report;
+use stream_vlsi::{
+    calibration_anchors, combined_sweep, intercluster_sweep, intracluster_sweep, CostKind,
+    CostModel, Shape, TechParams, INTERCLUSTER_CS, INTRACLUSTER_NS,
+};
+
+fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Table 1: the model parameters (echoed from the implementation so any
+/// drift from the paper is visible).
+pub fn table1() -> Report {
+    let p = TechParams::paper();
+    let mut r = Report::new("table1", "Summary of Parameters").headers(["param", "value", "description"]);
+    let rows: Vec<(&str, String, &str)> = vec![
+        ("A_SRAM", f(p.sram_area_per_bit), "area of 1 bit of SRAM (grids)"),
+        ("A_SB", f(p.sb_area_per_word), "area per SB width (grids)"),
+        ("w_ALU", f(p.alu_width), "ALU datapath width (tracks)"),
+        ("w_LRF", f(p.lrf_width), "width of 2 LRFs (tracks)"),
+        ("w_SP", f(p.sp_width), "scratchpad datapath width (tracks)"),
+        ("h", f(p.datapath_height), "datapath height (tracks)"),
+        ("v_0", f(p.wire_velocity), "wire velocity (tracks/FO4)"),
+        ("t_cyc", f(p.fo4_per_cycle), "FO4s per clock"),
+        ("t_mux", f(p.mux_delay_fo4), "2:1 mux delay (FO4)"),
+        ("E_w", f(p.wire_energy_per_track), "wire energy per track (unit)"),
+        ("E_ALU", format!("{:.1e}", p.alu_energy), "ALU op energy (E_w)"),
+        ("E_SRAM", f(p.sram_energy_per_bit), "SRAM energy per bit (E_w)"),
+        ("E_SB", f(p.sb_energy_per_bit), "SB access energy per bit (E_w)"),
+        ("E_LRF", format!("{:.1e}", p.lrf_energy), "LRF access energy (E_w)"),
+        ("E_SP", format!("{:.1e}", p.sp_energy), "SP access energy (E_w)"),
+        ("T", format!("{}", p.memory_latency_cycles), "memory latency (cycles)"),
+        ("b", format!("{}", p.data_width_bits), "data width (bits)"),
+        ("G_SRF", f(p.srf_width_per_alu), "SRF bank width per N (words)"),
+        ("G_SB", f(p.sb_accesses_per_op), "SB accesses per ALU op"),
+        ("G_COMM", f(p.comm_units_per_alu), "COMM units per N"),
+        ("G_SP", f(p.sp_units_per_alu), "SP units per N"),
+        ("I_0", f(p.vliw_base_bits), "base VLIW width (bits)"),
+        ("I_N", f(p.vliw_bits_per_fu), "VLIW bits per FU"),
+        ("L_C", f(p.base_cluster_sbs), "initial cluster SBs"),
+        ("L_O", f(p.other_sbs), "non-cluster SBs"),
+        ("L_N", f(p.extra_sbs_per_alu), "extra SBs per N"),
+        ("r_m", f(p.srf_words_per_alu_latency), "SRF words/ALU/latency-cycle"),
+        ("r_uc", f(p.microcode_instructions), "microcode instructions"),
+    ];
+    for (name, value, desc) in rows {
+        r.row([name.to_string(), value, desc.to_string()]);
+    }
+    r.note("values are the published Table 1 constants");
+    r
+}
+
+/// Table 3 (evaluated): the cost-model components at representative shapes.
+pub fn table3() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new(
+        "table3",
+        "Stream Processor VLSI Costs (model evaluated; areas in Mgrids, energies in ME_w/cycle)",
+    )
+    .headers([
+        "shape", "A_SRF*C", "A_UC", "A_CLST*C", "A_COMM", "E_SRF*C", "E_UC", "E_CLST*C",
+        "E_inter", "t_intra", "t_inter",
+    ]);
+    for shape in [
+        Shape::new(8, 5),
+        Shape::new(8, 16),
+        Shape::new(32, 5),
+        Shape::new(128, 5),
+        Shape::new(128, 10),
+    ] {
+        let c = model.evaluate(shape);
+        let m = 1.0e6;
+        r.row([
+            shape.to_string(),
+            f(c.area.srf_total() / m),
+            f(c.area.microcontroller / m),
+            f(c.area.clusters_total() / m),
+            f(c.area.intercluster_switch / m),
+            f(shape.c() * c.energy.srf_bank / m),
+            f(c.energy.microcontroller / m),
+            f(shape.c() * c.energy.cluster / m),
+            f(c.energy.intercluster / m),
+            format!("{:.1}", c.delay.intracluster_fo4),
+            format!("{:.1}", c.delay.intercluster_fo4),
+        ]);
+    }
+    r.note("formulae follow Table 3; reconstruction choices documented in DESIGN.md");
+    r
+}
+
+/// The calibration anchors: every Section 4 prose claim vs the model.
+pub fn calibration() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new("calibration", "Section 4 prose anchors vs model")
+        .headers(["anchor", "paper", "measured", "band", "pass"]);
+    for a in calibration_anchors(&model) {
+        r.row([
+            a.id.to_string(),
+            format!("{:.3}", a.paper_value),
+            format!("{:.3}", a.measured),
+            format!("[{:.2},{:.2}]", a.band.0, a.band.1),
+            if a.passes() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    r
+}
+
+fn sweep_report(
+    id: &'static str,
+    title: &str,
+    sweep: &stream_vlsi::Sweep,
+    label: impl Fn(Shape) -> String,
+) -> Report {
+    let mut r = Report::new(id, title).headers([
+        "config",
+        "SRF",
+        "microcontroller",
+        "clusters",
+        "intercluster switch",
+        "total",
+    ]);
+    for p in &sweep.points {
+        let c = p.components;
+        r.row([
+            label(p.shape),
+            f(c.srf),
+            f(c.microcontroller),
+            f(c.clusters),
+            f(c.intercluster_switch),
+            f(p.total()),
+        ]);
+    }
+    r
+}
+
+/// Figure 6: area per ALU under intracluster scaling (C = 8, normalized to
+/// N = 5).
+pub fn fig6() -> Report {
+    let s = intracluster_sweep(&CostModel::paper(), CostKind::Area, 8);
+    let mut r = sweep_report(
+        "fig6",
+        "Area of Intracluster Scaling (per ALU, C=8, normalized to N=5)",
+        &s,
+        |shape| format!("N={}", shape.alus_per_cluster),
+    );
+    r.note("paper: minimum at N=5; within 16% of minimum up to N=16");
+    r
+}
+
+/// Figure 7: energy per ALU op under intracluster scaling.
+pub fn fig7() -> Report {
+    let s = intracluster_sweep(&CostModel::paper(), CostKind::Energy, 8);
+    let mut r = sweep_report(
+        "fig7",
+        "Energy of Intracluster Scaling (per ALU op, C=8, normalized to N=5)",
+        &s,
+        |shape| format!("N={}", shape.alus_per_cluster),
+    );
+    r.note("paper: grows to 1.23x of minimum by N=16");
+    r
+}
+
+/// Figure 8: switch delays under intracluster scaling.
+pub fn fig8() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new("fig8", "Delay of Intracluster Scaling (FO4, C=8)").headers([
+        "config",
+        "intracluster",
+        "intercluster",
+        "extra intra stages",
+        "COMM cycles",
+    ]);
+    for &n in INTRACLUSTER_NS.iter() {
+        let d = model.evaluate(Shape::new(8, n)).delay;
+        r.row([
+            format!("N={n}"),
+            format!("{:.1}", d.intracluster_fo4),
+            format!("{:.1}", d.intercluster_fo4),
+            format!("{}", d.extra_intracluster_stages()),
+            format!("{}", d.intercluster_cycles()),
+        ]);
+    }
+    r.note("paper: half a 45-FO4 cycle covers intracluster delay up to ~N=10; N=14 needs +1 stage");
+    r
+}
+
+/// Figure 9: area per ALU under intercluster scaling (N = 5, normalized to
+/// C = 8).
+pub fn fig9() -> Report {
+    let s = intercluster_sweep(&CostModel::paper(), CostKind::Area, 5);
+    let mut r = sweep_report(
+        "fig9",
+        "Area of Intercluster Scaling (per ALU, N=5, normalized to C=8)",
+        &s,
+        |shape| format!("C={}", shape.clusters),
+    );
+    r.note("paper: C=32 is 3% better than C=8; C=128 is 2% worse");
+    r
+}
+
+/// Figure 10: energy per ALU op under intercluster scaling.
+pub fn fig10() -> Report {
+    let s = intercluster_sweep(&CostModel::paper(), CostKind::Energy, 5);
+    let mut r = sweep_report(
+        "fig10",
+        "Energy of Intercluster Scaling (per ALU op, N=5, normalized to C=8)",
+        &s,
+        |shape| format!("C={}", shape.clusters),
+    );
+    r.note("paper: C=128 dissipates 7% more energy per ALU op than C=8");
+    r
+}
+
+/// Figure 11: switch delays under intercluster scaling.
+pub fn fig11() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new("fig11", "Delay of Intercluster Scaling (FO4, N=5)").headers([
+        "config",
+        "intracluster",
+        "intercluster",
+        "COMM cycles",
+    ]);
+    for &c in INTERCLUSTER_CS.iter() {
+        let d = model.evaluate(Shape::new(c, 5)).delay;
+        r.row([
+            format!("C={c}"),
+            format!("{:.1}", d.intracluster_fo4),
+            format!("{:.1}", d.intercluster_fo4),
+            format!("{}", d.intercluster_cycles()),
+        ]);
+    }
+    r.note("paper: intracluster delay constant; intercluster delay fully pipelined");
+    r
+}
+
+/// Figure 12: area per ALU under combined scaling (normalized to C=32 N=5).
+pub fn fig12() -> Report {
+    let sweeps = combined_sweep(&CostModel::paper(), CostKind::Area, &[2, 5, 16]);
+    let mut r = Report::new(
+        "fig12",
+        "Area of Combined Scaling (per ALU, normalized to C=32 N=5)",
+    )
+    .headers(["total ALUs", "N=2", "N=5", "N=16"]);
+    for (i, &c) in INTERCLUSTER_CS.iter().enumerate() {
+        r.row([
+            format!("C={c}"),
+            f(sweeps[0].points[i].total()),
+            f(sweeps[1].points[i].total()),
+            f(sweeps[2].points[i].total()),
+        ]);
+    }
+    r.note("paper: N=5 then intercluster scaling is the most efficient path; N=5->10 costs only 5-11% area");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cost_report_renders() {
+        for r in [
+            table1(),
+            table3(),
+            calibration(),
+            fig6(),
+            fig7(),
+            fig8(),
+            fig9(),
+            fig10(),
+            fig11(),
+            fig12(),
+        ] {
+            let s = r.to_string();
+            assert!(s.len() > 100, "{} too short", r.id);
+            assert!(!r.rows.is_empty(), "{} has no rows", r.id);
+        }
+    }
+
+    #[test]
+    fn calibration_report_all_pass() {
+        let r = calibration();
+        assert!(r.rows.iter().all(|row| row.last().unwrap() == "yes"));
+    }
+
+    #[test]
+    fn fig6_minimum_is_n5() {
+        let r = fig6();
+        let min = r
+            .rows
+            .iter()
+            .min_by(|a, b| {
+                let x: f64 = a.last().unwrap().parse().unwrap();
+                let y: f64 = b.last().unwrap().parse().unwrap();
+                x.total_cmp(&y)
+            })
+            .unwrap();
+        assert_eq!(min[0], "N=5");
+    }
+
+    #[test]
+    fn fig9_matches_paper_direction() {
+        let r = fig9();
+        let total = |label: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0] == label)
+                .unwrap()
+                .last()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(total("C=32") < 1.0);
+        assert!(total("C=128") > 1.0 && total("C=128") < 1.08);
+    }
+}

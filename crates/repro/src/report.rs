@@ -1,0 +1,110 @@
+//! Report structures: every experiment renders to one aligned text table.
+
+use std::fmt;
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Paper artifact id, e.g. `"fig6"` or `"table5"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: paper anchors, deviations, substitutions.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the headers.
+    pub fn headers<I, S>(mut self, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        // Column widths.
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "{:>width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        if !self.headers.is_empty() {
+            render(f, &self.headers)?;
+        }
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut r = Report::new("t", "demo").headers(["name", "value"]);
+        r.row(["alpha", "1"]);
+        r.row(["b", "12345"]);
+        r.note("hello");
+        let s = r.to_string();
+        assert!(s.contains("== t — demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("note: hello"));
+        // Aligned: "value" column width fits 12345.
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,396 @@
+//! Iterative modulo scheduling (software pipelining), after Rau (MICRO-27,
+//! 1994) — the algorithm family behind the Imagine kernel scheduler.
+
+use crate::{Ddg, EdgeKind, MiiBounds};
+use stream_machine::{FuKind, Machine};
+
+/// A legal modulo schedule: every node has an absolute start time; the loop
+/// kernel repeats every [`ModuloSchedule::ii`] cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuloSchedule {
+    /// The initiation interval.
+    pub ii: u32,
+    /// Start time per DDG node.
+    pub times: Vec<u32>,
+}
+
+impl ModuloSchedule {
+    /// Number of pipeline stages: the span of the schedule in IIs.
+    pub fn stages(&self) -> u32 {
+        match self.times.iter().max() {
+            Some(&t) => t / self.ii + 1,
+            None => 1,
+        }
+    }
+
+    /// Flat schedule length in cycles (prologue + one kernel iteration).
+    pub fn length(&self, ddg: &Ddg) -> u32 {
+        ddg.nodes()
+            .iter()
+            .zip(&self.times)
+            .map(|(n, &t)| t + n.latency)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verifies dependence and resource legality against `ddg`/`machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn verify(&self, ddg: &Ddg, machine: &Machine) -> Result<(), String> {
+        for e in ddg.edges() {
+            let lhs = i64::from(self.times[e.from]) + i64::from(e.latency);
+            let rhs = i64::from(self.times[e.to]) + i64::from(self.ii) * i64::from(e.distance);
+            if lhs > rhs {
+                return Err(format!(
+                    "dependence violated: node {} @{} + {} > node {} @{} + {}*{}",
+                    e.from, self.times[e.from], e.latency, e.to, self.times[e.to], self.ii,
+                    e.distance
+                ));
+            }
+        }
+        let mut usage = vec![[0u32; 4]; self.ii as usize];
+        for (n, &t) in ddg.nodes().iter().zip(&self.times) {
+            let slot = (t % self.ii) as usize;
+            let k = fu_index(n.class.fu_kind());
+            usage[slot][k] += 1;
+            if usage[slot][k] > machine.fu_count(n.class.fu_kind()) {
+                return Err(format!(
+                    "resource overflow: {} units of {} in modulo slot {}",
+                    usage[slot][k],
+                    n.class.fu_kind(),
+                    slot
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Steady-state MaxLive: the most values simultaneously live in any
+    /// cycle of the repeating kernel, counting the rotating copies that
+    /// lifetimes spanning multiple IIs require.
+    pub fn register_estimate(&self, ddg: &Ddg) -> u32 {
+        if self.times.is_empty() {
+            return 0;
+        }
+        let ii = i64::from(self.ii);
+        // Lifetime [def, last] in the flat schedule; in steady state the
+        // copy from iteration k is live over [def + k*ii, last + k*ii].
+        let mut intervals: Vec<(i64, i64)> = Vec::with_capacity(ddg.nodes().len());
+        for (i, _node) in ddg.nodes().iter().enumerate() {
+            let def = i64::from(self.times[i]);
+            let mut last = def + 1;
+            for e in ddg.succ_edges(i) {
+                if e.kind == EdgeKind::Data {
+                    last = last.max(i64::from(self.times[e.to]) + ii * i64::from(e.distance));
+                }
+            }
+            intervals.push((def, last));
+        }
+        let mut max_live = 0i64;
+        for phase in 0..ii {
+            let mut live = 0i64;
+            for &(d, l) in &intervals {
+                // Number of integers k with d <= phase + k*ii <= l:
+                // floor((l-p)/ii) - ceil((d-p)/ii) + 1.
+                let count = (l - phase).div_euclid(ii) - (d - phase - 1).div_euclid(ii) - 1;
+                live += (count + 1).max(0);
+            }
+            max_live = max_live.max(live);
+        }
+        max_live as u32
+    }
+}
+
+fn fu_index(kind: FuKind) -> usize {
+    match kind {
+        FuKind::Alu => 0,
+        FuKind::Scratchpad => 1,
+        FuKind::Comm => 2,
+        FuKind::SbPort => 3,
+    }
+}
+
+/// Attempts a modulo schedule at exactly `ii`, with an operation budget
+/// proportional to the graph size. Returns `None` if the budget is exhausted
+/// before a legal schedule is found.
+pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSchedule> {
+    assert!(ii >= 1);
+    let n = ddg.nodes().len();
+    if n == 0 {
+        return Some(ModuloSchedule {
+            ii,
+            times: Vec::new(),
+        });
+    }
+
+    let heights = heights(ddg, ii);
+    let avail: [u32; 4] = [
+        machine.fu_count(FuKind::Alu),
+        machine.fu_count(FuKind::Scratchpad),
+        machine.fu_count(FuKind::Comm),
+        machine.fu_count(FuKind::SbPort),
+    ];
+
+    let mut time: Vec<Option<u32>> = vec![None; n];
+    let mut prev_time: Vec<i64> = vec![-1; n];
+    let mut mrt: Vec<[Vec<usize>; 4]> = (0..ii as usize)
+        .map(|_| [Vec::new(), Vec::new(), Vec::new(), Vec::new()])
+        .collect();
+    let mut budget = (n * 24).max(256);
+
+    #[allow(clippy::while_let_loop)] // the budget check sits between pick and use
+    loop {
+        // Highest-priority unscheduled op (greater height first, then
+        // program order).
+        let Some(u) = (0..n)
+            .filter(|&i| time[i].is_none())
+            .max_by(|&a, &b| heights[a].cmp(&heights[b]).then(b.cmp(&a)))
+        else {
+            break;
+        };
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+
+        // Earliest start from scheduled predecessors.
+        let mut estart: i64 = 0;
+        for e in ddg.pred_edges(u) {
+            if let Some(tp) = time[e.from] {
+                let cand =
+                    i64::from(tp) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
+                estart = estart.max(cand);
+            }
+        }
+        estart = estart.max(prev_time[u] + 1);
+        let estart = estart.max(0) as u32;
+
+        // Find a resource-free slot in [estart, estart + ii).
+        let kind = fu_index(ddg.nodes()[u].class.fu_kind());
+        let cap = avail[kind].max(1) as usize;
+        let mut placed_at = None;
+        for t in estart..estart + ii {
+            if mrt[(t % ii) as usize][kind].len() < cap {
+                placed_at = Some(t);
+                break;
+            }
+        }
+        let t = placed_at.unwrap_or(estart);
+
+        // Place u, evicting a resource conflict if the row is full.
+        let slot = (t % ii) as usize;
+        if mrt[slot][kind].len() >= cap {
+            // Evict the occupant scheduled longest ago (it will find a new
+            // home); ties broken arbitrarily by position.
+            let victim = mrt[slot][kind][0];
+            unschedule(victim, &mut time, &mut mrt, ii);
+        }
+        time[u] = Some(t);
+        prev_time[u] = i64::from(t);
+        mrt[slot][kind].push(u);
+
+        // Evict scheduled successors whose dependence is now violated.
+        let succ_violations: Vec<usize> = ddg
+            .succ_edges(u)
+            .filter_map(|e| {
+                time[e.to].and_then(|ts| {
+                    let lhs = i64::from(t) + i64::from(e.latency);
+                    let rhs = i64::from(ts) + i64::from(ii) * i64::from(e.distance);
+                    (lhs > rhs && e.to != u).then_some(e.to)
+                })
+            })
+            .collect();
+        for v in succ_violations {
+            unschedule(v, &mut time, &mut mrt, ii);
+        }
+    }
+
+    let times: Vec<u32> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+    let sched = ModuloSchedule { ii, times };
+    debug_assert_eq!(sched.verify(ddg, machine), Ok(()));
+    match sched.verify(ddg, machine) {
+        Ok(()) => Some(sched),
+        Err(_) => None,
+    }
+}
+
+fn unschedule(v: usize, time: &mut [Option<u32>], mrt: &mut [[Vec<usize>; 4]], ii: u32) {
+    if let Some(t) = time[v].take() {
+        let slot = (t % ii) as usize;
+        for row in mrt[slot].iter_mut() {
+            row.retain(|&x| x != v);
+        }
+    }
+}
+
+/// Schedules `ddg`, searching IIs upward from the MII. Returns the schedule
+/// and the bounds that constrained it.
+pub fn modulo_schedule(ddg: &Ddg, machine: &Machine) -> Option<(ModuloSchedule, MiiBounds)> {
+    let bounds = MiiBounds::compute(ddg, machine);
+    let mii = bounds.mii();
+    // A generous slack: IMS almost always succeeds within a few IIs of MII.
+    for ii in mii..=mii.saturating_mul(2) + 32 {
+        if let Some(s) = schedule_at_ii(ddg, machine, ii) {
+            return Some((s, bounds));
+        }
+    }
+    None
+}
+
+/// Priority heights: longest path to any sink under `ii`-adjusted weights.
+fn heights(ddg: &Ddg, ii: u32) -> Vec<i64> {
+    let n = ddg.nodes().len();
+    let mut h = vec![0i64; n];
+    // Iterate to fixpoint; bounded because a feasible ii admits no positive
+    // cycle (and we cap rounds regardless).
+    for _ in 0..n {
+        let mut changed = false;
+        for e in ddg.edges() {
+            let w = i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
+            let cand = h[e.to] + w;
+            if cand > h[e.from] {
+                h[e.from] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_ir::{Kernel, KernelBuilder, Scalar, Ty};
+    use stream_vlsi::Shape;
+
+    fn schedule(k: &Kernel, m: &Machine) -> (ModuloSchedule, MiiBounds, Ddg) {
+        let ddg = Ddg::build(k, m);
+        let (s, b) = modulo_schedule(&ddg, m).expect("schedulable");
+        (s, b, ddg)
+    }
+
+    fn alu_chain(n_ops: usize, independent: bool) -> Kernel {
+        let mut b = KernelBuilder::new("alu");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let x = b.read(s);
+        let mut acc = x;
+        for _ in 0..n_ops {
+            acc = if independent { b.add(x, x) } else { b.add(acc, acc) };
+        }
+        b.write(out, acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn independent_ops_reach_res_mii() {
+        let k = alu_chain(20, true);
+        let m = Machine::baseline();
+        let (s, b, ddg) = schedule(&k, &m);
+        assert_eq!(b.res_mii, 4); // 20 adds over 5 ALUs
+        assert_eq!(s.ii, 4);
+        assert_eq!(s.verify(&ddg, &m), Ok(()));
+    }
+
+    #[test]
+    fn dependent_chain_still_pipelines_to_mii() {
+        // A serial chain within the iteration has no loop-carried cycle, so
+        // modulo scheduling overlaps iterations and reaches ResMII.
+        let k = alu_chain(10, false);
+        let m = Machine::baseline();
+        let (s, b, ddg) = schedule(&k, &m);
+        assert_eq!(b.res_mii, 2);
+        assert_eq!(s.ii, 2);
+        // But the schedule is deep: ~10 chained 4-cycle adds.
+        assert!(s.length(&ddg) >= 40);
+        assert!(s.stages() > 5);
+    }
+
+    #[test]
+    fn accumulator_forces_rec_mii() {
+        let mut b = KernelBuilder::new("acc");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let acc = b.recurrence(Scalar::F32(0.0));
+        let x = b.read(s);
+        let sum = b.add(acc, x);
+        b.bind_next(acc, sum);
+        b.write(out, sum);
+        let k = b.finish().unwrap();
+        let m = Machine::baseline();
+        let (s, bounds, ddg) = schedule(&k, &m);
+        assert_eq!(bounds.rec_mii, 4);
+        assert_eq!(s.ii, 4);
+        assert_eq!(s.verify(&ddg, &m), Ok(()));
+    }
+
+    #[test]
+    fn sb_port_pressure_binds_wide_records() {
+        // 16 reads of one stream: the single SB port serializes them.
+        let mut b = KernelBuilder::new("wide");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let mut acc = b.read(s);
+        for _ in 0..15 {
+            let x = b.read(s);
+            acc = b.add(acc, x);
+        }
+        b.write(out, acc);
+        let k = b.finish().unwrap();
+        let m = Machine::baseline();
+        let (s, bounds, _) = schedule(&k, &m);
+        // 16 pops in order with a distance-1 wrap edge -> RecMII >= 16.
+        assert!(bounds.rec_mii >= 16);
+        assert!(s.ii >= 16);
+    }
+
+    #[test]
+    fn more_alus_reduce_ii() {
+        let k = alu_chain(40, true);
+        let m5 = Machine::paper(Shape::new(8, 5));
+        let m10 = Machine::paper(Shape::new(8, 10));
+        let ii5 = schedule(&k, &m5).0.ii;
+        let ii10 = schedule(&k, &m10).0.ii;
+        assert_eq!(ii5, 8);
+        assert_eq!(ii10, 4);
+    }
+
+    #[test]
+    fn register_estimate_grows_with_overlap() {
+        let k = alu_chain(10, false);
+        let m = Machine::baseline();
+        let (s, _, ddg) = schedule(&k, &m);
+        let regs = s.register_estimate(&ddg);
+        // Deep pipeline, II 2 -> many live copies.
+        assert!(regs > 10, "regs = {regs}");
+    }
+
+    #[test]
+    fn empty_kernel_schedules_trivially() {
+        let mut b = KernelBuilder::new("nop");
+        let _s = b.in_stream(Ty::I32);
+        let k = b.finish().unwrap();
+        let m = Machine::baseline();
+        let ddg = Ddg::build(&k, &m);
+        let (s, _) = modulo_schedule(&ddg, &m).unwrap();
+        assert_eq!(s.times.len(), 0);
+        assert_eq!(s.stages(), 1);
+    }
+
+    #[test]
+    fn verify_rejects_bogus_schedule() {
+        let k = alu_chain(4, false);
+        let m = Machine::baseline();
+        let ddg = Ddg::build(&k, &m);
+        let bogus = ModuloSchedule {
+            ii: 1,
+            times: vec![0; ddg.nodes().len()],
+        };
+        assert!(bogus.verify(&ddg, &m).is_err());
+    }
+}

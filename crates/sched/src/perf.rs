@@ -1,0 +1,492 @@
+//! Kernel compilation and static inner-loop performance analysis
+//! (paper Section 5.1: kernels are recompiled per machine; inner-loop
+//! performance is measured by static analysis of the compiled schedule).
+
+use crate::{modulo_schedule, schedule_at_ii, Ddg, MiiBounds, ModuloSchedule};
+use std::error::Error;
+use std::fmt;
+use stream_ir::{unroll, Kernel};
+use stream_machine::Machine;
+
+/// Compilation error: no legal schedule was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Kernel name.
+    pub kernel: String,
+    /// Machine the kernel was compiled for.
+    pub machine: String,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no legal modulo schedule for kernel {} on {}",
+            self.kernel, self.machine
+        )
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Compilation options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Unroll factors to try; the best elements/cycle wins.
+    pub unroll_factors: Vec<u32>,
+    /// Enforce the cluster's LRF register capacity by deepening the II when
+    /// a schedule holds too many values live.
+    pub respect_registers: bool,
+    /// Maximum schedule length in VLIW instructions (the microcode store
+    /// holds `r_uc = 2048`).
+    pub max_length: u32,
+    /// Software pipelining (modulo scheduling). Disabling it runs each loop
+    /// iteration to completion before starting the next — the ablation
+    /// quantifying how much the stream methodology depends on SWP.
+    pub software_pipelining: bool,
+}
+
+impl CompileOptions {
+    /// Default options with software pipelining disabled (ablation).
+    pub fn without_software_pipelining() -> Self {
+        Self {
+            software_pipelining: false,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            unroll_factors: vec![1, 2, 4, 8],
+            respect_registers: true,
+            max_length: 2048,
+            software_pipelining: true,
+        }
+    }
+}
+
+/// A kernel compiled for one machine: the chosen unroll factor, its modulo
+/// schedule, and the static performance numbers derived from them.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    name: String,
+    unroll: u32,
+    schedule: ModuloSchedule,
+    ddg: Ddg,
+    bounds: MiiBounds,
+    schedule_length: u32,
+    registers: u32,
+    base_alu_ops: u32,
+    clusters: u32,
+    pipeline_fill: u32,
+}
+
+impl CompiledKernel {
+    /// Compiles `kernel` for `machine`: builds the dependence graph for each
+    /// candidate unroll factor, modulo-schedules it, and keeps the fastest
+    /// legal result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if no candidate produces a legal schedule
+    /// (which indicates a kernel/machine mismatch such as zero functional
+    /// units — not expected for valid machines).
+    pub fn compile(
+        kernel: &Kernel,
+        machine: &Machine,
+        opts: &CompileOptions,
+    ) -> Result<Self, ScheduleError> {
+        let mut best: Option<CompiledKernel> = None;
+        for &u in &opts.unroll_factors {
+            let unrolled = match unroll(kernel, u) {
+                Ok(k) => k,
+                Err(_) => continue,
+            };
+            let ddg = Ddg::build(&unrolled, machine);
+            let Some((mut sched, bounds)) = modulo_schedule(&ddg, machine) else {
+                continue;
+            };
+
+            // No-SWP ablation: stretch the initiation interval to the flat
+            // schedule length so iterations never overlap. (Dependence and
+            // resource legality are preserved: every op finishes within one
+            // interval and distinct cycles stay distinct modulo the longer
+            // II.)
+            if !opts.software_pipelining {
+                let flat = sched.length(&ddg).max(1);
+                sched = crate::ModuloSchedule {
+                    ii: flat,
+                    times: sched.times.clone(),
+                };
+                debug_assert_eq!(sched.verify(&ddg, machine), Ok(()));
+            }
+
+            // Register pressure: deepen the II (less iteration overlap, so
+            // fewer rotating copies) until the estimate fits. A flat
+            // schedule is reached at II = schedule length; past that nothing
+            // improves.
+            if opts.respect_registers {
+                let cap = machine.register_capacity();
+                while sched.register_estimate(&ddg) > cap {
+                    let next_ii = (sched.ii + sched.ii.div_ceil(4))
+                        .min(sched.length(&ddg))
+                        .min(opts.max_length);
+                    if next_ii <= sched.ii {
+                        break;
+                    }
+                    match schedule_at_ii(&ddg, machine, next_ii) {
+                        Some(s) => sched = s,
+                        None => break,
+                    }
+                }
+                if sched.register_estimate(&ddg) > cap {
+                    continue;
+                }
+            }
+
+            let length = sched.length(&ddg);
+            if length > opts.max_length {
+                continue;
+            }
+
+            let cand = CompiledKernel {
+                name: kernel.name().to_string(),
+                unroll: u,
+                registers: sched.register_estimate(&ddg),
+                schedule_length: length,
+                schedule: sched,
+                ddg,
+                bounds,
+                base_alu_ops: kernel.stats().alu_ops,
+                clusters: machine.clusters(),
+                pipeline_fill: machine.pipeline_fill_cycles(),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let a = cand.elements_per_cycle_per_cluster();
+                    let bb = b.elements_per_cycle_per_cluster();
+                    a > bb * 1.0001 || (a > bb * 0.9999 && cand.unroll < b.unroll)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        best.ok_or_else(|| ScheduleError {
+            kernel: kernel.name().to_string(),
+            machine: machine.to_string(),
+        })
+    }
+
+    /// Compiles with default options.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledKernel::compile`].
+    pub fn compile_default(kernel: &Kernel, machine: &Machine) -> Result<Self, ScheduleError> {
+        Self::compile(kernel, machine, &CompileOptions::default())
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unroll factor the compiler chose.
+    pub fn unroll_factor(&self) -> u32 {
+        self.unroll
+    }
+
+    /// The initiation interval of the software-pipelined inner loop.
+    pub fn ii(&self) -> u32 {
+        self.schedule.ii
+    }
+
+    /// Software-pipeline stage count.
+    pub fn stages(&self) -> u32 {
+        self.schedule.stages()
+    }
+
+    /// Flat schedule length (VLIW instructions for one unrolled iteration).
+    pub fn schedule_length(&self) -> u32 {
+        self.schedule_length
+    }
+
+    /// The MII bounds that constrained this schedule.
+    pub fn bounds(&self) -> MiiBounds {
+        self.bounds
+    }
+
+    /// Estimated registers live per cluster.
+    pub fn registers(&self) -> u32 {
+        self.registers
+    }
+
+    /// Stream records processed per cycle per cluster in steady state —
+    /// the paper's kernel inner-loop performance metric.
+    pub fn elements_per_cycle_per_cluster(&self) -> f64 {
+        f64::from(self.unroll) / f64::from(self.schedule.ii)
+    }
+
+    /// ALU operations per cycle per cluster in steady state.
+    pub fn alu_ops_per_cycle_per_cluster(&self) -> f64 {
+        f64::from(self.base_alu_ops) * self.elements_per_cycle_per_cluster()
+    }
+
+    /// Machine-wide ALU operations per cycle in steady state (GOPS at
+    /// 1 GHz).
+    pub fn alu_ops_per_cycle(&self) -> f64 {
+        f64::from(self.clusters) * self.alu_ops_per_cycle_per_cluster()
+    }
+
+    /// Machine-wide records per cycle in steady state.
+    pub fn elements_per_cycle(&self) -> f64 {
+        f64::from(self.clusters) * self.elements_per_cycle_per_cluster()
+    }
+
+    /// Cycles for one kernel invocation over `records` stream records —
+    /// including the per-call overheads that produce the paper's short-
+    /// stream effects (Section 5.3): microcontroller/cluster pipeline fill
+    /// and software-pipeline priming, plus the drain of the last iteration.
+    pub fn call_cycles(&self, records: u64) -> u64 {
+        let per_call = u64::from(self.unroll) * u64::from(self.clusters);
+        let iterations = records.div_ceil(per_call).max(1);
+        u64::from(self.pipeline_fill)
+            + (iterations - 1) * u64::from(self.schedule.ii)
+            + u64::from(self.schedule_length)
+    }
+
+    /// Steady-state-only cycles for `records` (no per-call overhead); the
+    /// denominator of kernel inner-loop speedup comparisons.
+    pub fn inner_loop_cycles(&self, records: u64) -> u64 {
+        let per_call = u64::from(self.unroll) * u64::from(self.clusters);
+        records.div_ceil(per_call).max(1) * u64::from(self.schedule.ii)
+    }
+
+    /// The modulo schedule itself.
+    pub fn schedule(&self) -> &ModuloSchedule {
+        &self.schedule
+    }
+
+    /// The dependence graph the schedule was built over.
+    pub fn ddg(&self) -> &Ddg {
+        &self.ddg
+    }
+
+    /// Human-readable VLIW listing of the steady-state kernel: one line per
+    /// modulo slot showing the operations issued there, each tagged with
+    /// its value id and software-pipeline stage.
+    ///
+    /// # Examples
+    ///
+    /// Printing a compiled kernel's listing shows how the scheduler packed
+    /// the functional units:
+    ///
+    /// ```
+    /// use stream_ir::{KernelBuilder, Ty};
+    /// use stream_machine::Machine;
+    /// use stream_sched::CompiledKernel;
+    ///
+    /// let mut b = KernelBuilder::new("double");
+    /// let s = b.in_stream(Ty::I32);
+    /// let o = b.out_stream(Ty::I32);
+    /// let x = b.read(s);
+    /// let y = b.add(x, x);
+    /// b.write(o, y);
+    /// let c = CompiledKernel::compile_default(&b.finish()?, &Machine::baseline())?;
+    /// let listing = c.listing();
+    /// assert!(listing.contains("slot"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} II={} unroll=x{} stages={} (ResMII={}, RecMII={})",
+            self.name,
+            self.schedule.ii,
+            self.unroll,
+            self.stages(),
+            self.bounds.res_mii,
+            self.bounds.rec_mii
+        );
+        for slot in 0..self.schedule.ii {
+            let mut ops: Vec<String> = Vec::new();
+            for (i, node) in self.ddg.nodes().iter().enumerate() {
+                let t = self.schedule.times[i];
+                if t % self.schedule.ii == slot {
+                    ops.push(format!(
+                        "{}[{}]@s{}",
+                        node.class,
+                        node.value,
+                        t / self.schedule.ii
+                    ));
+                }
+            }
+            let _ = writeln!(out, "  slot {slot:>3}: {}", ops.join("  "));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CompiledKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: II={} x{} ({} stages, {} regs, {:.3} elem/cycle/cluster)",
+            self.name,
+            self.schedule.ii,
+            self.unroll,
+            self.stages(),
+            self.registers,
+            self.elements_per_cycle_per_cluster()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_ir::{KernelBuilder, Scalar, Ty};
+    use stream_vlsi::Shape;
+
+    fn mul_add_kernel(n_pairs: usize) -> Kernel {
+        // Independent multiply-adds: pure DLP, unrolls cleanly.
+        let mut b = KernelBuilder::new("fma_chain");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let x = b.read(s);
+        let mut acc = b.mul(x, x);
+        for _ in 0..n_pairs {
+            let m = b.mul(x, x);
+            acc = b.add(acc, m);
+        }
+        b.write(out, acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn compile_reaches_resource_bound() {
+        let k = mul_add_kernel(7); // 15 ALU ops
+        let m = Machine::baseline();
+        let c = CompiledKernel::compile_default(&k, &m).unwrap();
+        // 15 ALU ops over 5 ALUs: 3 cycles per element, give or take
+        // rounding from the chosen unroll.
+        let e = c.elements_per_cycle_per_cluster();
+        assert!(e > 0.3 && e <= 0.34, "elements/cycle = {e}");
+    }
+
+    #[test]
+    fn unrolling_smooths_ceiling_effects() {
+        // 6 ALU ops over 5 ALUs: unrolled x4 -> 24 ops over 5 ALUs ~ II 5,
+        // 0.8 elem/cycle vs 0.5 without unrolling.
+        let mut b = KernelBuilder::new("six");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let x = b.read(s);
+        let a = b.add(x, x);
+        let b2 = b.add(x, x);
+        let c2 = b.add(x, x);
+        let d = b.mul(a, b2);
+        let e = b.mul(c2, x);
+        let f = b.add(d, e);
+        b.write(out, f);
+        let k = b.finish().unwrap();
+        let m = Machine::baseline();
+        let c = CompiledKernel::compile_default(&k, &m).unwrap();
+        assert!(c.unroll_factor() > 1);
+        assert!(c.elements_per_cycle_per_cluster() > 0.5);
+    }
+
+    #[test]
+    fn speedup_with_more_alus_is_near_linear() {
+        let k = mul_add_kernel(29); // 59 ALU ops, convolve-ish
+        let m2 = Machine::paper(Shape::new(8, 2));
+        let m5 = Machine::paper(Shape::new(8, 5));
+        let m10 = Machine::paper(Shape::new(8, 10));
+        let p = |m: &Machine| {
+            CompiledKernel::compile_default(&k, m)
+                .unwrap()
+                .elements_per_cycle_per_cluster()
+        };
+        let (p2, p5, p10) = (p(&m2), p(&m5), p(&m10));
+        assert!(p5 / p2 > 2.0 && p5 / p2 < 3.0, "5v2 {}", p5 / p2);
+        assert!(p10 / p5 > 1.6 && p10 / p5 <= 2.05, "10v5 {}", p10 / p5);
+    }
+
+    #[test]
+    fn accumulator_limits_unrolling_gains() {
+        // True loop-carried sum: unrolled copies chain, RecMII grows with U,
+        // so elements/cycle saturates at 1/latency regardless of N.
+        let mut b = KernelBuilder::new("reduce");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let acc = b.recurrence(Scalar::F32(0.0));
+        let x = b.read(s);
+        let sum = b.add(acc, x);
+        b.bind_next(acc, sum);
+        b.write(out, sum);
+        let k = b.finish().unwrap();
+        let m = Machine::paper(Shape::new(8, 10));
+        let c = CompiledKernel::compile_default(&k, &m).unwrap();
+        // fadd latency 4: at best 1 element per 4 cycles regardless of U.
+        assert!(c.elements_per_cycle_per_cluster() <= 0.26);
+    }
+
+    #[test]
+    fn call_cycles_include_overheads() {
+        let k = mul_add_kernel(7);
+        let m = Machine::baseline();
+        let c = CompiledKernel::compile_default(&k, &m).unwrap();
+        let short = c.call_cycles(8);
+        let long = c.call_cycles(8000);
+        // Long calls amortize: per-record cost much lower.
+        let short_per = short as f64 / 8.0;
+        let long_per = long as f64 / 8000.0;
+        assert!(short_per > 5.0 * long_per);
+        // Inner-loop cycles exclude the fixed overheads.
+        assert!(c.inner_loop_cycles(8000) < c.call_cycles(8000));
+    }
+
+    #[test]
+    fn gops_scale_with_clusters() {
+        let k = mul_add_kernel(7);
+        let c8 = CompiledKernel::compile_default(&k, &Machine::paper(Shape::new(8, 5))).unwrap();
+        let c64 = CompiledKernel::compile_default(&k, &Machine::paper(Shape::new(64, 5))).unwrap();
+        let ratio = c64.alu_ops_per_cycle() / c8.alu_ops_per_cycle();
+        assert!((ratio - 8.0).abs() < 0.75, "ratio {ratio}");
+    }
+
+    #[test]
+    fn disabling_software_pipelining_costs_throughput() {
+        // A latency-dominated chain: SWP hides the latency by overlapping
+        // iterations; without it, throughput collapses to 1/makespan.
+        let k = mul_add_kernel(7);
+        let m = Machine::baseline();
+        let swp = CompiledKernel::compile_default(&k, &m).unwrap();
+        let flat = CompiledKernel::compile(&k, &m, &CompileOptions::without_software_pipelining())
+            .unwrap();
+        assert!(flat.ii() >= flat.stages() * swp.ii());
+        assert!(
+            swp.elements_per_cycle_per_cluster()
+                > 2.0 * flat.elements_per_cycle_per_cluster(),
+            "SWP {} vs flat {}",
+            swp.elements_per_cycle_per_cluster(),
+            flat.elements_per_cycle_per_cluster()
+        );
+        // The flat schedule is still legal: one stage, nothing overlaps.
+        assert_eq!(flat.stages(), 1);
+    }
+
+    #[test]
+    fn display_mentions_ii() {
+        let k = mul_add_kernel(3);
+        let m = Machine::baseline();
+        let c = CompiledKernel::compile_default(&k, &m).unwrap();
+        assert!(c.to_string().contains("II="));
+    }
+}

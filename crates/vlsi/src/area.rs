@@ -1,0 +1,306 @@
+//! Area model (paper Table 3, "Total Area" block).
+//!
+//! All areas are in *grids* (one wire track squared). The model decomposes a
+//! stream processor into the four components that scale with `(C, N)`: the
+//! SRF banks, the microcontroller, the arithmetic clusters (including the
+//! intracluster switch), and the intercluster switch. The stream controller
+//! and memory system are constant-factor and excluded, as in the paper.
+
+use crate::{DerivedCounts, Shape, TechParams};
+
+/// Area of one arithmetic cluster, broken into its Table 3 terms.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterArea {
+    /// LRF area: `N_FU * w_LRF * h` (two LRFs per functional unit).
+    pub lrfs: f64,
+    /// ALU datapath area: `N * w_ALU * h`.
+    pub alus: f64,
+    /// Scratchpad area: `N_SP * w_SP * h`.
+    pub scratchpads: f64,
+    /// Intracluster switch area `A_SW`: the grid crossbar connecting FU
+    /// outputs and external ports to LRF inputs.
+    pub intracluster_switch: f64,
+}
+
+impl ClusterArea {
+    /// Total cluster area `A_CLST`.
+    pub fn total(&self) -> f64 {
+        self.lrfs + self.alus + self.scratchpads + self.intracluster_switch
+    }
+}
+
+/// Area of one SRF bank, broken into storage and streambuffers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SrfBankArea {
+    /// Stream storage: `r_m * T * N * b * A_SRAM` (single-ported SRAM sized
+    /// to cover memory latency).
+    pub storage: f64,
+    /// Streambuffers: `(2 * G_SRF * N) * N_SB * A_SB` (each SB double-buffers
+    /// one SRF block).
+    pub streambuffers: f64,
+}
+
+impl SrfBankArea {
+    /// Total bank area `A_SRF`.
+    pub fn total(&self) -> f64 {
+        self.storage + self.streambuffers
+    }
+}
+
+/// Complete area breakdown of a stream processor (paper Figures 6, 9, 12 plot
+/// `total / total_alus`, stacked by these components).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// The shape this breakdown was computed for.
+    pub shape: Shape,
+    /// One SRF bank (there are `C` of them).
+    pub srf_bank: SrfBankArea,
+    /// One arithmetic cluster (there are `C` of them).
+    pub cluster: ClusterArea,
+    /// The microcontroller: microcode storage plus instruction-distribution
+    /// wiring to the cluster grid.
+    pub microcontroller: f64,
+    /// The intercluster switch `A_COMM`.
+    pub intercluster_switch: f64,
+}
+
+impl AreaBreakdown {
+    /// Computes the breakdown for `shape` under `params`.
+    pub fn compute(shape: Shape, params: &TechParams) -> Self {
+        let d = shape.derive(params);
+        let srf_bank = srf_bank_area(&d, params);
+        let cluster = cluster_area(&d, params);
+        let intercluster_switch =
+            intercluster_switch_area(&d, params, cluster.total(), srf_bank.total());
+        let microcontroller = microcontroller_area(
+            &d,
+            params,
+            cluster.total(),
+            srf_bank.total(),
+            intercluster_switch,
+        );
+        Self {
+            shape,
+            srf_bank,
+            cluster,
+            microcontroller,
+            intercluster_switch,
+        }
+    }
+
+    /// All `C` SRF banks.
+    pub fn srf_total(&self) -> f64 {
+        self.shape.c() * self.srf_bank.total()
+    }
+
+    /// All `C` clusters.
+    pub fn clusters_total(&self) -> f64 {
+        self.shape.c() * self.cluster.total()
+    }
+
+    /// Total scaled area `A_TOT = C*A_SRF + A_UC + C*A_CLST + A_COMM`.
+    pub fn total(&self) -> f64 {
+        self.srf_total() + self.microcontroller + self.clusters_total() + self.intercluster_switch
+    }
+
+    /// Area per ALU, the paper's efficiency metric (Figures 6, 9, 12).
+    pub fn per_alu(&self) -> f64 {
+        self.total() / self.shape.total_alus() as f64
+    }
+
+    /// Fraction of the total occupied by raw ALU datapaths — a utilization
+    /// measure used by Table 5's performance-per-area normalization.
+    pub fn alu_area_fraction(&self) -> f64 {
+        self.clusters_total() * (self.cluster.alus / self.cluster.total()) / self.total()
+    }
+}
+
+/// `A_SRF`: one SRF bank.
+fn srf_bank_area(d: &DerivedCounts, p: &TechParams) -> SrfBankArea {
+    let n = d.shape.n();
+    let storage = p.srf_words_per_alu_latency * p.t_mem() * n * p.b() * p.sram_area_per_bit;
+    let streambuffers =
+        2.0 * p.srf_width_per_alu * n * f64::from(d.total_sbs) * p.sb_area_per_word;
+    SrfBankArea {
+        storage,
+        streambuffers,
+    }
+}
+
+/// `A_CLST`: one arithmetic cluster.
+fn cluster_area(d: &DerivedCounts, p: &TechParams) -> ClusterArea {
+    let h = p.datapath_height;
+    ClusterArea {
+        lrfs: d.n_fu() * p.lrf_width * h,
+        alus: d.shape.n() * p.alu_width * h,
+        scratchpads: d.n_sp() * p.sp_width * h,
+        intracluster_switch: intracluster_switch_area(d, p),
+    }
+}
+
+/// `A_SW`: the intracluster switch, laid out as a square grid of FUs
+/// (Figure 5). Row buses carry FU outputs, column buses carry LRF inputs;
+/// the two Table 3 terms are (rows x columns cross-point fabric) and the
+/// external-port wiring.
+fn intracluster_switch_area(d: &DerivedCounts, p: &TechParams) -> f64 {
+    let n_fu = d.n_fu();
+    let b = p.b();
+    let root = n_fu.sqrt();
+    let h = p.datapath_height;
+    let fabric = n_fu * (root * b) * (2.0 * root * b + h + 2.0 * p.alu_width + 2.0 * p.lrf_width);
+    let ports = root * (3.0 * root * b + h + p.alu_width + p.lrf_width) * d.p_e() * b;
+    p.crossbar_density * fabric + ports
+}
+
+/// `A_COMM`: the intercluster switch. Clusters sit in a `sqrt(C) x sqrt(C)`
+/// grid (Figure 4); each cluster broadcasts on `N_COMM` row buses and reads
+/// from `N_COMM` column buses, so a bundle of `N_COMM * b * sqrt(C)` wires
+/// runs between adjacent grid positions, and each bus spans the cluster/SRF
+/// pitch.
+fn intercluster_switch_area(d: &DerivedCounts, p: &TechParams, a_clst: f64, a_srf: f64) -> f64 {
+    let c = d.shape.c();
+    let b = p.b();
+    let bundle = d.n_comm() * b * c.sqrt();
+    let pitch = bundle + 2.0 * a_clst.sqrt() + a_srf.sqrt();
+    p.crossbar_density * c * d.n_comm() * b * c.sqrt() * pitch
+}
+
+/// `A_UC`: microcode storage plus instruction distribution.
+///
+/// Storage holds `r_uc` VLIW instructions of `I_0 + I_N * N_FU` bits. The
+/// per-FU instruction bits (`I_N * N_FU` wires) are then driven from the
+/// microcontroller across the cluster array — one trunk spanning the array
+/// side. Further in-grid distribution (repeaters, pipeline registers inside
+/// the cluster rows) is already accounted for in the Table 1 component areas,
+/// exactly as the paper notes in Section 3.1.2.
+fn microcontroller_area(
+    d: &DerivedCounts,
+    p: &TechParams,
+    a_clst: f64,
+    a_srf: f64,
+    a_comm: f64,
+) -> f64 {
+    let c = d.shape.c();
+    let storage = p.microcode_instructions * d.vliw_width_bits(p) * p.sram_area_per_bit;
+    let array_side = (c * (a_clst + a_srf) + a_comm).sqrt();
+    let distribution = p.vliw_bits_per_fu * d.n_fu() * array_side;
+    storage + distribution
+}
+
+/// Convenience: total area for `shape`.
+///
+/// # Examples
+///
+/// ```
+/// use stream_vlsi::{area_total, Shape, TechParams};
+///
+/// let p = TechParams::paper();
+/// let small = area_total(Shape::new(8, 5), &p);
+/// let big = area_total(Shape::new(128, 5), &p);
+/// assert!(big > 10.0 * small);
+/// ```
+pub fn area_total(shape: Shape, params: &TechParams) -> f64 {
+    AreaBreakdown::compute(shape, params).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> TechParams {
+        TechParams::paper()
+    }
+
+    fn breakdown(c: u32, n: u32) -> AreaBreakdown {
+        AreaBreakdown::compute(Shape::new(c, n), &paper())
+    }
+
+    #[test]
+    fn baseline_component_magnitudes() {
+        // Hand-computed from the Table 1 constants for C=8, N=5.
+        let a = breakdown(8, 5);
+        assert!((a.srf_bank.storage - 2.8336e6).abs() < 1e3);
+        assert!((a.srf_bank.streambuffers - 140_517.0).abs() < 1.0);
+        let clst = a.cluster.total();
+        assert!((clst - 15.66e6).abs() < 0.05e6, "A_CLST = {clst:e}");
+        assert!(
+            (a.intercluster_switch - 7.0e6).abs() < 0.2e6,
+            "A_COMM = {:e}",
+            a.intercluster_switch
+        );
+        // Microcode storage alone: 2048 * 476 * 16.1 = 15.69e6.
+        assert!(a.microcontroller > 15.69e6);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let a = breakdown(16, 8);
+        let sum = a.srf_total() + a.microcontroller + a.clusters_total() + a.intercluster_switch;
+        assert!((a.total() - sum).abs() < 1e-6 * a.total());
+    }
+
+    #[test]
+    fn srf_storage_linear_in_n() {
+        let p = paper();
+        let a5 = AreaBreakdown::compute(Shape::new(8, 5), &p).srf_bank.storage;
+        let a10 = AreaBreakdown::compute(Shape::new(8, 10), &p).srf_bank.storage;
+        assert!((a10 / a5 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_area_independent_of_c() {
+        let a = breakdown(8, 5).cluster.total();
+        let b = breakdown(256, 5).cluster.total();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intracluster_switch_superlinear_in_n() {
+        // A_SW is dominated by the N_FU^(3/2) crossbar fabric term: doubling
+        // N should more than double switch area once N is large.
+        let s16 = breakdown(8, 16).cluster.intracluster_switch;
+        let s32 = breakdown(8, 32).cluster.intracluster_switch;
+        let s64 = breakdown(8, 64).cluster.intracluster_switch;
+        assert!(s32 > 2.0 * s16);
+        assert!(s64 > 2.0 * s32);
+    }
+
+    #[test]
+    fn intercluster_switch_superlinear_in_c() {
+        let a32 = breakdown(32, 5).intercluster_switch;
+        let a128 = breakdown(128, 5).intercluster_switch;
+        // 4x clusters -> more than 4x switch area (C^(3/2) growth).
+        assert!(a128 > 4.0 * a32);
+    }
+
+    #[test]
+    fn microcode_storage_amortizes_over_clusters() {
+        // Per-ALU microcontroller area should drop substantially from C=8 to
+        // C=32 (the paper's explanation for C=32 beating C=8).
+        let p = paper();
+        let per_alu = |c: u32| {
+            let a = AreaBreakdown::compute(Shape::new(c, 5), &p);
+            a.microcontroller / a.shape.total_alus() as f64
+        };
+        assert!(per_alu(32) < 0.5 * per_alu(8));
+    }
+
+    #[test]
+    fn per_alu_positive_and_finite_across_design_space() {
+        for &c in &[1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            for &n in &[1u32, 2, 3, 5, 8, 10, 14, 16, 32, 64, 128] {
+                let a = breakdown(c, n);
+                assert!(a.per_alu().is_finite());
+                assert!(a.per_alu() > 0.0, "per-ALU area must be positive at C={c} N={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_area_fraction_is_a_fraction() {
+        for &(c, n) in &[(8u32, 5u32), (128, 5), (8, 64), (256, 2)] {
+            let f = breakdown(c, n).alu_area_fraction();
+            assert!(f > 0.0 && f < 1.0, "fraction {f} out of range at C={c} N={n}");
+        }
+    }
+}

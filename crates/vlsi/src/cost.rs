@@ -1,0 +1,96 @@
+//! One-stop cost model bundling area, energy, and delay.
+
+use crate::{AreaBreakdown, DelayModel, EnergyBreakdown, Shape, TechParams};
+
+/// The complete Section 3 cost model: evaluates area, energy, and delay for
+/// any `(C, N)` under a parameter set.
+///
+/// # Examples
+///
+/// ```
+/// use stream_vlsi::{CostModel, Shape};
+///
+/// let model = CostModel::paper();
+/// let report = model.evaluate(Shape::new(128, 5));
+/// assert_eq!(report.shape(), Shape::new(128, 5));
+/// assert!(report.area.per_alu() > 0.0);
+/// assert!(report.delay.intercluster_cycles() >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostModel {
+    params: TechParams,
+}
+
+impl CostModel {
+    /// Builds a cost model over the given parameters.
+    pub fn new(params: TechParams) -> Self {
+        Self { params }
+    }
+
+    /// The published Table 1 parameterization.
+    pub fn paper() -> Self {
+        Self::new(TechParams::paper())
+    }
+
+    /// The parameter set this model evaluates with.
+    pub fn params(&self) -> &TechParams {
+        &self.params
+    }
+
+    /// Evaluates all three cost dimensions for `shape`.
+    pub fn evaluate(&self, shape: Shape) -> CostReport {
+        let area = AreaBreakdown::compute(shape, &self.params);
+        let energy = EnergyBreakdown::from_areas(&area, &self.params);
+        let delay = DelayModel::from_areas(&area, &self.params);
+        CostReport {
+            area,
+            energy,
+            delay,
+        }
+    }
+}
+
+/// The area/energy/delay triple for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Area breakdown in grids.
+    pub area: AreaBreakdown,
+    /// Energy breakdown in units of `E_w` per cycle.
+    pub energy: EnergyBreakdown,
+    /// Switch delays in FO4.
+    pub delay: DelayModel,
+}
+
+impl CostReport {
+    /// The configuration this report describes.
+    pub fn shape(&self) -> Shape {
+        self.area.shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_dimensions_agree() {
+        let model = CostModel::paper();
+        let r = model.evaluate(Shape::new(64, 10));
+        assert_eq!(r.area.shape, r.energy.shape);
+        assert_eq!(r.area.shape, r.delay.shape);
+        assert_eq!(r.shape(), Shape::new(64, 10));
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let model = CostModel::paper();
+        let a = model.evaluate(Shape::BASELINE);
+        let b = model.evaluate(Shape::BASELINE);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(CostModel::default(), CostModel::paper());
+    }
+}

@@ -1,0 +1,180 @@
+//! Delay model (paper Table 3, wire-delay block; Figures 8 and 11).
+//!
+//! Delays are in FO4 inverter delays. Wire traversal is assumed pipelined
+//! (Section 4.1): increasing a switch delay past cycle boundaries adds
+//! operation latency in cycles but never lowers the clock rate.
+
+use crate::{AreaBreakdown, Shape, TechParams};
+
+/// Switch delays for a configuration, plus the cycle-count consequences used
+/// by the kernel scheduler (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// The shape these delays were computed for.
+    pub shape: Shape,
+    /// `t_intra`: worst-case intracluster switch traversal (FO4) — wire
+    /// propagation across the cluster plus the cross-point mux logic.
+    pub intracluster_fo4: f64,
+    /// `t_inter`: worst-case intercluster switch traversal (FO4), which
+    /// includes an intracluster traversal at the destination.
+    pub intercluster_fo4: f64,
+    /// Clock period in FO4 (copied from the parameters).
+    pub cycle_fo4: f64,
+}
+
+impl DelayModel {
+    /// Computes switch delays for `shape` under `params`.
+    pub fn compute(shape: Shape, params: &TechParams) -> Self {
+        let areas = AreaBreakdown::compute(shape, params);
+        Self::from_areas(&areas, params)
+    }
+
+    /// Computes delays reusing an existing area breakdown (the intercluster
+    /// delay depends on the physical size of the cluster array).
+    pub fn from_areas(areas: &AreaBreakdown, params: &TechParams) -> Self {
+        let shape = areas.shape;
+        let d = shape.derive(params);
+        let b = params.b();
+        let n_fu = d.n_fu();
+        let root = n_fu.sqrt();
+        let h = params.datapath_height;
+
+        // t_intra: (cluster width + height) wire propagation, then a
+        // sqrt(N_FU):1 row-select mux plus one 2:1 mux per additional row.
+        let wire_tracks =
+            root * (h + 2.0 * root * b + params.alu_width + params.lrf_width + root * b);
+        let intra_wire = wire_tracks / params.wire_velocity;
+        let intra_logic = params.mux_delay_fo4 * (n_fu.log2() + root);
+        let intracluster_fo4 = intra_wire + intra_logic;
+
+        // t_inter: cross the whole cluster array, select among C * N_COMM
+        // buses, then complete an intracluster traversal at the destination.
+        let c = shape.c();
+        let array_span = (c * (areas.cluster.total() + areas.srf_bank.total())
+            + areas.intercluster_switch)
+            .sqrt();
+        let inter_wire = 2.0 * array_span / params.wire_velocity;
+        let inter_logic = params.mux_delay_fo4 * ((c * d.n_comm()).log2() + c.sqrt());
+        let intercluster_fo4 = intracluster_fo4 + inter_wire + inter_logic;
+
+        Self {
+            shape,
+            intracluster_fo4,
+            intercluster_fo4,
+            cycle_fo4: params.fo4_per_cycle,
+        }
+    }
+
+    /// Extra pipeline stages added to ALU results and streambuffer reads when
+    /// the intracluster traversal no longer fits in the half cycle Imagine
+    /// allocated for it (Section 5.1: the `N = 14` configurations pay +1).
+    pub fn extra_intracluster_stages(&self) -> u32 {
+        let budget = self.cycle_fo4 / 2.0;
+        if self.intracluster_fo4 <= budget {
+            0
+        } else {
+            ((self.intracluster_fo4 - budget) / self.cycle_fo4).floor() as u32 + 1
+        }
+    }
+
+    /// Pipelined intercluster traversal latency in whole cycles (at least
+    /// one). Determines COMM unit operation latency and conditional-stream
+    /// routing cost.
+    pub fn intercluster_cycles(&self) -> u32 {
+        (self.intercluster_fo4 / self.cycle_fo4).ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delays(c: u32, n: u32) -> DelayModel {
+        DelayModel::compute(Shape::new(c, n), &TechParams::paper())
+    }
+
+    #[test]
+    fn baseline_intracluster_fits_in_half_cycle() {
+        // Imagine allocated half a 45-FO4 cycle; the N=5 cluster fits.
+        let d = delays(8, 5);
+        assert!(d.intracluster_fo4 < 22.5, "t_intra = {}", d.intracluster_fo4);
+        assert_eq!(d.extra_intracluster_stages(), 0);
+    }
+
+    #[test]
+    fn n14_needs_an_extra_stage() {
+        // Section 5.1: at N = 14 an additional pipeline stage was added.
+        let d = delays(8, 14);
+        assert!(d.intracluster_fo4 > 22.5, "t_intra = {}", d.intracluster_fo4);
+        assert_eq!(d.extra_intracluster_stages(), 1);
+    }
+
+    #[test]
+    fn baseline_intercluster_is_about_one_cycle() {
+        // Figure 8 puts t_inter at N=5 right at the 45-FO4 cycle boundary;
+        // pipelined, that is one to two cycles of COMM latency.
+        let d = delays(8, 5);
+        assert!(
+            d.intercluster_fo4 > 35.0 && d.intercluster_fo4 < 60.0,
+            "t_inter = {}",
+            d.intercluster_fo4
+        );
+        assert!(d.intercluster_cycles() <= 2);
+    }
+
+    #[test]
+    fn c128_intercluster_takes_multiple_cycles() {
+        // Figure 11: intercluster delay grows to ~3 cycles at C = 128.
+        let d = delays(128, 5);
+        assert!(
+            d.intercluster_fo4 > 100.0 && d.intercluster_fo4 < 200.0,
+            "t_inter = {}",
+            d.intercluster_fo4
+        );
+        assert!(d.intercluster_cycles() >= 2);
+    }
+
+    #[test]
+    fn intracluster_delay_monotonic_in_n() {
+        let mut last = 0.0;
+        for &n in &[2u32, 5, 10, 14, 16, 32, 64, 128] {
+            let d = delays(8, n);
+            assert!(d.intracluster_fo4 > last);
+            last = d.intracluster_fo4;
+        }
+    }
+
+    #[test]
+    fn intercluster_delay_monotonic_in_c() {
+        let mut last = 0.0;
+        for &c in &[8u32, 16, 32, 64, 128, 256] {
+            let d = delays(c, 5);
+            assert!(d.intercluster_fo4 > last);
+            last = d.intercluster_fo4;
+        }
+    }
+
+    #[test]
+    fn intracluster_delay_constant_under_intercluster_scaling() {
+        // Figure 11: cluster size does not change with C.
+        let a = delays(8, 5).intracluster_fo4;
+        let b = delays(256, 5).intracluster_fo4;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intercluster_includes_intracluster() {
+        for &(c, n) in &[(8u32, 5u32), (64, 10), (256, 2)] {
+            let d = delays(c, n);
+            assert!(d.intercluster_fo4 > d.intracluster_fo4);
+        }
+    }
+
+    #[test]
+    fn full_custom_clock_needs_stages_earlier() {
+        // With a 20-FO4 custom clock the same wires cost more cycles.
+        let p = TechParams::full_custom();
+        let d = DelayModel::compute(Shape::new(8, 5), &p);
+        assert!(d.extra_intracluster_stages() >= 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Energy model (paper Table 3, "Total Energy" block; Figures 7 and 10).
+//!
+//! Energies are normalized to `E_w`, the propagation energy of one wire
+//! track. The model charges, per executed cycle at full ALU issue: SRF-bank
+//! traffic, microcode fetch and instruction distribution, cluster datapath
+//! activity (LRFs, ALUs, scratchpads, intracluster switch), and intercluster
+//! communications at the measured kernel rate `G_COMM`.
+
+use crate::{AreaBreakdown, DerivedCounts, Shape, TechParams};
+
+/// Energy breakdown per machine cycle at full ALU utilization.
+///
+/// Dividing [`EnergyBreakdown::total_per_cycle`] by `C * N` gives the paper's
+/// "energy dissipated per ALU operation" metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// The shape this breakdown was computed for.
+    pub shape: Shape,
+    /// One SRF bank's energy per cycle (storage block accesses plus
+    /// streambuffer traffic).
+    pub srf_bank: f64,
+    /// Microcontroller energy per cycle: microcode fetch plus instruction
+    /// distribution across the cluster grid.
+    pub microcontroller: f64,
+    /// One cluster's energy per cycle (LRFs, ALUs, scratchpads, intracluster
+    /// switch traversals).
+    pub cluster: f64,
+    /// Intercluster communication energy per cycle across the whole machine
+    /// (`G_COMM * N * C` communications of `b` bits each).
+    pub intercluster: f64,
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown for `shape` under `params`.
+    pub fn compute(shape: Shape, params: &TechParams) -> Self {
+        let areas = AreaBreakdown::compute(shape, params);
+        Self::from_areas(&areas, params)
+    }
+
+    /// Computes the breakdown reusing an existing area model (wire energies
+    /// depend on physical distances, hence on areas).
+    pub fn from_areas(areas: &AreaBreakdown, params: &TechParams) -> Self {
+        let shape = areas.shape;
+        let d = shape.derive(params);
+        let e_intra = intracluster_traversal_energy(&d, params);
+        let e_inter = intercluster_traversal_energy(
+            &d,
+            params,
+            areas.cluster.total(),
+            areas.srf_bank.total(),
+        );
+
+        Self {
+            shape,
+            srf_bank: srf_bank_energy(&d, params, e_intra),
+            microcontroller: microcontroller_energy(&d, params, areas),
+            cluster: cluster_energy(&d, params, e_intra),
+            intercluster: params.comm_units_per_alu
+                * shape.n()
+                * shape.c()
+                * params.b()
+                * e_inter,
+        }
+    }
+
+    /// `E_TOT = C*E_SRF + E_UC + C*E_CLST + G_COMM*N*C*b*E_inter`.
+    pub fn total_per_cycle(&self) -> f64 {
+        self.shape.c() * self.srf_bank
+            + self.microcontroller
+            + self.shape.c() * self.cluster
+            + self.intercluster
+    }
+
+    /// Energy per ALU operation, the paper's efficiency metric (Figures 7
+    /// and 10).
+    pub fn per_alu_op(&self) -> f64 {
+        self.total_per_cycle() / self.shape.total_alus() as f64
+    }
+}
+
+/// `E_intra`: wire energy of one bit traversing the intracluster switch
+/// (row bus to the destination column, then down the column).
+fn intracluster_traversal_energy(d: &DerivedCounts, p: &TechParams) -> f64 {
+    let root = d.n_fu().sqrt();
+    let b = p.b();
+    let h = p.datapath_height;
+    p.crossbar_density
+        * p.wire_energy_per_track
+        * (root * (h + 2.0 * root * b) + 2.0 * root * (p.alu_width + p.lrf_width + root * b))
+}
+
+/// `E_inter`: wire energy of one bit of intercluster communication — a row
+/// bus and the destination's column bus, each spanning `sqrt(C)` cluster
+/// pitches.
+fn intercluster_traversal_energy(d: &DerivedCounts, p: &TechParams, a_clst: f64, a_srf: f64) -> f64 {
+    let c = d.shape.c();
+    let bundle = d.n_comm() * p.b() * c.sqrt();
+    p.crossbar_density
+        * p.wire_energy_per_track
+        * 2.0
+        * c.sqrt()
+        * (a_clst.sqrt() + a_srf.sqrt() + bundle)
+}
+
+/// `E_SRF`: one bank, per cycle. The storage term charges a capacity-
+/// proportional SRAM access per block transfer (`G_SB / G_SRF` block accesses
+/// per cycle); the SB term charges `G_SB * N` word accesses, half of which
+/// (reads) also traverse the intracluster switch.
+fn srf_bank_energy(d: &DerivedCounts, p: &TechParams, e_intra: f64) -> f64 {
+    let n = d.shape.n();
+    let b = p.b();
+    let storage = p.srf_words_per_alu_latency
+        * p.t_mem()
+        * n
+        * b
+        * p.sram_energy_per_bit
+        * (p.sb_accesses_per_op / p.srf_width_per_alu);
+    let sbs = p.sb_accesses_per_op * n * b * (p.sb_energy_per_bit + e_intra / 2.0);
+    storage + sbs
+}
+
+/// `E_CLST`: one cluster, per cycle: every FU exercises its LRFs, `N` ALU
+/// operations execute, scratchpads are charged at their unit count, and every
+/// FU result crosses the intracluster switch.
+fn cluster_energy(d: &DerivedCounts, p: &TechParams, e_intra: f64) -> f64 {
+    d.n_fu() * p.lrf_energy
+        + d.shape.n() * p.alu_energy
+        + d.n_sp() * p.sp_energy
+        + d.n_fu() * p.b() * e_intra
+}
+
+/// `E_UC`: per cycle — one microcode fetch (capacity-proportional) plus
+/// driving the per-FU instruction bits across the cluster array.
+fn microcontroller_energy(d: &DerivedCounts, p: &TechParams, areas: &AreaBreakdown) -> f64 {
+    let c = d.shape.c();
+    let fetch = p.microcode_instructions * d.vliw_width_bits(p) * p.sram_energy_per_bit;
+    let array_side = (c * (areas.cluster.total() + areas.srf_bank.total())
+        + areas.intercluster_switch)
+        .sqrt();
+    let distribution = p.vliw_bits_per_fu * d.n_fu() * p.wire_energy_per_track * array_side;
+    fetch + distribution
+}
+
+/// Convenience: energy per ALU operation for `shape`.
+///
+/// # Examples
+///
+/// ```
+/// use stream_vlsi::{energy_per_alu_op, Shape, TechParams};
+///
+/// let p = TechParams::paper();
+/// let base = energy_per_alu_op(Shape::BASELINE, &p);
+/// let big = energy_per_alu_op(Shape::HEADLINE_640, &p);
+/// // Intercluster scaling costs a few percent per op, not integer factors.
+/// assert!(big / base < 1.25);
+/// ```
+pub fn energy_per_alu_op(shape: Shape, params: &TechParams) -> f64 {
+    EnergyBreakdown::compute(shape, params).per_alu_op()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(c: u32, n: u32) -> EnergyBreakdown {
+        EnergyBreakdown::compute(Shape::new(c, n), &TechParams::paper())
+    }
+
+    #[test]
+    fn baseline_magnitudes() {
+        // Hand-computed for C=8, N=5 from Table 1 constants.
+        let e = breakdown(8, 5);
+        assert!(
+            (e.srf_bank - 8.6e5).abs() < 0.3e5,
+            "E_SRF = {:e}",
+            e.srf_bank
+        );
+        assert!(
+            (e.cluster - 2.04e7).abs() < 0.05e7,
+            "E_CLST = {:e}",
+            e.cluster
+        );
+        // ALUs should be the single largest cluster consumer at N=5.
+        let alus = 5.0 * 2.0e6;
+        assert!(alus / e.cluster > 0.4);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let e = breakdown(16, 8);
+        let sum = e.shape.c() * e.srf_bank
+            + e.microcontroller
+            + e.shape.c() * e.cluster
+            + e.intercluster;
+        assert!((e.total_per_cycle() - sum).abs() < 1e-6 * e.total_per_cycle());
+    }
+
+    #[test]
+    fn cluster_energy_independent_of_c() {
+        assert_eq!(breakdown(8, 5).cluster, breakdown(256, 5).cluster);
+    }
+
+    #[test]
+    fn intercluster_energy_superlinear_in_c() {
+        // Per-op intercluster energy grows with machine span.
+        let per_op = |c: u32| {
+            let e = breakdown(c, 5);
+            e.intercluster / e.shape.total_alus() as f64
+        };
+        assert!(per_op(32) > per_op(8));
+        assert!(per_op(128) > per_op(32));
+    }
+
+    #[test]
+    fn microcode_fetch_amortizes_over_clusters() {
+        let per_op = |c: u32| {
+            let e = breakdown(c, 5);
+            e.microcontroller / e.shape.total_alus() as f64
+        };
+        // Fetch dominates at C=8 and is shared; distribution grows slower
+        // than C here, so per-op UC energy must fall from C=8 to C=32.
+        assert!(per_op(32) < per_op(8));
+    }
+
+    #[test]
+    fn per_op_positive_and_finite_across_design_space() {
+        for &c in &[1u32, 8, 64, 256] {
+            for &n in &[1u32, 2, 5, 16, 64, 128] {
+                let e = breakdown(c, n);
+                assert!(e.per_alu_op().is_finite() && e.per_alu_op() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn alu_energy_is_significant_fraction_at_baseline() {
+        // The whole point of stream processors: most energy goes to real
+        // work. At the baseline the ALUs burn >30% of total machine energy.
+        let e = breakdown(8, 5);
+        let alu = 8.0 * 5.0 * 2.0e6;
+        assert!(alu / e.total_per_cycle() > 0.3);
+    }
+}

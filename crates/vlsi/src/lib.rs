@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! Analytical VLSI cost models for stream processors.
+//!
+//! This crate implements Section 3 of *Exploring the VLSI Scalability of
+//! Stream Processors* (Khailany et al., HPCA 2003): closed-form area, delay,
+//! and energy models for an Imagine-style stream processor as a function of
+//! `C` (the number of SIMD arithmetic clusters) and `N` (the number of ALUs
+//! per cluster).
+//!
+//! The model covers the four components that scale with `(C, N)`:
+//!
+//! * the **stream register file** (SRF) — `C` single-ported SRAM banks plus
+//!   streambuffers,
+//! * the **microcontroller** — VLIW microcode storage and instruction
+//!   distribution,
+//! * the **arithmetic clusters** — LRFs, ALUs, scratchpads, and the grid
+//!   intracluster switch,
+//! * the **intercluster switch** — the `sqrt(C) x sqrt(C)` grid of COMM
+//!   buses.
+//!
+//! Units follow the paper exactly: areas in *grids* (wire-track squared),
+//! energies normalized to the per-track wire energy `E_w`, delays in FO4.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stream_vlsi::{CostModel, Shape};
+//!
+//! let model = CostModel::paper();
+//! let base = model.evaluate(Shape::BASELINE);       // C=8,  N=5 (40 ALUs)
+//! let big = model.evaluate(Shape::HEADLINE_640);    // C=128, N=5 (640 ALUs)
+//!
+//! // The paper's headline: 16x the ALUs for ~2% area and ~7% energy per ALU.
+//! let area_ratio = big.area.per_alu() / base.area.per_alu();
+//! let energy_ratio = big.energy.per_alu_op() / base.energy.per_alu_op();
+//! assert!(area_ratio < 1.08);
+//! assert!(energy_ratio < 1.13);
+//! ```
+
+mod area;
+mod calibration;
+mod cost;
+mod delay;
+mod energy;
+mod params;
+mod process;
+mod register_org;
+mod shape;
+mod sweep;
+
+pub use area::{area_total, AreaBreakdown, ClusterArea, SrfBankArea};
+pub use calibration::{calibration_anchors, model_is_calibrated, Anchor};
+pub use cost::{CostModel, CostReport};
+pub use delay::DelayModel;
+pub use energy::{energy_per_alu_op, EnergyBreakdown};
+pub use params::TechParams;
+pub use process::{ProcessNode, Projection};
+pub use register_org::{RegisterOrgComparison, UnifiedRf};
+pub use shape::{DerivedCounts, Shape};
+pub use sweep::{
+    combined_sweep, intercluster_sweep, intracluster_sweep, sweep, Components, CostKind, Sweep,
+    SweepPoint, INTERCLUSTER_CS, INTRACLUSTER_NS,
+};

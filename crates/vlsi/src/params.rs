@@ -1,0 +1,259 @@
+//! Technology and architecture parameters (paper Table 1).
+//!
+//! All values are process-independent, exactly as reported for the Imagine
+//! prototype: areas in *grids* (squares of one wire track on a side), energies
+//! normalized to the wire propagation energy per track `E_w`, and delays in
+//! fan-out-of-4 inverter delays (FO4).
+
+/// The full parameter set of Table 1.
+///
+/// `Default` yields the published values. The struct is plain data with public
+/// fields so design-space studies can perturb individual parameters (e.g. a
+/// full-custom 20-FO4 clock, a different LRF energy), which is exactly how the
+/// paper discusses custom-methodology sensitivity in Section 4.3.
+///
+/// # Examples
+///
+/// ```
+/// use stream_vlsi::TechParams;
+///
+/// let p = TechParams::default();
+/// assert_eq!(p.data_width_bits, 32);
+/// assert_eq!(p.fo4_per_cycle, 45.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechParams {
+    /// `A_SRAM`: area of one bit of SRAM used for the SRF or microcontroller
+    /// (grids).
+    pub sram_area_per_bit: f64,
+    /// `A_SB`: area per word of streambuffer width (grids).
+    pub sb_area_per_word: f64,
+    /// `w_ALU`: datapath width of one ALU (tracks).
+    pub alu_width: f64,
+    /// `w_LRF`: datapath width of the two local register files feeding one
+    /// functional unit (tracks).
+    pub lrf_width: f64,
+    /// `w_SP`: scratchpad datapath width (tracks).
+    pub sp_width: f64,
+    /// `h`: datapath height shared by all cluster components (tracks).
+    pub datapath_height: f64,
+    /// `v_0`: wire propagation velocity (tracks per FO4) with optimal
+    /// repeatering.
+    pub wire_velocity: f64,
+    /// `t_cyc`: clock period in FO4 delays (45 for the standard-cell Imagine
+    /// methodology; ~20 for full-custom designs).
+    pub fo4_per_cycle: f64,
+    /// `t_mux`: delay of a 2:1 mux in FO4.
+    pub mux_delay_fo4: f64,
+    /// `E_w`: wire propagation energy per wire track. The normalization unit;
+    /// 1.0 by construction.
+    pub wire_energy_per_track: f64,
+    /// `E_ALU`: energy of one ALU operation (in units of `E_w`).
+    pub alu_energy: f64,
+    /// `E_SRAM`: SRAM access energy per bit of capacity (in units of `E_w`).
+    ///
+    /// A single-ported SRAM's access energy grows with its capacity (bitline
+    /// and wordline capacitance), so the model charges this per bit of the
+    /// array per access.
+    pub sram_energy_per_bit: f64,
+    /// `E_SB`: energy of one bit of streambuffer access (in units of `E_w`).
+    pub sb_energy_per_bit: f64,
+    /// `E_LRF`: energy of one LRF access (in units of `E_w`).
+    pub lrf_energy: f64,
+    /// `E_SP`: energy of one scratchpad access (in units of `E_w`).
+    pub sp_energy: f64,
+    /// `T`: external memory latency in cycles.
+    pub memory_latency_cycles: u32,
+    /// `b`: data width of the architecture in bits.
+    pub data_width_bits: u32,
+    /// `G_SRF`: width of an SRF bank per ALU (`N`), in words.
+    pub srf_width_per_alu: f64,
+    /// `G_SB`: average number of streambuffer accesses per ALU operation in
+    /// typical kernels (Table 2).
+    pub sb_accesses_per_op: f64,
+    /// `G_COMM`: COMM units required per ALU (`N`).
+    pub comm_units_per_alu: f64,
+    /// `G_SP`: scratchpad units required per ALU (`N`).
+    pub sp_units_per_alu: f64,
+    /// `I_0`: base width of a VLIW instruction in bits (sequencing,
+    /// conditional streams, immediates, SRF interfacing).
+    pub vliw_base_bits: f64,
+    /// `I_N`: additional VLIW instruction bits per functional unit.
+    pub vliw_bits_per_fu: f64,
+    /// `L_C`: initial number of cluster streambuffers.
+    pub base_cluster_sbs: f64,
+    /// `L_O`: number of non-cluster streambuffers (memory, host,
+    /// microcontroller transfers).
+    pub other_sbs: f64,
+    /// `L_N`: additional streambuffers required per ALU.
+    pub extra_sbs_per_alu: f64,
+    /// `r_m`: SRF capacity needed per ALU for each cycle of memory latency
+    /// (words).
+    pub srf_words_per_alu_latency: f64,
+    /// `r_uc`: number of VLIW instructions held in microcode storage.
+    pub microcode_instructions: f64,
+    /// Crossbar connectivity density in (0, 1]: the fraction of full
+    /// intracluster/intercluster crossbar buses provided. 1.0 is the
+    /// paper's fully-connected design; smaller values model the
+    /// non-fully-connected switches the paper's conclusion proposes as
+    /// future work. Scales the switch fabric area and traversal energy
+    /// first-order; logic delay is unchanged (a sparse switch still
+    /// selects among all sources).
+    pub crossbar_density: f64,
+}
+
+impl TechParams {
+    /// The published Table 1 parameter values.
+    pub const fn paper() -> Self {
+        Self {
+            sram_area_per_bit: 16.1,
+            sb_area_per_word: 2161.8,
+            alu_width: 876.9,
+            lrf_width: 437.0,
+            sp_width: 708.9,
+            datapath_height: 1400.0,
+            wire_velocity: 1400.0,
+            fo4_per_cycle: 45.0,
+            mux_delay_fo4: 2.0,
+            wire_energy_per_track: 1.0,
+            alu_energy: 2.0e6,
+            sram_energy_per_bit: 8.7,
+            sb_energy_per_bit: 1936.0,
+            lrf_energy: 8.9e5,
+            sp_energy: 1.6e6,
+            memory_latency_cycles: 55,
+            data_width_bits: 32,
+            srf_width_per_alu: 0.5,
+            sb_accesses_per_op: 0.2,
+            comm_units_per_alu: 0.2,
+            sp_units_per_alu: 0.2,
+            vliw_base_bits: 196.0,
+            vliw_bits_per_fu: 40.0,
+            base_cluster_sbs: 6.0,
+            other_sbs: 6.0,
+            extra_sbs_per_alu: 0.2,
+            srf_words_per_alu_latency: 20.0,
+            microcode_instructions: 2048.0,
+            crossbar_density: 1.0,
+        }
+    }
+
+    /// The paper's future-work variant: a non-fully-connected crossbar
+    /// providing `density` of the full switch's buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density <= 1`.
+    pub fn sparse_crossbar(density: f64) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "crossbar density must be in (0, 1]"
+        );
+        Self {
+            crossbar_density: density,
+            ..Self::paper()
+        }
+    }
+
+    /// A full-custom variant: ~20 FO4 clock period as discussed in Sections 3
+    /// and 4.3. Relative scaling results are expected to match the
+    /// standard-cell methodology; absolute latencies in cycles grow.
+    pub fn full_custom() -> Self {
+        Self {
+            fo4_per_cycle: 20.0,
+            ..Self::paper()
+        }
+    }
+
+    /// `b` as `f64`, for formulae.
+    pub(crate) fn b(&self) -> f64 {
+        f64::from(self.data_width_bits)
+    }
+
+    /// `T` as `f64`, for formulae.
+    pub(crate) fn t_mem(&self) -> f64 {
+        f64::from(self.memory_latency_cycles)
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let p = TechParams::default();
+        assert_eq!(p, TechParams::paper());
+        assert_eq!(p.sram_area_per_bit, 16.1);
+        assert_eq!(p.sb_area_per_word, 2161.8);
+        assert_eq!(p.alu_width, 876.9);
+        assert_eq!(p.lrf_width, 437.0);
+        assert_eq!(p.sp_width, 708.9);
+        assert_eq!(p.datapath_height, 1400.0);
+        assert_eq!(p.wire_velocity, 1400.0);
+        assert_eq!(p.fo4_per_cycle, 45.0);
+        assert_eq!(p.mux_delay_fo4, 2.0);
+        assert_eq!(p.alu_energy, 2.0e6);
+        assert_eq!(p.sram_energy_per_bit, 8.7);
+        assert_eq!(p.sb_energy_per_bit, 1936.0);
+        assert_eq!(p.lrf_energy, 8.9e5);
+        assert_eq!(p.sp_energy, 1.6e6);
+        assert_eq!(p.memory_latency_cycles, 55);
+        assert_eq!(p.srf_width_per_alu, 0.5);
+        assert_eq!(p.sb_accesses_per_op, 0.2);
+        assert_eq!(p.comm_units_per_alu, 0.2);
+        assert_eq!(p.sp_units_per_alu, 0.2);
+        assert_eq!(p.vliw_base_bits, 196.0);
+        assert_eq!(p.vliw_bits_per_fu, 40.0);
+        assert_eq!(p.base_cluster_sbs, 6.0);
+        assert_eq!(p.other_sbs, 6.0);
+        assert_eq!(p.extra_sbs_per_alu, 0.2);
+        assert_eq!(p.srf_words_per_alu_latency, 20.0);
+        assert_eq!(p.microcode_instructions, 2048.0);
+        assert_eq!(p.crossbar_density, 1.0);
+    }
+
+    #[test]
+    fn sparse_crossbar_only_changes_density() {
+        let sparse = TechParams::sparse_crossbar(0.5);
+        assert_eq!(sparse.crossbar_density, 0.5);
+        assert_eq!(
+            TechParams {
+                crossbar_density: 1.0,
+                ..sparse
+            },
+            TechParams::paper()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in")]
+    fn zero_density_rejected() {
+        let _ = TechParams::sparse_crossbar(0.0);
+    }
+
+    #[test]
+    fn full_custom_only_changes_clock() {
+        let fc = TechParams::full_custom();
+        let paper = TechParams::paper();
+        assert_eq!(fc.fo4_per_cycle, 20.0);
+        assert_eq!(
+            TechParams {
+                fo4_per_cycle: 45.0,
+                ..fc
+            },
+            paper
+        );
+    }
+
+    #[test]
+    fn normalization_unit_is_one() {
+        assert_eq!(TechParams::default().wire_energy_per_track, 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Register organization comparison (paper Section 3, citing Rixner et al.,
+//! HPCA 2000): why the stream register hierarchy exists at all.
+//!
+//! A conventional VLIW machine feeding `A` ALUs from one unified register
+//! file needs `2A` read ports and `A` write ports. Register-file cells grow
+//! quadratically with port count (each port adds a wordline and a bitline
+//! pair to every cell) and access energy grows with the port-widened array,
+//! which is how the paper gets to "195 times less area, 430 times less
+//! energy" for the partitioned stream organization at 48 ALUs.
+//!
+//! Both sides here use the same first-order wire model — cell dimensions
+//! `(d0 + p)` tracks per side, access energy proportional to the lines
+//! driven — so the *ratios* are meaningful even though the absolute
+//! constants are coarse. The stream side is reported both as bare LRFs and
+//! with the intracluster switch that partitioning requires.
+
+use crate::{CostModel, EnergyBreakdown, Shape, TechParams};
+
+/// Fixed cell overhead (decoder, sense, contacts) in tracks per side.
+const CELL_BASE_TRACKS: f64 = 10.0;
+
+/// Area in grids of a register array of `words * b` bits with `ports`
+/// ports, under the quadratic port model.
+fn array_area(words: f64, b: f64, ports: f64) -> f64 {
+    let side = CELL_BASE_TRACKS + ports;
+    words * b * side * side
+}
+
+/// Energy (in `E_w`) of one `b`-bit access to that array: one wordline plus
+/// `b` bitlines, each spanning the square array's side.
+fn access_energy(words: f64, b: f64, ports: f64) -> f64 {
+    let side_tracks = (words * b).sqrt() * (CELL_BASE_TRACKS + ports);
+    (1.0 + b) * side_tracks
+}
+
+/// A unified-register-file machine with `alus` ALUs: the strawman the
+/// stream organization is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnifiedRf {
+    /// Number of ALUs fed from the single register file.
+    pub alus: u32,
+    /// Register words in the file.
+    pub words: u32,
+}
+
+impl UnifiedRf {
+    /// A unified file sized to hold the same register state as a stream
+    /// processor's LRFs (the capacity-matched comparison).
+    pub fn matching(shape: Shape, params: &TechParams) -> Self {
+        let derived = shape.derive(params);
+        // 2 LRFs x 16 words per functional unit, all clusters.
+        let words = derived.fus_per_cluster * 32 * shape.clusters;
+        Self {
+            alus: shape.clusters * shape.alus_per_cluster,
+            words,
+        }
+    }
+
+    /// Read + write port count: two reads and one write per ALU.
+    pub fn ports(&self) -> u32 {
+        3 * self.alus
+    }
+
+    /// Register file area in grids.
+    pub fn area(&self, params: &TechParams) -> f64 {
+        array_area(f64::from(self.words), params.b(), f64::from(self.ports()))
+    }
+
+    /// Energy per cycle at full issue: every ALU performs two reads and a
+    /// write each cycle.
+    pub fn energy_per_cycle(&self, params: &TechParams) -> f64 {
+        f64::from(self.ports())
+            * access_energy(f64::from(self.words), params.b(), f64::from(self.ports()))
+            * params.wire_energy_per_track
+    }
+}
+
+/// The stream-vs-unified comparison for one shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterOrgComparison {
+    /// The stream processor shape compared.
+    pub shape: Shape,
+    /// Unified RF area / stream LRF area (register structures only).
+    pub area_ratio: f64,
+    /// Unified RF energy / stream LRF energy (register structures only).
+    pub energy_ratio: f64,
+    /// Area ratio with the stream side charged for its intracluster
+    /// switches (the price of partitioning).
+    pub area_ratio_with_switch: f64,
+    /// Energy ratio with the switch traversals charged.
+    pub energy_ratio_with_switch: f64,
+}
+
+impl RegisterOrgComparison {
+    /// Compares a unified register file against `shape`'s LRF organization,
+    /// modeling both sides with the same port-scaled array formulae.
+    pub fn compute(shape: Shape, params: &TechParams) -> Self {
+        let unified = UnifiedRf::matching(shape, params);
+        let report = CostModel::new(params.clone()).evaluate(shape);
+        let d = shape.derive(params);
+        let c = shape.c();
+        let b = params.b();
+
+        // Stream side: 2 LRFs per FU, 16 words each, 1 read + 1 write port.
+        let lrf_words = 16.0;
+        let lrf_ports = 2.0;
+        let lrfs = 2.0 * d.n_fu() * c;
+        let lrf_area = lrfs * array_area(lrf_words, b, lrf_ports);
+        // Per cycle each FU makes two reads and one write across its LRFs.
+        let lrf_energy = 3.0
+            * d.n_fu()
+            * c
+            * access_energy(lrf_words, b, lrf_ports)
+            * params.wire_energy_per_track;
+
+        // The switch that partitioning requires.
+        let switch_area = c * report.area.cluster.intracluster_switch;
+        let e_intra_per_result = EnergyBreakdown::from_areas(&report.area, params);
+        // Cluster switch energy: every FU result crosses the switch.
+        let switch_energy =
+            c * (e_intra_per_result.cluster
+                - d.n_fu() * params.lrf_energy
+                - shape.n() * params.alu_energy
+                - d.n_sp() * params.sp_energy)
+                .max(0.0);
+
+        let ua = unified.area(params);
+        let ue = unified.energy_per_cycle(params);
+        Self {
+            shape,
+            area_ratio: ua / lrf_area,
+            energy_ratio: ue / lrf_energy,
+            area_ratio_with_switch: ua / (lrf_area + switch_area),
+            energy_ratio_with_switch: ue / (lrf_energy + switch_energy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_rf_explodes_quadratically() {
+        let p = TechParams::paper();
+        let small = UnifiedRf { alus: 8, words: 256 };
+        let big = UnifiedRf {
+            alus: 48,
+            words: 256,
+        };
+        // 6x the ALUs -> roughly 36x the area at fixed capacity.
+        let ratio = big.area(&p) / small.area(&p);
+        assert!(ratio > 15.0 && ratio < 40.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_comparison_is_in_the_claimed_regime() {
+        // Section 3: "a C = 8 N = 6 stream processor takes 195 times less
+        // area, 430 times less energy" than a 48-ALU unified-RF machine.
+        // The register-structure ratios land in the same two-orders-of-
+        // magnitude regime under our coarser model.
+        let cmp = RegisterOrgComparison::compute(Shape::new(8, 6), &TechParams::paper());
+        assert!(
+            cmp.area_ratio > 80.0 && cmp.area_ratio < 500.0,
+            "area ratio {:.0} (paper 195)",
+            cmp.area_ratio
+        );
+        assert!(
+            cmp.energy_ratio > 40.0 && cmp.energy_ratio < 1000.0,
+            "energy ratio {:.0} (paper 430)",
+            cmp.energy_ratio
+        );
+        // Even paying for the intracluster switch, partitioning wins by an
+        // order of magnitude or more.
+        assert!(cmp.area_ratio_with_switch > 10.0);
+        assert!(cmp.energy_ratio_with_switch > 3.0);
+    }
+
+    #[test]
+    fn partitioning_advantage_grows_with_scale() {
+        let p = TechParams::paper();
+        let small = RegisterOrgComparison::compute(Shape::new(8, 6), &p);
+        let big = RegisterOrgComparison::compute(Shape::new(32, 6), &p);
+        assert!(big.area_ratio > small.area_ratio);
+        assert!(big.energy_ratio > small.energy_ratio);
+    }
+
+    #[test]
+    fn matching_capacity_tracks_the_shape() {
+        let p = TechParams::paper();
+        let rf = UnifiedRf::matching(Shape::new(8, 6), &p);
+        assert_eq!(rf.alus, 48);
+        assert_eq!(rf.words, 10 * 32 * 8); // N_FU = 10 at N = 6 (ceil rule)
+        assert_eq!(rf.ports(), 144);
+    }
+}

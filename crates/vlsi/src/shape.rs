@@ -1,0 +1,274 @@
+//! Machine shape: the two scaling knobs `(C, N)` and the unit counts derived
+//! from them (paper Table 3, first section).
+
+use crate::TechParams;
+use std::fmt;
+
+/// A stream processor configuration: `C` arithmetic clusters, each with `N`
+/// ALUs. This pair is the entire design space explored by the paper.
+///
+/// # Examples
+///
+/// ```
+/// use stream_vlsi::Shape;
+///
+/// let imagine_like = Shape::new(8, 5);
+/// assert_eq!(imagine_like.total_alus(), 40);
+/// let future = Shape::new(128, 5);
+/// assert_eq!(future.total_alus(), 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape {
+    /// `C`: number of SIMD arithmetic clusters.
+    pub clusters: u32,
+    /// `N`: number of ALUs per cluster.
+    pub alus_per_cluster: u32,
+}
+
+impl Shape {
+    /// Creates a shape with `clusters` clusters of `alus_per_cluster` ALUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(clusters: u32, alus_per_cluster: u32) -> Self {
+        assert!(clusters > 0, "a stream processor needs at least one cluster");
+        assert!(
+            alus_per_cluster > 0,
+            "a cluster needs at least one ALU"
+        );
+        Self {
+            clusters,
+            alus_per_cluster,
+        }
+    }
+
+    /// The paper's baseline machine: `C = 8, N = 5` (40 ALUs), the
+    /// configuration all speedups are reported against.
+    pub const BASELINE: Shape = Shape {
+        clusters: 8,
+        alus_per_cluster: 5,
+    };
+
+    /// The headline 640-ALU machine: `C = 128, N = 5`.
+    pub const HEADLINE_640: Shape = Shape {
+        clusters: 128,
+        alus_per_cluster: 5,
+    };
+
+    /// The 1280-ALU machine: `C = 128, N = 10`.
+    pub const HEADLINE_1280: Shape = Shape {
+        clusters: 128,
+        alus_per_cluster: 10,
+    };
+
+    /// Total number of ALUs, `C * N`.
+    pub fn total_alus(&self) -> u64 {
+        u64::from(self.clusters) * u64::from(self.alus_per_cluster)
+    }
+
+    /// `C` as `f64` for formulae.
+    pub fn c(&self) -> f64 {
+        f64::from(self.clusters)
+    }
+
+    /// `N` as `f64` for formulae.
+    pub fn n(&self) -> f64 {
+        f64::from(self.alus_per_cluster)
+    }
+
+    /// Derives the per-cluster unit counts from the Table 1 ratios.
+    pub fn derive(&self, params: &TechParams) -> DerivedCounts {
+        DerivedCounts::new(*self, params)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C={} N={}", self.clusters, self.alus_per_cluster)
+    }
+}
+
+/// Unit counts derived from a [`Shape`] (paper Table 3, "dependent
+/// variables").
+///
+/// Fractional ratios are rounded up with a floor of one unit: every cluster
+/// has at least one COMM unit and one scratchpad (Imagine's `N = 6` cluster
+/// had exactly one of each). The ceiling creates the capacity steps at
+/// `N = 5, 10, 15, ...` that make `N = 5` the most efficient cluster size —
+/// "one COMM unit per arithmetic cluster" in the paper's words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DerivedCounts {
+    /// The shape these counts were derived from.
+    pub shape: Shape,
+    /// `N_COMM = max(1, ceil(G_COMM * N))`: intercluster communication units
+    /// per cluster.
+    pub comm_units: u32,
+    /// `N_SP = max(1, ceil(G_SP * N))`: scratchpad units per cluster.
+    pub sp_units: u32,
+    /// `N_FU = N + N_SP + N_COMM`: total functional units per cluster (every
+    /// FU has LRFs and ports on the intracluster switch).
+    pub fus_per_cluster: u32,
+    /// `N_CLSB = L_C + ceil(L_N * N)`: cluster streambuffers.
+    pub cluster_sbs: u32,
+    /// `N_SB = L_O + N_CLSB`: total streambuffers.
+    pub total_sbs: u32,
+    /// `P_e = N_CLSB`: external ports per cluster into the SRF.
+    pub external_ports: u32,
+}
+
+impl DerivedCounts {
+    fn new(shape: Shape, params: &TechParams) -> Self {
+        let n = shape.n();
+        let ratio_units = |g: f64| -> u32 { ((g * n).ceil() as u32).max(1) };
+        let comm_units = ratio_units(params.comm_units_per_alu);
+        let sp_units = ratio_units(params.sp_units_per_alu);
+        let fus_per_cluster = shape.alus_per_cluster + sp_units + comm_units;
+        let cluster_sbs =
+            params.base_cluster_sbs as u32 + (params.extra_sbs_per_alu * n).ceil() as u32;
+        let total_sbs = params.other_sbs as u32 + cluster_sbs;
+        Self {
+            shape,
+            comm_units,
+            sp_units,
+            fus_per_cluster,
+            cluster_sbs,
+            total_sbs,
+            external_ports: cluster_sbs,
+        }
+    }
+
+    /// `N_FU` as `f64` for formulae.
+    pub fn n_fu(&self) -> f64 {
+        f64::from(self.fus_per_cluster)
+    }
+
+    /// `N_COMM` as `f64` for formulae.
+    pub fn n_comm(&self) -> f64 {
+        f64::from(self.comm_units)
+    }
+
+    /// `N_SP` as `f64` for formulae.
+    pub fn n_sp(&self) -> f64 {
+        f64::from(self.sp_units)
+    }
+
+    /// `P_e` as `f64` for formulae.
+    pub fn p_e(&self) -> f64 {
+        f64::from(self.external_ports)
+    }
+
+    /// Width of one VLIW instruction in bits: `I_0 + I_N * N_FU`.
+    pub fn vliw_width_bits(&self, params: &TechParams) -> f64 {
+        params.vliw_base_bits + params.vliw_bits_per_fu * self.n_fu()
+    }
+
+    /// SRF bank capacity in words: `r_m * T * N` (sized to cover memory
+    /// latency at full ALU consumption rate).
+    pub fn srf_bank_words(&self, params: &TechParams) -> u64 {
+        (params.srf_words_per_alu_latency * params.t_mem() * self.shape.n()).round() as u64
+    }
+
+    /// Total SRF capacity in words across all `C` banks.
+    pub fn srf_total_words(&self, params: &TechParams) -> u64 {
+        self.srf_bank_words(params) * u64::from(self.shape.clusters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(c: u32, n: u32) -> DerivedCounts {
+        Shape::new(c, n).derive(&TechParams::paper())
+    }
+
+    #[test]
+    fn baseline_is_imagine_scale() {
+        assert_eq!(Shape::BASELINE.total_alus(), 40);
+        assert_eq!(Shape::HEADLINE_640.total_alus(), 640);
+        assert_eq!(Shape::HEADLINE_1280.total_alus(), 1280);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = Shape::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ALU")]
+    fn zero_alus_rejected() {
+        let _ = Shape::new(8, 0);
+    }
+
+    #[test]
+    fn n5_has_one_comm_and_one_sp() {
+        let d = counts(8, 5);
+        assert_eq!(d.comm_units, 1);
+        assert_eq!(d.sp_units, 1);
+        assert_eq!(d.fus_per_cluster, 7);
+    }
+
+    #[test]
+    fn unit_counts_step_at_multiples_of_five() {
+        assert_eq!(counts(8, 5).comm_units, 1);
+        assert_eq!(counts(8, 6).comm_units, 2);
+        assert_eq!(counts(8, 10).comm_units, 2);
+        assert_eq!(counts(8, 11).comm_units, 3);
+        assert_eq!(counts(8, 14).comm_units, 3);
+        assert_eq!(counts(8, 16).comm_units, 4);
+    }
+
+    #[test]
+    fn minimum_one_unit_each() {
+        let d = counts(8, 1);
+        assert_eq!(d.comm_units, 1);
+        assert_eq!(d.sp_units, 1);
+        assert_eq!(d.fus_per_cluster, 3);
+    }
+
+    #[test]
+    fn streambuffer_counts() {
+        // N = 5: N_CLSB = 6 + ceil(0.2 * 5) = 7; N_SB = 6 + 7 = 13.
+        let d = counts(8, 5);
+        assert_eq!(d.cluster_sbs, 7);
+        assert_eq!(d.total_sbs, 13);
+        assert_eq!(d.external_ports, 7);
+        // N = 16: N_CLSB = 6 + ceil(3.2) = 10.
+        let d = counts(8, 16);
+        assert_eq!(d.cluster_sbs, 10);
+        assert_eq!(d.total_sbs, 16);
+    }
+
+    #[test]
+    fn vliw_width_matches_formula() {
+        let p = TechParams::paper();
+        let d = counts(8, 5);
+        // I_0 + I_N * N_FU = 196 + 40 * 7 = 476.
+        assert_eq!(d.vliw_width_bits(&p), 476.0);
+    }
+
+    #[test]
+    fn srf_capacity_covers_memory_latency() {
+        let p = TechParams::paper();
+        let d = counts(8, 5);
+        // r_m * T * N = 20 * 55 * 5 = 5500 words per bank.
+        assert_eq!(d.srf_bank_words(&p), 5500);
+        assert_eq!(d.srf_total_words(&p), 44_000);
+    }
+
+    #[test]
+    fn derived_counts_scale_with_n_not_c() {
+        let a = counts(8, 5);
+        let b = counts(128, 5);
+        assert_eq!(a.comm_units, b.comm_units);
+        assert_eq!(a.fus_per_cluster, b.fus_per_cluster);
+        assert_eq!(a.total_sbs, b.total_sbs);
+    }
+
+    #[test]
+    fn display_is_paper_notation() {
+        assert_eq!(Shape::new(128, 5).to_string(), "C=128 N=5");
+    }
+}

@@ -1,0 +1,272 @@
+//! Scaling sweeps: the data series behind paper Figures 6–12.
+//!
+//! Every figure plots a per-ALU cost, stacked by component, normalized to a
+//! reference configuration. The sweep helpers here produce exactly those
+//! series so the repro harness and benchmarks only have to print them.
+
+use crate::{CostModel, Shape};
+
+/// The four scaled components stacked in Figures 6, 7, 9, and 10.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Components {
+    /// Stream register file (all banks).
+    pub srf: f64,
+    /// Microcontroller (microcode storage + distribution).
+    pub microcontroller: f64,
+    /// Arithmetic clusters (LRFs, ALUs, scratchpads, intracluster switch).
+    pub clusters: f64,
+    /// Intercluster switch.
+    pub intercluster_switch: f64,
+}
+
+impl Components {
+    /// Sum of the stacked components.
+    pub fn total(&self) -> f64 {
+        self.srf + self.microcontroller + self.clusters + self.intercluster_switch
+    }
+
+    /// Scales all components by `k` (used for normalization).
+    pub fn scaled(&self, k: f64) -> Self {
+        Self {
+            srf: self.srf * k,
+            microcontroller: self.microcontroller * k,
+            clusters: self.clusters * k,
+            intercluster_switch: self.intercluster_switch * k,
+        }
+    }
+}
+
+/// One point in a scaling sweep: per-ALU cost by component, normalized so the
+/// reference shape's total is 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The configuration at this point.
+    pub shape: Shape,
+    /// Normalized per-ALU component stack.
+    pub components: Components,
+}
+
+impl SweepPoint {
+    /// Normalized per-ALU total at this point.
+    pub fn total(&self) -> f64 {
+        self.components.total()
+    }
+}
+
+/// A normalized sweep along one scaling axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The configuration all points are normalized against (its total is
+    /// exactly 1.0).
+    pub reference: Shape,
+    /// The swept points, in the order requested.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// The normalized total for `shape`, if it was part of the sweep.
+    pub fn total_at(&self, shape: Shape) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.shape == shape)
+            .map(SweepPoint::total)
+    }
+
+    /// The shape with the smallest normalized total.
+    pub fn minimum(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.total().total_cmp(&b.total()))
+            .expect("sweeps contain at least one point")
+    }
+}
+
+/// Which cost dimension a sweep measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Area per ALU (Figures 6, 9, 12).
+    Area,
+    /// Energy per ALU operation (Figures 7, 10).
+    Energy,
+}
+
+fn components_per_alu(model: &CostModel, shape: Shape, kind: CostKind) -> Components {
+    let report = model.evaluate(shape);
+    let alus = shape.total_alus() as f64;
+    match kind {
+        CostKind::Area => Components {
+            srf: report.area.srf_total() / alus,
+            microcontroller: report.area.microcontroller / alus,
+            clusters: report.area.clusters_total() / alus,
+            intercluster_switch: report.area.intercluster_switch / alus,
+        },
+        CostKind::Energy => Components {
+            srf: shape.c() * report.energy.srf_bank / alus,
+            microcontroller: report.energy.microcontroller / alus,
+            clusters: shape.c() * report.energy.cluster / alus,
+            intercluster_switch: report.energy.intercluster / alus,
+        },
+    }
+}
+
+/// Builds a sweep over arbitrary shapes, normalized to `reference`.
+pub fn sweep(model: &CostModel, kind: CostKind, reference: Shape, shapes: &[Shape]) -> Sweep {
+    let ref_total = components_per_alu(model, reference, kind).total();
+    let points = shapes
+        .iter()
+        .map(|&shape| SweepPoint {
+            shape,
+            components: components_per_alu(model, shape, kind).scaled(1.0 / ref_total),
+        })
+        .collect();
+    Sweep {
+        reference,
+        points,
+    }
+}
+
+/// The `N` values plotted in the intracluster figures (Figures 6–8 span
+/// 2..128 ALUs per cluster).
+pub const INTRACLUSTER_NS: [u32; 16] = [2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 32, 48, 64, 128];
+
+/// The cluster counts plotted in the intercluster figures (Figures 9–11).
+pub const INTERCLUSTER_CS: [u32; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Figure 6 / Figure 7: intracluster scaling at fixed `C`, normalized to
+/// `N = 5`.
+///
+/// # Examples
+///
+/// ```
+/// use stream_vlsi::{intracluster_sweep, CostKind, CostModel, Shape};
+///
+/// let s = intracluster_sweep(&CostModel::paper(), CostKind::Area, 8);
+/// // N = 5 is the most area-efficient cluster size (paper Section 4.1).
+/// assert_eq!(s.minimum().shape, Shape::new(8, 5));
+/// ```
+pub fn intracluster_sweep(model: &CostModel, kind: CostKind, clusters: u32) -> Sweep {
+    let shapes: Vec<Shape> = INTRACLUSTER_NS
+        .iter()
+        .map(|&n| Shape::new(clusters, n))
+        .collect();
+    sweep(model, kind, Shape::new(clusters, 5), &shapes)
+}
+
+/// Figure 9 / Figure 10: intercluster scaling at fixed `N`, normalized to
+/// `C = 8`.
+pub fn intercluster_sweep(model: &CostModel, kind: CostKind, alus_per_cluster: u32) -> Sweep {
+    let shapes: Vec<Shape> = INTERCLUSTER_CS
+        .iter()
+        .map(|&c| Shape::new(c, alus_per_cluster))
+        .collect();
+    sweep(model, kind, Shape::new(8, alus_per_cluster), &shapes)
+}
+
+/// Figure 12: combined scaling — one sweep per `N` in `ns`, every cluster
+/// count in [`INTERCLUSTER_CS`], all normalized to `C = 32, N = 5`.
+pub fn combined_sweep(model: &CostModel, kind: CostKind, ns: &[u32]) -> Vec<Sweep> {
+    let reference = Shape::new(32, 5);
+    ns.iter()
+        .map(|&n| {
+            let shapes: Vec<Shape> = INTERCLUSTER_CS
+                .iter()
+                .map(|&c| Shape::new(c, n))
+                .collect();
+            sweep(model, kind, reference, &shapes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::paper()
+    }
+
+    #[test]
+    fn reference_point_normalizes_to_one() {
+        for kind in [CostKind::Area, CostKind::Energy] {
+            let s = intracluster_sweep(&model(), kind, 8);
+            let at_ref = s.total_at(Shape::new(8, 5)).unwrap();
+            assert!((at_ref - 1.0).abs() < 1e-12, "{kind:?}: {at_ref}");
+        }
+    }
+
+    #[test]
+    fn intracluster_area_min_is_n5() {
+        let s = intracluster_sweep(&model(), CostKind::Area, 8);
+        assert_eq!(s.minimum().shape, Shape::new(8, 5));
+    }
+
+    #[test]
+    fn intracluster_energy_min_is_n5() {
+        let s = intracluster_sweep(&model(), CostKind::Energy, 8);
+        assert_eq!(s.minimum().shape, Shape::new(8, 5));
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let s = intercluster_sweep(&model(), CostKind::Area, 5);
+        for p in &s.points {
+            let c = p.components;
+            let sum = c.srf + c.microcontroller + c.clusters + c.intercluster_switch;
+            assert!((sum - p.total()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intercluster_switch_share_grows_with_c() {
+        let s = intercluster_sweep(&model(), CostKind::Area, 5);
+        let share = |c: u32| {
+            let p = s
+                .points
+                .iter()
+                .find(|p| p.shape.clusters == c)
+                .unwrap();
+            p.components.intercluster_switch / p.total()
+        };
+        assert!(share(256) > share(64));
+        assert!(share(64) > share(8));
+    }
+
+    #[test]
+    fn microcontroller_share_shrinks_with_c() {
+        let s = intercluster_sweep(&model(), CostKind::Area, 5);
+        let share = |c: u32| {
+            let p = s
+                .points
+                .iter()
+                .find(|p| p.shape.clusters == c)
+                .unwrap();
+            p.components.microcontroller / p.total()
+        };
+        assert!(share(32) < share(8));
+    }
+
+    #[test]
+    fn combined_sweep_shares_one_reference() {
+        let sweeps = combined_sweep(&model(), CostKind::Area, &[2, 5, 16]);
+        assert_eq!(sweeps.len(), 3);
+        for s in &sweeps {
+            assert_eq!(s.reference, Shape::new(32, 5));
+            assert_eq!(s.points.len(), INTERCLUSTER_CS.len());
+        }
+        // N = 5 should be the cheapest of the three lines at every C
+        // (Figure 12's conclusion).
+        for (i, &c) in INTERCLUSTER_CS.iter().enumerate() {
+            let n2 = sweeps[0].points[i].total();
+            let n5 = sweeps[1].points[i].total();
+            let n16 = sweeps[2].points[i].total();
+            assert!(n5 < n2, "N=5 beats N=2 at C={c}");
+            assert!(n5 < n16, "N=5 beats N=16 at C={c}");
+        }
+    }
+
+    #[test]
+    fn total_at_missing_shape_is_none() {
+        let s = intracluster_sweep(&model(), CostKind::Area, 8);
+        assert_eq!(s.total_at(Shape::new(999, 999)), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the cost model: invariants that must hold at
+//! every point of the design space, not just the paper's samples.
+
+use proptest::prelude::*;
+use stream_vlsi::{
+    calibration_anchors, CostModel, ProcessNode, Projection, Shape, TechParams,
+};
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (1u32..=512, 1u32..=128).prop_map(|(c, n)| Shape::new(c, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Component areas and energies are positive and finite everywhere.
+    #[test]
+    fn costs_are_positive_and_finite(shape in shapes()) {
+        let r = CostModel::paper().evaluate(shape);
+        for v in [
+            r.area.srf_bank.storage,
+            r.area.srf_bank.streambuffers,
+            r.area.cluster.lrfs,
+            r.area.cluster.alus,
+            r.area.cluster.scratchpads,
+            r.area.cluster.intracluster_switch,
+            r.area.microcontroller,
+            r.area.intercluster_switch,
+            r.energy.srf_bank,
+            r.energy.microcontroller,
+            r.energy.cluster,
+            r.energy.intercluster,
+            r.delay.intracluster_fo4,
+            r.delay.intercluster_fo4,
+        ] {
+            prop_assert!(v.is_finite() && v > 0.0, "{shape}: {v}");
+        }
+    }
+
+    /// Total area and energy are strictly monotone in both dimensions.
+    #[test]
+    fn totals_monotone(shape in shapes()) {
+        let model = CostModel::paper();
+        let base = model.evaluate(shape);
+        let up_c = model.evaluate(Shape::new(shape.clusters + 1, shape.alus_per_cluster));
+        let up_n = model.evaluate(Shape::new(shape.clusters, shape.alus_per_cluster + 1));
+        prop_assert!(up_c.area.total() > base.area.total());
+        prop_assert!(up_n.area.total() > base.area.total());
+        prop_assert!(up_c.energy.total_per_cycle() > base.energy.total_per_cycle());
+        prop_assert!(up_n.energy.total_per_cycle() > base.energy.total_per_cycle());
+    }
+
+    /// Delays are monotone: intracluster in N, intercluster in C.
+    #[test]
+    fn delays_monotone(shape in shapes()) {
+        let model = CostModel::paper();
+        let base = model.evaluate(shape);
+        let up_n = model.evaluate(Shape::new(shape.clusters, shape.alus_per_cluster + 1));
+        let up_c = model.evaluate(Shape::new(shape.clusters + 1, shape.alus_per_cluster));
+        prop_assert!(up_n.delay.intracluster_fo4 >= base.delay.intracluster_fo4);
+        prop_assert!(up_c.delay.intercluster_fo4 >= base.delay.intercluster_fo4);
+        // Intracluster delay never depends on C.
+        prop_assert!((up_c.delay.intracluster_fo4 - base.delay.intracluster_fo4).abs() < 1e-9);
+    }
+
+    /// Sparse crossbars only reduce area and energy, never increase, and
+    /// never affect the non-switch components.
+    #[test]
+    fn sparse_crossbar_is_a_pure_discount(
+        shape in shapes(),
+        density in 0.05f64..1.0,
+    ) {
+        let dense = CostModel::paper().evaluate(shape);
+        let sparse = CostModel::new(TechParams::sparse_crossbar(density)).evaluate(shape);
+        prop_assert!(sparse.area.total() <= dense.area.total());
+        prop_assert!(sparse.energy.total_per_cycle() <= dense.energy.total_per_cycle());
+        prop_assert!(sparse.area.cluster.lrfs == dense.area.cluster.lrfs);
+        prop_assert!(sparse.area.cluster.alus == dense.area.cluster.alus);
+        prop_assert!(sparse.area.srf_bank == dense.area.srf_bank);
+        prop_assert!(
+            sparse.area.cluster.intracluster_switch < dense.area.cluster.intracluster_switch
+        );
+    }
+
+    /// Physical projections scale consistently: smaller nodes mean smaller
+    /// dies, faster clocks, and higher peak GOPS for the same shape.
+    #[test]
+    fn projections_follow_the_roadmap(shape in shapes()) {
+        let nodes = ProcessNode::roadmap();
+        for pair in nodes.windows(2) {
+            let a = Projection::compute(shape, &pair[0]);
+            let b = Projection::compute(shape, &pair[1]);
+            prop_assert!(b.die_mm2 < a.die_mm2);
+            prop_assert!(b.clock_ghz > a.clock_ghz);
+            prop_assert!(b.peak_gops > a.peak_gops);
+        }
+    }
+
+    /// Per-ALU area is bounded: it never exceeds a few times the N=5
+    /// optimum within the paper's design space (the whole point of the
+    /// scalability result).
+    #[test]
+    fn per_alu_area_stays_bounded_in_paper_space(
+        c_exp in 3u32..=8, // C in 8..=256
+        n in 2u32..=16,
+    ) {
+        let model = CostModel::paper();
+        let shape = Shape::new(1 << c_exp, n);
+        let opt = model.evaluate(Shape::new(32, 5)).area.per_alu();
+        let here = model.evaluate(shape).area.per_alu();
+        prop_assert!(here / opt < 2.0, "{shape}: {:.3}", here / opt);
+    }
+}
+
+/// Calibration must hold for the default parameters regardless of proptest
+/// seeds (plain test alongside the properties).
+#[test]
+fn calibration_always_passes_for_paper_params() {
+    assert!(calibration_anchors(&CostModel::paper())
+        .iter()
+        .all(|a| a.passes()));
+}

@@ -1,0 +1,65 @@
+//! Design-space exploration: sweep `(C, N)` like the paper's Section 4 and
+//! print the cost landscape with the most efficient configurations.
+//!
+//! Run with: `cargo run --example design_space`
+
+use stream_scaling::vlsi::{CostModel, Shape};
+
+fn main() {
+    let model = CostModel::paper();
+    let cs = [8u32, 16, 32, 64, 128, 256];
+    let ns = [2u32, 5, 10, 14, 16];
+    let base = model.evaluate(Shape::BASELINE);
+    let base_area = base.area.per_alu();
+    let base_energy = base.energy.per_alu_op();
+
+    println!("area per ALU (normalized to C=8 N=5); rows = N, cols = C");
+    print!("{:>6}", "N\\C");
+    for &c in &cs {
+        print!("{c:>8}");
+    }
+    println!();
+    let mut best = (f64::MAX, Shape::BASELINE);
+    for &n in &ns {
+        print!("{n:>6}");
+        for &c in &cs {
+            let shape = Shape::new(c, n);
+            let r = model.evaluate(shape);
+            let rel = r.area.per_alu() / base_area;
+            if rel < best.0 {
+                best = (rel, shape);
+            }
+            print!("{rel:>8.3}");
+        }
+        println!();
+    }
+    println!("\nmost area-efficient: {} ({:.3}x baseline)", best.1, best.0);
+
+    println!("\nenergy per ALU op (normalized); rows = N, cols = C");
+    print!("{:>6}", "N\\C");
+    for &c in &cs {
+        print!("{c:>8}");
+    }
+    println!();
+    for &n in &ns {
+        print!("{n:>6}");
+        for &c in &cs {
+            let r = model.evaluate(Shape::new(c, n));
+            print!("{:>8.3}", r.energy.per_alu_op() / base_energy);
+        }
+        println!();
+    }
+
+    println!("\nswitch delays (FO4): intracluster grows with N, intercluster with C");
+    for &n in &[5u32, 10, 16] {
+        for &c in &[8u32, 64, 256] {
+            let d = model.evaluate(Shape::new(c, n)).delay;
+            println!(
+                "C={c:>3} N={n:>2}: t_intra {:>6.1}  t_inter {:>6.1}  (COMM {} cycles)",
+                d.intracluster_fo4,
+                d.intercluster_fo4,
+                d.intercluster_cycles()
+            );
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Property-based tests (proptest) over the core invariants:
+//! schedule legality, unroll semantics, stream scatter/gather, FFT
+//! mathematics, and interpreter determinism.
+
+use proptest::prelude::*;
+use stream_scaling::ir::{
+    execute, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder, Scalar, Ty,
+    ValueId,
+};
+use stream_scaling::kernels::fft::{dft_reference, fft_reference, C32};
+use stream_scaling::kernels::split::{gather_words, max_chain, scatter_words, split_plan};
+use stream_scaling::machine::Machine;
+use stream_scaling::sched::{modulo_schedule, CompiledKernel, Ddg, MiiBounds};
+use stream_scaling::vlsi::Shape;
+
+/// Builds a random elementwise kernel from a byte script: two input
+/// streams, a chain of arithmetic ops over previously defined values, one
+/// output.
+fn elementwise_kernel(script: &[u8]) -> Kernel {
+    let mut b = KernelBuilder::new("random_elementwise");
+    let s0 = b.in_stream(Ty::F32);
+    let s1 = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+    let mut vals: Vec<ValueId> = vec![b.read(s0), b.read(s1)];
+    for (i, &op) in script.iter().enumerate() {
+        let a = vals[(op as usize / 7) % vals.len()];
+        let c = vals[(op as usize / 3) % vals.len()];
+        let v = match op % 6 {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, c),
+            3 => b.min(a, c),
+            4 => b.max(a, c),
+            _ => {
+                let k = b.const_f(1.0 + (i as f32));
+                b.add(a, k)
+            }
+        };
+        vals.push(v);
+    }
+    let last = *vals.last().expect("nonempty");
+    b.write(out, last);
+    b.finish().expect("structurally valid")
+}
+
+/// A random kernel with loop-carried and memory structure, for scheduler
+/// stress: recurrences, scratchpad traffic, COMM ops.
+fn structured_kernel(script: &[u8], clusters: u32) -> Kernel {
+    let mut b = KernelBuilder::new("random_structured");
+    let s0 = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+    b.require_sp(8);
+    let acc = b.recurrence(Scalar::F32(0.0));
+    let mut vals: Vec<ValueId> = vec![b.read(s0), acc];
+    for &op in script {
+        let a = vals[(op as usize / 5) % vals.len()];
+        let c = vals[(op as usize / 11) % vals.len()];
+        let v = match op % 8 {
+            0 => b.add(a, c),
+            1 => b.mul(a, c),
+            2 => b.sub(a, c),
+            3 => {
+                let addr = b.const_i(i32::from(op % 8));
+                b.sp_write(addr, a);
+                b.sp_read(addr, Ty::F32)
+            }
+            4 => {
+                let cid = b.cluster_id();
+                let mask = b.const_i(clusters as i32 - 1);
+                let one = b.const_i(1);
+                let next = b.add(cid, one);
+                let src = b.and(next, mask);
+                b.comm(a, src)
+            }
+            5 => b.min(a, c),
+            6 => b.max(a, c),
+            _ => {
+                let k = b.const_f(0.5);
+                b.mul(a, k)
+            }
+        };
+        vals.push(v);
+    }
+    let last = *vals.last().expect("nonempty");
+    let next_acc = b.add(last, last);
+    b.bind_next(acc, next_acc);
+    b.write(out, next_acc);
+    b.finish().expect("structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unrolling never changes what an elementwise kernel computes.
+    #[test]
+    fn unroll_preserves_elementwise_semantics(
+        script in proptest::collection::vec(any::<u8>(), 1..24),
+        factor in 2u32..=4,
+        lanes in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        let k = elementwise_kernel(&script);
+        let n = 8 * factor as usize * lanes;
+        let xs: Vec<Scalar> = (0..n).map(|i| Scalar::F32(i as f32 * 0.25 - 3.0)).collect();
+        let ys: Vec<Scalar> = (0..n).map(|i| Scalar::F32(10.0 - i as f32 * 0.5)).collect();
+        let cfg = ExecConfig::with_clusters(lanes);
+        let base = execute(&k, &[], &[xs.clone(), ys.clone()], &cfg).unwrap();
+        let u = unroll(&k, factor).unwrap();
+        let got = execute(&u, &[], &[xs, ys], &cfg).unwrap();
+        prop_assert_eq!(base, got);
+    }
+
+    /// Every modulo schedule the scheduler produces is legal: dependences
+    /// respected and no resource oversubscribed, and II >= max(ResMII,
+    /// RecMII).
+    #[test]
+    fn modulo_schedules_are_legal(
+        script in proptest::collection::vec(any::<u8>(), 1..40),
+        n_alus in prop_oneof![Just(2u32), Just(5), Just(10), Just(14)],
+    ) {
+        let machine = Machine::paper(Shape::new(8, n_alus));
+        let k = structured_kernel(&script, 8);
+        let ddg = Ddg::build(&k, &machine);
+        let (sched, bounds) = modulo_schedule(&ddg, &machine).expect("schedulable");
+        prop_assert_eq!(sched.verify(&ddg, &machine), Ok(()));
+        prop_assert!(sched.ii >= MiiBounds::compute(&ddg, &machine).mii());
+        prop_assert!(sched.ii >= bounds.res_mii && sched.ii >= bounds.rec_mii);
+    }
+
+    /// Compilation respects the LRF register budget.
+    #[test]
+    fn compiled_kernels_respect_registers(
+        script in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let machine = Machine::baseline();
+        let k = structured_kernel(&script, 8);
+        let c = CompiledKernel::compile_default(&k, &machine).expect("compiles");
+        prop_assert!(c.registers() <= machine.register_capacity());
+        prop_assert!(c.elements_per_cycle_per_cluster() > 0.0);
+    }
+
+    /// Stream scatter/gather round-trips for every width/split combination.
+    #[test]
+    fn scatter_gather_round_trip(
+        records in 1usize..24,
+        width in 1u32..12,
+        k in 1u32..12,
+    ) {
+        let words: Vec<Scalar> = (0..records * width as usize)
+            .map(|i| Scalar::I32(i as i32))
+            .collect();
+        let split = scatter_words(&words, width, k);
+        prop_assert_eq!(split.len(), k as usize);
+        let back = gather_words(&split, width);
+        prop_assert_eq!(back, words);
+    }
+
+    /// Split plans always respect the budget and never leave a chain longer
+    /// than the unsplit width.
+    #[test]
+    fn split_plans_respect_budget(
+        widths in proptest::collection::vec(1u32..16, 1..5),
+        extra in 0u32..10,
+    ) {
+        let budget = widths.len() as u32 + extra;
+        let plan = split_plan(&widths, budget);
+        prop_assert_eq!(plan.len(), widths.len());
+        prop_assert!(plan.iter().sum::<u32>() <= budget);
+        prop_assert!(max_chain(&widths, &plan) <= widths.iter().copied().max().unwrap());
+    }
+
+    /// FFT is linear: F(a*x + y) = a*F(x) + F(y) (up to f32 tolerance).
+    #[test]
+    fn fft_is_linear(seed in 0u32..1000, scale in 0.25f32..4.0) {
+        let n = 64usize;
+        let mk = |s: u32| -> Vec<C32> {
+            (0..n)
+                .map(|i| {
+                    let v = ((i as u32).wrapping_mul(2654435761).wrapping_add(s)) as f32;
+                    let w = (v / u32::MAX as f32) * 2.0 - 1.0;
+                    (w, -w * 0.5)
+                })
+                .collect()
+        };
+        let x = mk(seed);
+        let y = mk(seed.wrapping_add(17));
+        let combo: Vec<C32> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (scale * a.0 + b.0, scale * a.1 + b.1))
+            .collect();
+        let fx = fft_reference(&x);
+        let fy = fft_reference(&y);
+        let fc = fft_reference(&combo);
+        for i in 0..n {
+            let want = (scale * fx[i].0 + fy[i].0, scale * fx[i].1 + fy[i].1);
+            prop_assert!((fc[i].0 - want.0).abs() < 2e-2 * (1.0 + want.0.abs()));
+            prop_assert!((fc[i].1 - want.1).abs() < 2e-2 * (1.0 + want.1.abs()));
+        }
+    }
+
+    /// Parseval: energy is preserved (scaled by n), checked against the DFT.
+    #[test]
+    fn fft_satisfies_parseval(seed in 0u32..1000) {
+        let n = 16usize;
+        let x: Vec<C32> = (0..n)
+            .map(|i| {
+                let v = ((i as u32).wrapping_mul(40503).wrapping_add(seed)) % 1000;
+                (v as f32 / 500.0 - 1.0, (999 - v) as f32 / 500.0 - 1.0)
+            })
+            .collect();
+        let f = fft_reference(&x);
+        let d = dft_reference(&x);
+        let e_f: f32 = f.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let e_t: f32 = x.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f32>() * n as f32;
+        prop_assert!((e_f - e_t).abs() < 1e-2 * (1.0 + e_t));
+        for i in 0..n {
+            prop_assert!((f[i].0 - d[i].0).abs() < 1e-2 * (1.0 + d[i].0.abs()));
+        }
+    }
+
+    /// The interpreter is deterministic (same kernel, same data, same
+    /// result), and cluster count does not change elementwise results.
+    #[test]
+    fn interpreter_is_deterministic(
+        script in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let k = elementwise_kernel(&script);
+        let xs: Vec<Scalar> = (0..32).map(|i| Scalar::F32(i as f32)).collect();
+        let ys: Vec<Scalar> = (0..32).map(|i| Scalar::F32(-(i as f32))).collect();
+        let a = execute(&k, &[], &[xs.clone(), ys.clone()], &ExecConfig::with_clusters(4)).unwrap();
+        let b = execute(&k, &[], &[xs.clone(), ys.clone()], &ExecConfig::with_clusters(4)).unwrap();
+        let c = execute(&k, &[], &[xs, ys], &ExecConfig::with_clusters(8)).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// The textual kernel format round-trips arbitrary kernels exactly.
+    #[test]
+    fn kernel_text_round_trips(
+        script in proptest::collection::vec(any::<u8>(), 1..32),
+        structured in any::<bool>(),
+    ) {
+        let k = if structured {
+            structured_kernel(&script, 8)
+        } else {
+            elementwise_kernel(&script)
+        };
+        let text = to_text(&k);
+        let back = parse_kernel(&text).unwrap();
+        prop_assert_eq!(&k, &back);
+        prop_assert_eq!(to_text(&back), text);
+    }
+
+    /// Cost model sanity across random shapes: positive, finite, and
+    /// monotone total area in both dimensions.
+    #[test]
+    fn cost_model_monotone_total(c in 1u32..128, n in 1u32..64) {
+        use stream_scaling::vlsi::{CostModel};
+        let model = CostModel::paper();
+        let base = model.evaluate(Shape::new(c, n));
+        let more_c = model.evaluate(Shape::new(c + 1, n));
+        let more_n = model.evaluate(Shape::new(c, n + 1));
+        prop_assert!(base.area.total() > 0.0 && base.area.total().is_finite());
+        prop_assert!(more_c.area.total() > base.area.total());
+        prop_assert!(more_n.area.total() > base.area.total());
+        prop_assert!(more_c.energy.total_per_cycle() > base.energy.total_per_cycle());
+    }
+}
+
+
+/// Every suite kernel round-trips through the textual format on every
+/// paper machine (deterministic companion to the property above).
+#[test]
+fn suite_kernels_round_trip_as_text() {
+    use stream_scaling::kernels::KernelId;
+    for &(c, n) in &[(8u32, 5u32), (128, 10)] {
+        let machine = Machine::paper(Shape::new(c, n));
+        for id in KernelId::ALL {
+            let k = id.build(&machine);
+            let back = parse_kernel(&to_text(&k)).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(k, back, "{id} at C={c} N={n}");
+        }
+    }
+}
