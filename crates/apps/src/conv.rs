@@ -112,8 +112,7 @@ pub fn run_functional(cfg: &Config, clusters: usize) -> (Vec<f32>, Vec<f32>) {
     let mut smooth = Vec::new();
     let mut lap = Vec::new();
     for y in HALO..cfg.height - HALO {
-        let rows: [Vec<f32>; 7] =
-            std::array::from_fn(|k| image[y - HALO + k].clone());
+        let rows: [Vec<f32>; 7] = std::array::from_fn(|k| image[y - HALO + k].clone());
         let outs = execute(
             &kernel,
             &convolve::params(&taps),
@@ -134,8 +133,7 @@ pub fn reference(cfg: &Config, clusters: usize) -> (Vec<f32>, Vec<f32>) {
     let mut smooth = Vec::new();
     let mut lap = Vec::new();
     for y in HALO..cfg.height - HALO {
-        let rows: [Vec<f32>; 7] =
-            std::array::from_fn(|k| image[y - HALO + k].clone());
+        let rows: [Vec<f32>; 7] = std::array::from_fn(|k| image[y - HALO + k].clone());
         let (s, l) = convolve::reference(&rows, &taps, clusters);
         smooth.extend(s);
         lap.extend(l);

@@ -56,8 +56,7 @@ fn band_rows(cfg: &Config, machine: &Machine) -> usize {
     let mut band = cfg.height - 2;
     let right_width = (cfg.width + cfg.disparities) as u64;
     while band > 1 {
-        let words = (band as u64 + 2) * (cfg.width as u64 + right_width)
-            + 8 * cfg.width as u64;
+        let words = (band as u64 + 2) * (cfg.width as u64 + right_width) + 8 * cfg.width as u64;
         if fits_in_srf(machine, words, 0.25) {
             return band;
         }
@@ -70,10 +69,10 @@ fn band_rows(cfg: &Config, machine: &Machine) -> usize {
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
     let sad = CompiledKernel::compile_default(&blocksad::kernel(machine), machine)
         .expect("blocksad schedules");
-    let init = CompiledKernel::compile_default(&sad_init(machine), machine)
-        .expect("sad_init schedules");
-    let kmin = CompiledKernel::compile_default(&sad_min(machine), machine)
-        .expect("sad_min schedules");
+    let init =
+        CompiledKernel::compile_default(&sad_init(machine), machine).expect("sad_init schedules");
+    let kmin =
+        CompiledKernel::compile_default(&sad_min(machine), machine).expect("sad_min schedules");
 
     let mut p = ProgramBuilder::new();
     let band = band_rows(cfg, machine);
@@ -92,18 +91,20 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
             .collect();
         for r in 0..rows_out {
             // d = 0 seeds the arg-min chain.
-            let rows = [left[r], left[r + 1], left[r + 2], right[r], right[r + 1], right[r + 2]];
+            let rows = [
+                left[r],
+                left[r + 1],
+                left[r + 2],
+                right[r],
+                right[r + 1],
+                right[r + 2],
+            ];
             let sad0 = p.kernel(&sad, &rows, &[width], width);
             let mut best = p.kernel(&init, &[sad0[0]], &[width, width], width);
             for _d in 1..cfg.disparities {
                 // The shifted right-row views are the same SRF streams.
                 let sd = p.kernel(&sad, &rows, &[width], width);
-                best = p.kernel(
-                    &kmin,
-                    &[best[0], best[1], sd[0]],
-                    &[width, width],
-                    width,
-                );
+                best = p.kernel(&kmin, &[best[0], best[1], sd[0]], &[width, width], width);
             }
             p.store(best[1]); // disparity map row
         }
@@ -129,11 +130,7 @@ fn sample_pair(cfg: &Config, seed: u32) -> (Vec<Vec<i32>>, Vec<Vec<i32>>) {
     // so right[x + d] matches left[x] when d equals the true shift.
     let right: Vec<Vec<i32>> = left
         .iter()
-        .map(|row| {
-            (0..w)
-                .map(|x| row[x.saturating_sub(true_shift)])
-                .collect()
-        })
+        .map(|row| (0..w).map(|x| row[x.saturating_sub(true_shift)]).collect())
         .collect();
     (left, right)
 }
@@ -150,30 +147,17 @@ pub fn run_functional(cfg: &Config, clusters: usize) -> Vec<Vec<i32>> {
 
     let mut map = Vec::new();
     for y in 1..cfg.height - 1 {
-        let lrows: [Vec<i32>; 3] = std::array::from_fn(|k| {
-            left[y - 1 + k][..cfg.width].to_vec()
-        });
+        let lrows: [Vec<i32>; 3] = std::array::from_fn(|k| left[y - 1 + k][..cfg.width].to_vec());
         let sad_for = |d: usize| -> Vec<i32> {
-            let rrows: [Vec<i32>; 3] = std::array::from_fn(|k| {
-                right[y - 1 + k][d..d + cfg.width].to_vec()
-            });
-            let outs = execute(
-                &sadk,
-                &[],
-                &blocksad::input_streams(&lrows, &rrows),
-                &exec,
-            )
-            .expect("blocksad executes");
+            let rrows: [Vec<i32>; 3] =
+                std::array::from_fn(|k| right[y - 1 + k][d..d + cfg.width].to_vec());
+            let outs = execute(&sadk, &[], &blocksad::input_streams(&lrows, &rrows), &exec)
+                .expect("blocksad executes");
             to_i32(&outs[0])
         };
         let s0 = sad_for(0);
-        let outs = execute(
-            &initk,
-            &[Scalar::I32(0)],
-            &[words_i32(s0)],
-            &exec,
-        )
-        .expect("sad_init executes");
+        let outs =
+            execute(&initk, &[Scalar::I32(0)], &[words_i32(s0)], &exec).expect("sad_init executes");
         let mut best_sad = to_i32(&outs[0]);
         let mut best_d = to_i32(&outs[1]);
         for d in 1..cfg.disparities {
@@ -202,14 +186,12 @@ pub fn reference(cfg: &Config, clusters: usize) -> Vec<Vec<i32>> {
     let (left, right) = sample_pair(cfg, 77);
     let mut map = Vec::new();
     for y in 1..cfg.height - 1 {
-        let lrows: [Vec<i32>; 3] =
-            std::array::from_fn(|k| left[y - 1 + k][..cfg.width].to_vec());
+        let lrows: [Vec<i32>; 3] = std::array::from_fn(|k| left[y - 1 + k][..cfg.width].to_vec());
         let mut best_sad = vec![i32::MAX; cfg.width];
         let mut best_d = vec![0i32; cfg.width];
         for d in 0..cfg.disparities {
-            let rrows: [Vec<i32>; 3] = std::array::from_fn(|k| {
-                right[y - 1 + k][d..d + cfg.width].to_vec()
-            });
+            let rrows: [Vec<i32>; 3] =
+                std::array::from_fn(|k| right[y - 1 + k][d..d + cfg.width].to_vec());
             let sad = blocksad::reference(&lrows, &rrows, clusters);
             for x in 0..cfg.width {
                 if sad[x] < best_sad[x] {

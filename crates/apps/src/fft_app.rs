@@ -11,7 +11,7 @@
 use crate::AppProgram;
 use stream_ir::execute;
 use stream_kernels::fft::{
-    self, digit_reverse4, fft_reference, stage_streams, scatter_stage_outputs, C32,
+    self, digit_reverse4, fft_reference, scatter_stage_outputs, stage_streams, C32,
 };
 use stream_kernels::util::XorShift32;
 use stream_machine::Machine;
@@ -44,8 +44,8 @@ impl Config {
 
 /// Builds the FFT stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let kernel = CompiledKernel::compile_default(&fft::kernel(machine), machine)
-        .expect("fft schedules");
+    let kernel =
+        CompiledKernel::compile_default(&fft::kernel(machine), machine).expect("fft schedules");
     let n = cfg.points as u64;
     let stages = cfg.stages();
     let data_words = 2 * n;

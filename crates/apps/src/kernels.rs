@@ -445,11 +445,11 @@ mod tests {
         let clusters = 8usize;
         let row_iters = 2i32; // 16 records of 8 rows per column
         let _rows = 8 * clusters * row_iters as usize / clusters; // 16 records -> 128 rows? no:
-        // Each column has row_iters * 8 rows; C columns per strip.
+                                                                  // Each column has row_iters * 8 rows; C columns per strip.
         let rows_per_col = 8 * row_iters as usize;
         let cols = clusters; // one strip
-        // Build strip layout: iteration i, cluster c reads rowblock i of
-        // column c -> record index i*C + c = rowblock i of column c.
+                             // Build strip layout: iteration i, cluster c reads rowblock i of
+                             // column c -> record index i*C + c = rowblock i of column c.
         let mut a_stream = Vec::new();
         let mut v_stream = Vec::new();
         let a_mat: Vec<Vec<f32>> = (0..cols)
@@ -476,7 +476,11 @@ mod tests {
         assert_eq!(dots.len(), cols);
         for c in 0..cols {
             let want: f32 = (0..rows_per_col).map(|r| a_mat[c][r] * v[r]).sum();
-            assert!((dots[c] - want).abs() < 1e-3, "col {c}: {} vs {want}", dots[c]);
+            assert!(
+                (dots[c] - want).abs() < 1e-3,
+                "col {c}: {} vs {want}",
+                dots[c]
+            );
         }
 
         let ak = colaxpy(&mach);

@@ -38,8 +38,8 @@ pub mod render;
 
 mod suite;
 
-pub use suite::AppId;
 use stream_sim::StreamProgram;
+pub use suite::AppId;
 
 /// A named, paper-scale application program ready to simulate.
 #[derive(Debug, Clone)]

@@ -80,12 +80,7 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
             let remaining = (panel_cols - jj - 1).max(1) as u64;
             let recs = remaining * row_iters as u64;
             let dots = p.kernel(&kdot, &[panel, v[0]], &[remaining], recs);
-            let _upd = p.kernel(
-                &kaxpy,
-                &[panel, v[0], dots[0]],
-                &[recs * 8],
-                recs,
-            );
+            let _upd = p.kernel(&kaxpy, &[panel, v[0], dots[0]], &[recs * 8], recs);
             let _ = nrm;
             vs.push(v[0]);
         }
@@ -98,8 +93,11 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
             let strip_words = (c * row_iters * 8) as u64;
             // Column strips gather with the panel stride through the
             // row-major matrix (memory-access-scheduling territory).
-            let mut strip =
-                p.load_patterned(format!("strip{j0}_{s}"), strip_words, AccessPattern::Strided);
+            let mut strip = p.load_patterned(
+                format!("strip{j0}_{s}"),
+                strip_words,
+                AccessPattern::Strided,
+            );
             for &v in &vs {
                 let recs = (c * row_iters) as u64;
                 let dots = p.kernel(&kdot, &[strip, v], &[c as u64], recs);
@@ -215,11 +213,7 @@ pub fn run_functional(cfg: &Config, clusters: usize) -> Vec<Vec<f32>> {
                     params: &[Scalar::I32(row_iters as i32), Scalar::F32(2.0)],
                     ..Default::default()
                 },
-                &[
-                    words_f32(a_stream),
-                    words_f32(v_stream),
-                    words_f32(dots),
-                ],
+                &[words_f32(a_stream), words_f32(v_stream), words_f32(dots)],
                 &exec,
             )
             .expect("colaxpy executes");

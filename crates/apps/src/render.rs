@@ -58,7 +58,8 @@ pub fn pin_spans(cfg: &Config) -> Vec<Span> {
     for y in 0..cfg.scanlines {
         let t = y as f32 / h;
         // A pin-ish profile: wide body, narrow neck, bulbous head.
-        let profile = 0.18 + 0.65 * (1.0 - t) * t * 2.0 + 0.35 * (-((t - 0.82) * 6.0).powi(2)).exp();
+        let profile =
+            0.18 + 0.65 * (1.0 - t) * t * 2.0 + 0.35 * (-((t - 0.82) * 6.0).powi(2)).exp();
         let half = (profile * 120.0).max(1.0) as i32;
         let cx = 512i32;
         let mut x = cx - half;
@@ -115,10 +116,8 @@ fn pad_to_multiple(mut v: Vec<Scalar>, m: usize, fill: Scalar) -> Vec<Scalar> {
 /// Builds the RENDER stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
     let ktrans = CompiledKernel::compile_default(&transform(machine), machine).expect("transform");
-    let kirast =
-        CompiledKernel::compile_default(&irast::kernel(machine), machine).expect("irast");
-    let kdecode =
-        CompiledKernel::compile_default(&decode_frag(machine), machine).expect("decode");
+    let kirast = CompiledKernel::compile_default(&irast::kernel(machine), machine).expect("irast");
+    let kdecode = CompiledKernel::compile_default(&decode_frag(machine), machine).expect("decode");
     let knoise = CompiledKernel::compile_default(&noise::kernel(machine), machine).expect("noise");
     let kblend = CompiledKernel::compile_default(&blend(machine), machine).expect("blend");
 
@@ -132,17 +131,18 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
     let vz = p.load("vz", n_verts);
     // The transformed vertices feed host-side span setup (a documented
     // substitution); they are consumed from the SRF, not stored.
-    let _screen = p.kernel(&ktrans, &[vx, vy, vz], &[n_verts, n_verts, n_verts], n_verts);
+    let _screen = p.kernel(
+        &ktrans,
+        &[vx, vy, vz],
+        &[n_verts, n_verts, n_verts],
+        n_verts,
+    );
 
     // Rasterize/shade/blend in span batches sized to the SRF: a batch of S
     // spans holds ~6S span words plus ~7 fragment-sized streams in flight.
     let mut batch = 4096usize;
     while batch > 64
-        && !stream_sim::fits_in_srf(
-            machine,
-            (6 + 7 * irast::STEPS) as u64 * batch as u64,
-            0.4,
-        )
+        && !stream_sim::fits_in_srf(machine, (6 + 7 * irast::STEPS) as u64 * batch as u64, 0.4)
     {
         batch /= 2;
     }
@@ -156,7 +156,12 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
         let rast = p.kernel(&kirast, &[ints, floats], &[n_frags, n_frags], n_spans);
         let coords = p.kernel(&kdecode, &[rast[0]], &[n_frags, n_frags], n_frags);
         let shade = p.kernel(&knoise, &[coords[0], coords[1]], &[n_frags], n_frags);
-        let color = p.kernel(&kblend, &[shade[0], rast[1]], &[n_frags.div_ceil(2)], n_frags);
+        let color = p.kernel(
+            &kblend,
+            &[shade[0], rast[1]],
+            &[n_frags.div_ceil(2)],
+            n_frags,
+        );
         p.store(color[0]);
     }
 
@@ -192,8 +197,8 @@ pub fn run_functional(cfg: &Config, clusters: usize) -> Vec<f32> {
         clusters,
         Scalar::F32(1.0),
     );
-    let _screen = execute(&transform(&machine), &tparams, &[vx, vy, vz], &exec)
-        .expect("transform executes");
+    let _screen =
+        execute(&transform(&machine), &tparams, &[vx, vy, vz], &exec).expect("transform executes");
 
     // Rasterize (pad span records to a SIMD strip).
     let mut padded = spans.clone();
@@ -281,7 +286,10 @@ mod tests {
         let want = reference(&cfg, 8);
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()), "frag {i}: {g} vs {w}");
+            assert!(
+                (g - w).abs() < 1e-3 * (1.0 + w.abs()),
+                "frag {i}: {g} vs {w}"
+            );
         }
     }
 

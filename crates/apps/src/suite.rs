@@ -88,8 +88,7 @@ mod tests {
         let sys = SystemParams::paper_2007();
         for id in AppId::ALL {
             let app = id.program(&m);
-            let r = simulate(&app.program, &m, &sys)
-                .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+            let r = simulate(&app.program, &m, &sys).unwrap_or_else(|e| panic!("{id} failed: {e}"));
             assert!(r.cycles > 0, "{id}");
         }
     }

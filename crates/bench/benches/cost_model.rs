@@ -41,21 +41,15 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig07_intracluster_energy", |b| {
         b.iter(|| intracluster_sweep(&model, CostKind::Energy, 8))
     });
-    g.bench_function("fig08_intracluster_delay", |b| {
-        b.iter(stream_repro::fig8)
-    });
+    g.bench_function("fig08_intracluster_delay", |b| b.iter(stream_repro::fig8));
     g.bench_function("fig09_intercluster_area", |b| {
         b.iter(|| intercluster_sweep(&model, CostKind::Area, 5))
     });
     g.bench_function("fig10_intercluster_energy", |b| {
         b.iter(|| intercluster_sweep(&model, CostKind::Energy, 5))
     });
-    g.bench_function("fig11_intercluster_delay", |b| {
-        b.iter(stream_repro::fig11)
-    });
-    g.bench_function("fig12_combined_area", |b| {
-        b.iter(stream_repro::fig12)
-    });
+    g.bench_function("fig11_intercluster_delay", |b| b.iter(stream_repro::fig11));
+    g.bench_function("fig12_combined_area", |b| b.iter(stream_repro::fig12));
     g.bench_function("table1_parameters", |b| b.iter(stream_repro::table1));
     g.bench_function("table3_cost_formulae", |b| {
         b.iter_batched(|| (), |()| stream_repro::table3(), BatchSize::SmallInput)

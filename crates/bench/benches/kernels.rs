@@ -51,8 +51,12 @@ fn bench_experiments(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(5));
     g.bench_function("table2_kernel_stats", |b| b.iter(stream_repro::table2));
-    g.bench_function("fig13_intracluster_kernels", |b| b.iter(stream_repro::fig13));
-    g.bench_function("fig14_intercluster_kernels", |b| b.iter(stream_repro::fig14));
+    g.bench_function("fig13_intracluster_kernels", |b| {
+        b.iter(stream_repro::fig13)
+    });
+    g.bench_function("fig14_intercluster_kernels", |b| {
+        b.iter(stream_repro::fig14)
+    });
     g.bench_function("table5_perf_per_area", |b| b.iter(stream_repro::table5));
     g.finish();
 

@@ -1,0 +1,205 @@
+#![warn(missing_docs)]
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness so `cargo bench` works in network-isolated environments.
+//!
+//! Each `bench_function` call runs its routine `sample_size` times (after
+//! one warm-up) and prints the mean wall-clock time. There are no
+//! statistical analyses, plots, or baselines — install the real crate for
+//! those. The API surface mirrors the subset this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility and
+/// otherwise ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    samples: u32,
+    /// Mean duration of one routine call, filled in by `iter`/`iter_batched`.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up call then `sample_size` timed
+    /// calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.samples.max(1));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = Some(total / self.samples.max(1));
+    }
+}
+
+fn run_one(label: &str, samples: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean: None,
+    };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench {label:<48} {mean:>12.2?}/iter ({samples} samples)"),
+        None => println!("bench {label:<48} (no measurement recorded)"),
+    }
+}
+
+/// The benchmark registry and runner.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Configures `criterion_group!`-level defaults (API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs exactly
+    /// `sample_size` samples regardless of target measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_mean() {
+        let mut b = Bencher {
+            samples: 3,
+            mean: None,
+        };
+        b.iter(|| 2 + 2);
+        assert!(b.mean.is_some());
+    }
+
+    #[test]
+    fn iter_batched_records_a_mean() {
+        let mut b = Bencher {
+            samples: 3,
+            mean: None,
+        };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.mean.is_some());
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("one", |b| b.iter(|| 1));
+        g.finish();
+        c.bench_function("two", |b| b.iter(|| 2));
+    }
+}

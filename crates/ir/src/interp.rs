@@ -457,8 +457,7 @@ impl<'a> Interp<'a> {
             _ => {
                 // Pure arithmetic.
                 for c in 0..self.clusters {
-                    let a: Vec<Scalar> =
-                        args.iter().map(|&x| self.vals[c][x.index()]).collect();
+                    let a: Vec<Scalar> = args.iter().map(|&x| self.vals[c][x.index()]).collect();
                     self.vals[c][v.index()] = eval_arith(&opcode, &a, v)?;
                 }
             }

@@ -334,10 +334,7 @@ impl KernelBuilder {
     }
 
     fn require_value(&self, v: ValueId, ctx: &str) {
-        assert!(
-            v.index() < self.ops.len(),
-            "{ctx}: {v} is not defined yet"
-        );
+        assert!(v.index() < self.ops.len(), "{ctx}: {v} is not defined yet");
         assert!(
             self.ops[v.index()].opcode.produces_value(),
             "{ctx}: {v} does not produce a value"

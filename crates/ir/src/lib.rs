@@ -55,9 +55,7 @@ mod text;
 mod transform;
 
 pub use error::IrError;
-pub use interp::{
-    execute, execute_iters, execute_with, infer_iterations, ExecConfig, ExecOptions,
-};
+pub use interp::{execute, execute_iters, execute_with, infer_iterations, ExecConfig, ExecOptions};
 pub use kernel::{Kernel, KernelBuilder, KernelStats, StreamDecl};
 pub use op::{Op, Opcode, StreamDir, StreamId, ValueId};
 pub use scalar::{Scalar, Ty};

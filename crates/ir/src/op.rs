@@ -133,8 +133,8 @@ impl Opcode {
             Const(_) | Param(..) | IterIndex | ClusterId | ClusterCount | Recur(_) => 0,
             Sqrt | Neg | Abs | Floor | ItoF | FtoI | Write(_) | CondRead(_) | SpRead(_) => 1,
             Read(_) => 0,
-            Add | Sub | Mul | Div | Min | Max | And | Or | Xor | Shl | Shr | Eq | Ne | Lt
-            | Le | CondWrite(_) | SpWrite | Comm => 2,
+            Add | Sub | Mul | Div | Min | Max | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le
+            | CondWrite(_) | SpWrite | Comm => 2,
             Select => 3,
         }
     }
@@ -151,12 +151,9 @@ impl Opcode {
     /// operands (`None` for free ops that occupy no functional unit).
     pub fn class(&self, result_ty: Ty, arg_tys: &[Ty]) -> Option<OpClass> {
         use Opcode::*;
-        let float_involved =
-            result_ty == Ty::F32 || arg_tys.contains(&Ty::F32);
+        let float_involved = result_ty == Ty::F32 || arg_tys.contains(&Ty::F32);
         Some(match self {
-            Const(_) | Param(..) | IterIndex | ClusterId | ClusterCount | Recur(_) => {
-                return None
-            }
+            Const(_) | Param(..) | IterIndex | ClusterId | ClusterCount | Recur(_) => return None,
             Add | Sub | Min | Max | Neg | Abs | Floor | Eq | Ne | Lt | Le | ItoF | FtoI => {
                 if float_involved {
                     OpClass::FloatAdd

@@ -189,18 +189,19 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
                     .map_err(|_| fail(line_no, format!("bad f32 literal {lit}"))),
             }
         };
-        let value = |tok: Option<&&str>, values: &[Option<ValueId>]| -> Result<ValueId, ParseError> {
-            let tok = tok.copied().unwrap_or("");
-            let idx: usize = tok
-                .strip_prefix('v')
-                .and_then(|d| d.parse().ok())
-                .ok_or_else(|| fail(line_no, format!("expected value id, found `{tok}`")))?;
-            match values.get(idx) {
-                Some(Some(v)) => Ok(*v),
-                Some(None) => Err(fail(line_no, format!("v{idx} produces no value"))),
-                None => Err(fail(line_no, format!("v{idx} is not defined yet"))),
-            }
-        };
+        let value =
+            |tok: Option<&&str>, values: &[Option<ValueId>]| -> Result<ValueId, ParseError> {
+                let tok = tok.copied().unwrap_or("");
+                let idx: usize = tok
+                    .strip_prefix('v')
+                    .and_then(|d| d.parse().ok())
+                    .ok_or_else(|| fail(line_no, format!("expected value id, found `{tok}`")))?;
+                match values.get(idx) {
+                    Some(Some(v)) => Ok(*v),
+                    Some(None) => Err(fail(line_no, format!("v{idx} produces no value"))),
+                    None => Err(fail(line_no, format!("v{idx} is not defined yet"))),
+                }
+            };
         let stream = |tok: Option<&&str>| -> Result<StreamId, ParseError> {
             let tok = tok.copied().unwrap_or("");
             tok.strip_prefix('s')
@@ -244,11 +245,16 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
                 let expect_idx: usize = toks[0]
                     .strip_prefix('v')
                     .and_then(|d| d.parse().ok())
-                    .ok_or_else(|| fail(line_no, format!("expected value id, found {}", toks[0])))?;
+                    .ok_or_else(|| {
+                        fail(line_no, format!("expected value id, found {}", toks[0]))
+                    })?;
                 if expect_idx != values.len() {
                     return Err(fail(
                         line_no,
-                        format!("value ids must be dense: expected v{}, found v{expect_idx}", values.len()),
+                        format!(
+                            "value ids must be dense: expected v{}, found v{expect_idx}",
+                            values.len()
+                        ),
                     ));
                 }
                 let op = toks[2];

@@ -38,7 +38,11 @@ pub fn unroll(kernel: &Kernel, factor: u32) -> Result<Kernel, IrError> {
     let mut b = KernelBuilder::new(format!("{}(x{})", kernel.name(), factor));
     b.require_sp(kernel.sp_words());
     let in_ids: Vec<StreamId> = kernel.inputs().iter().map(|d| b.in_stream(d.ty)).collect();
-    let out_ids: Vec<StreamId> = kernel.outputs().iter().map(|d| b.out_stream(d.ty)).collect();
+    let out_ids: Vec<StreamId> = kernel
+        .outputs()
+        .iter()
+        .map(|d| b.out_stream(d.ty))
+        .collect();
     let param_ids: Vec<ValueId> = kernel.param_tys().iter().map(|&ty| b.param(ty)).collect();
 
     // map[(copy, old_value)] -> new value

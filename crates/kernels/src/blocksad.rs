@@ -7,7 +7,7 @@
 //! adjacent clusters over the intercluster switch, exactly how Imagine's
 //! DEPTH kernels shared column data; columns wrap within a SIMD strip.
 
-use crate::util::{wrap_cluster, words_i32, XorShift32};
+use crate::util::{words_i32, wrap_cluster, XorShift32};
 use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
 use stream_machine::Machine;
 
@@ -101,12 +101,11 @@ pub fn reference(left: &[Vec<i32>; 3], right: &[Vec<i32>; 3], clusters: usize) -
 pub fn sample_inputs(columns: usize, seed: u32) -> ([Vec<i32>; 3], [Vec<i32>; 3]) {
     let mut rng = XorShift32(seed);
     let mut row = |_: usize| -> Vec<i32> {
-        (0..columns).map(|_| rng.next_below(1 << 16) as i32).collect()
+        (0..columns)
+            .map(|_| rng.next_below(1 << 16) as i32)
+            .collect()
     };
-    (
-        [row(0), row(1), row(2)],
-        [row(3), row(4), row(5)],
-    )
+    ([row(0), row(1), row(2)], [row(3), row(4), row(5)])
 }
 
 /// Packs the reference-format rows into the kernel's input streams.

@@ -12,7 +12,7 @@
 //! filter bank a stereo/feature front end actually runs. Columns wrap
 //! within a SIMD strip.
 
-use crate::util::{wrap_cluster, words_f32, XorShift32};
+use crate::util::{words_f32, wrap_cluster, XorShift32};
 use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
 use stream_machine::Machine;
 
@@ -266,8 +266,7 @@ mod tests {
             &ExecConfig::with_clusters(8),
         )
         .unwrap();
-        let gain: f32 =
-            taps.gauss[0] + 2.0 * (taps.gauss[1] + taps.gauss[2] + taps.gauss[3]);
+        let gain: f32 = taps.gauss[0] + 2.0 * (taps.gauss[1] + taps.gauss[2] + taps.gauss[3]);
         for &v in to_f32(&outs[0]).iter() {
             assert!((v - 100.0 * gain * gain).abs() < 1e-2);
         }

@@ -44,10 +44,10 @@ pub fn kernel(machine: &Machine) -> Kernel {
 
     // Complex multiply helper.
     let cmul = |b: &mut KernelBuilder,
-                    ar: ValueId,
-                    ai: ValueId,
-                    br: ValueId,
-                    bi: ValueId|
+                ar: ValueId,
+                ai: ValueId,
+                br: ValueId,
+                bi: ValueId|
      -> (ValueId, ValueId) {
         let rr = b.mul(ar, br);
         let ii = b.mul(ai, bi);
@@ -150,7 +150,8 @@ pub fn exchange_kernel(machine: &Machine, bit: u32) -> Kernel {
     b.write(out, yr);
     b.write(out, yi);
 
-    b.finish().expect("fft exchange kernel is structurally valid")
+    b.finish()
+        .expect("fft exchange kernel is structurally valid")
 }
 
 /// Reverses the low `log2(n)` bits of `i` (radix-2 input ordering).
@@ -294,7 +295,10 @@ pub fn apply_stage_reference(points: &mut [C32], layout: &StageLayout) {
 /// stages. `n` must be a power of four.
 pub fn fft_reference(input: &[C32]) -> Vec<C32> {
     let n = input.len();
-    assert!(n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2), "n must be 4^m");
+    assert!(
+        n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2),
+        "n must be 4^m"
+    );
     let mut x: Vec<C32> = (0..n).map(|i| input[digit_reverse4(i, n)]).collect();
     let mut span = 1;
     while span < n {
@@ -443,7 +447,6 @@ mod tests {
         assert_eq!(s.sp_accesses, 0);
     }
 
-
     #[test]
     fn exchange_stage_matches_reference() {
         let machine = Machine::baseline();
@@ -459,7 +462,10 @@ mod tests {
             for (i, w) in want.iter().enumerate() {
                 let gr = flat[2 * i].as_f32().unwrap();
                 let gi = flat[2 * i + 1].as_f32().unwrap();
-                assert!((gr - w.0).abs() < 1e-4 && (gi - w.1).abs() < 1e-4, "span {span} pt {i}");
+                assert!(
+                    (gr - w.0).abs() < 1e-4 && (gi - w.1).abs() < 1e-4,
+                    "span {span} pt {i}"
+                );
             }
             pts = want;
         }

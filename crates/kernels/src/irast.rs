@@ -81,11 +81,7 @@ pub fn kernel(_machine: &Machine) -> Kernel {
 
 /// Packs spans into the kernel's two input streams.
 pub fn input_streams(spans: &[Span]) -> Vec<Vec<Scalar>> {
-    let ints = words_i32(
-        spans
-            .iter()
-            .flat_map(|s| [s.x0, s.width, s.y, s.color]),
-    );
+    let ints = words_i32(spans.iter().flat_map(|s| [s.x0, s.width, s.y, s.color]));
     let floats = words_f32(spans.iter().flat_map(|s| [s.z0, s.dzdx]));
     vec![ints, floats]
 }

@@ -29,7 +29,10 @@ pub fn split_plan(widths: &[u32], budget: u32) -> Vec<u32> {
         "need at least one streambuffer per logical stream ({} > {budget})",
         widths.len()
     );
-    assert!(widths.iter().all(|&w| w > 0), "stream widths must be positive");
+    assert!(
+        widths.iter().all(|&w| w > 0),
+        "stream widths must be positive"
+    );
     let mut splits = vec![1u32; widths.len()];
     let mut spare = budget - widths.len() as u32;
     while spare > 0 {

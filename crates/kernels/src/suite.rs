@@ -103,10 +103,7 @@ mod tests {
                 let m = Machine::paper(stream_vlsi::Shape::new(c, n));
                 for id in KernelId::ALL {
                     let k = id.build(&m);
-                    assert!(
-                        k.stats().alu_ops > 0,
-                        "{id} on C={c} N={n} has no ALU work"
-                    );
+                    assert!(k.stats().alu_ops > 0, "{id} on C={c} N={n} has no ALU work");
                 }
             }
         }

@@ -179,8 +179,13 @@ mod tests {
             sp_init: Some(&sp),
             iterations: None,
         };
-        let outs = execute_with(&k, &opts, &inputs, &ExecConfig::with_clusters(clusters as usize))
-            .unwrap();
+        let outs = execute_with(
+            &k,
+            &opts,
+            &inputs,
+            &ExecConfig::with_clusters(clusters as usize),
+        )
+        .unwrap();
         let [_, _, ko] = splits(&machine);
         let got = to_f32(&gather_output(&outs[..ko as usize], &machine));
         let want = reference(&a, &v, tau, &scale, clusters as usize, columns);

@@ -65,7 +65,10 @@ mod tests {
     use stream_vlsi::Shape;
 
     fn hierarchy(c: u32, n: u32) -> BandwidthHierarchy {
-        BandwidthHierarchy::compute(&Machine::paper(Shape::new(c, n)), &SystemParams::paper_2007())
+        BandwidthHierarchy::compute(
+            &Machine::paper(Shape::new(c, n)),
+            &SystemParams::paper_2007(),
+        )
     }
 
     #[test]

@@ -21,7 +21,12 @@ pub enum FuKind {
 
 impl FuKind {
     /// All functional-unit kinds, in display order.
-    pub const ALL: [FuKind; 4] = [FuKind::Alu, FuKind::Scratchpad, FuKind::Comm, FuKind::SbPort];
+    pub const ALL: [FuKind; 4] = [
+        FuKind::Alu,
+        FuKind::Scratchpad,
+        FuKind::Comm,
+        FuKind::SbPort,
+    ];
 }
 
 impl fmt::Display for FuKind {

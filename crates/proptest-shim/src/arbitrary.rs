@@ -1,0 +1,75 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u8_covers_both_halves() {
+        let mut rng = TestRng::new(5, 6);
+        let (mut low, mut high) = (false, false);
+        for _ in 0..100 {
+            let v = any::<u8>().generate(&mut rng);
+            if v < 128 {
+                low = true;
+            } else {
+                high = true;
+            }
+        }
+        assert!(low && high);
+    }
+
+    #[test]
+    fn any_bool_yields_both() {
+        let mut rng = TestRng::new(7, 8);
+        let mut seen = [false; 2];
+        for _ in 0..50 {
+            seen[usize::from(any::<bool>().generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+//! A minimal, dependency-free stand-in for the [`proptest`] crate so the
+//! workspace's property tests run in network-isolated environments where the
+//! real crate cannot be downloaded.
+//!
+//! Only the API surface this workspace actually uses is provided:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` headers,
+//! * [`prop_assert!`], [`prop_assert_eq!`], and [`prop_oneof!`],
+//! * range strategies (`1u32..5000`, `2u32..=4`, `0.25f32..4.0`, ...),
+//!   [`strategy::Just`], tuples, [`strategy::Strategy::prop_map`],
+//!   [`collection::vec`], and [`arbitrary::any`],
+//! * [`test_runner::Config::with_cases`].
+//!
+//! Values are generated from a SplitMix64 PRNG seeded by the test name and
+//! case index, so every run of a test explores the same deterministic case
+//! sequence. There is **no shrinking**: a failing case reports its case
+//! number and message and panics.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(<expr>)]` header followed by `#[test]` functions
+/// whose parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let seed = $crate::test_runner::seed_from_name(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(seed, u64::from(case));
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// the whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Picks uniformly among several strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strategy),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 1usize..=4, z in 0.25f32..4.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.25..4.0).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+        }
+
+        #[test]
+        fn oneof_only_yields_listed_values(
+            n in prop_oneof![Just(2u32), Just(5), Just(10)],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(n == 2 || n == 5 || n == 10);
+            prop_assert!(flag == (flag as u8 != 0));
+        }
+
+        #[test]
+        fn prop_map_transforms(pair in (1u32..=8, 1u32..=8).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..=64).contains(&pair), "pair = {}", pair);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let seed = crate::test_runner::seed_from_name("generation_is_deterministic");
+        let a: Vec<u8> = (0..16)
+            .map(|i| crate::test_runner::TestRng::new(seed, i).next_u64() as u8)
+            .collect();
+        let b: Vec<u8> = (0..16)
+            .map(|i| crate::test_runner::TestRng::new(seed, i).next_u64() as u8)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_case_reports_its_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(false, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -34,7 +34,15 @@ pub fn fig15() -> Report {
         "Application Performance (speedup over C=8 N=5; GOPS in parentheses)",
     )
     .headers([
-        "app", "C=8", "C=16", "C=32", "C=64", "C=128", "C=128 N=2", "C=128 N=10", "C=128 N=14",
+        "app",
+        "C=8",
+        "C=16",
+        "C=32",
+        "C=64",
+        "C=128",
+        "C=128 N=2",
+        "C=128 N=10",
+        "C=128 N=14",
         "paper C128N10",
     ]);
     let mut big_speedups = Vec::new();
@@ -168,7 +176,7 @@ mod tests {
     fn fig15_reports_all_apps() {
         let r = fig15();
         assert_eq!(r.rows.len(), 7); // 6 apps + harmonic mean
-        // RENDER (well-scaling) speedup at C=128 N=10 should exceed QRD's.
+                                     // RENDER (well-scaling) speedup at C=128 N=10 should exceed QRD's.
         let find = |name: &str| -> f64 {
             let row = r.rows.iter().find(|row| row[0] == name).unwrap();
             row[7].split_whitespace().next().unwrap().parse().unwrap()

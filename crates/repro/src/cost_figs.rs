@@ -15,9 +15,14 @@ fn f(v: f64) -> String {
 /// drift from the paper is visible).
 pub fn table1() -> Report {
     let p = TechParams::paper();
-    let mut r = Report::new("table1", "Summary of Parameters").headers(["param", "value", "description"]);
+    let mut r =
+        Report::new("table1", "Summary of Parameters").headers(["param", "value", "description"]);
     let rows: Vec<(&str, String, &str)> = vec![
-        ("A_SRAM", f(p.sram_area_per_bit), "area of 1 bit of SRAM (grids)"),
+        (
+            "A_SRAM",
+            f(p.sram_area_per_bit),
+            "area of 1 bit of SRAM (grids)",
+        ),
         ("A_SB", f(p.sb_area_per_word), "area per SB width (grids)"),
         ("w_ALU", f(p.alu_width), "ALU datapath width (tracks)"),
         ("w_LRF", f(p.lrf_width), "width of 2 LRFs (tracks)"),
@@ -26,15 +31,47 @@ pub fn table1() -> Report {
         ("v_0", f(p.wire_velocity), "wire velocity (tracks/FO4)"),
         ("t_cyc", f(p.fo4_per_cycle), "FO4s per clock"),
         ("t_mux", f(p.mux_delay_fo4), "2:1 mux delay (FO4)"),
-        ("E_w", f(p.wire_energy_per_track), "wire energy per track (unit)"),
-        ("E_ALU", format!("{:.1e}", p.alu_energy), "ALU op energy (E_w)"),
-        ("E_SRAM", f(p.sram_energy_per_bit), "SRAM energy per bit (E_w)"),
-        ("E_SB", f(p.sb_energy_per_bit), "SB access energy per bit (E_w)"),
-        ("E_LRF", format!("{:.1e}", p.lrf_energy), "LRF access energy (E_w)"),
-        ("E_SP", format!("{:.1e}", p.sp_energy), "SP access energy (E_w)"),
-        ("T", format!("{}", p.memory_latency_cycles), "memory latency (cycles)"),
+        (
+            "E_w",
+            f(p.wire_energy_per_track),
+            "wire energy per track (unit)",
+        ),
+        (
+            "E_ALU",
+            format!("{:.1e}", p.alu_energy),
+            "ALU op energy (E_w)",
+        ),
+        (
+            "E_SRAM",
+            f(p.sram_energy_per_bit),
+            "SRAM energy per bit (E_w)",
+        ),
+        (
+            "E_SB",
+            f(p.sb_energy_per_bit),
+            "SB access energy per bit (E_w)",
+        ),
+        (
+            "E_LRF",
+            format!("{:.1e}", p.lrf_energy),
+            "LRF access energy (E_w)",
+        ),
+        (
+            "E_SP",
+            format!("{:.1e}", p.sp_energy),
+            "SP access energy (E_w)",
+        ),
+        (
+            "T",
+            format!("{}", p.memory_latency_cycles),
+            "memory latency (cycles)",
+        ),
         ("b", format!("{}", p.data_width_bits), "data width (bits)"),
-        ("G_SRF", f(p.srf_width_per_alu), "SRF bank width per N (words)"),
+        (
+            "G_SRF",
+            f(p.srf_width_per_alu),
+            "SRF bank width per N (words)",
+        ),
         ("G_SB", f(p.sb_accesses_per_op), "SB accesses per ALU op"),
         ("G_COMM", f(p.comm_units_per_alu), "COMM units per N"),
         ("G_SP", f(p.sp_units_per_alu), "SP units per N"),
@@ -43,8 +80,16 @@ pub fn table1() -> Report {
         ("L_C", f(p.base_cluster_sbs), "initial cluster SBs"),
         ("L_O", f(p.other_sbs), "non-cluster SBs"),
         ("L_N", f(p.extra_sbs_per_alu), "extra SBs per N"),
-        ("r_m", f(p.srf_words_per_alu_latency), "SRF words/ALU/latency-cycle"),
-        ("r_uc", f(p.microcode_instructions), "microcode instructions"),
+        (
+            "r_m",
+            f(p.srf_words_per_alu_latency),
+            "SRF words/ALU/latency-cycle",
+        ),
+        (
+            "r_uc",
+            f(p.microcode_instructions),
+            "microcode instructions",
+        ),
     ];
     for (name, value, desc) in rows {
         r.row([name.to_string(), value, desc.to_string()]);
@@ -61,8 +106,8 @@ pub fn table3() -> Report {
         "Stream Processor VLSI Costs (model evaluated; areas in Mgrids, energies in ME_w/cycle)",
     )
     .headers([
-        "shape", "A_SRF*C", "A_UC", "A_CLST*C", "A_COMM", "E_SRF*C", "E_UC", "E_CLST*C",
-        "E_inter", "t_intra", "t_inter",
+        "shape", "A_SRF*C", "A_UC", "A_CLST*C", "A_COMM", "E_SRF*C", "E_UC", "E_CLST*C", "E_inter",
+        "t_intra", "t_inter",
     ]);
     for shape in [
         Shape::new(8, 5),

@@ -21,7 +21,15 @@ pub fn bandwidth() -> Report {
         "bandwidth",
         "Data bandwidth hierarchy (GB/s at 1 GHz; memory : SRF : LRF)",
     )
-    .headers(["machine", "memory", "SRF", "LRF", "SRF/mem", "LRF/SRF", "peak ops/mem word"]);
+    .headers([
+        "machine",
+        "memory",
+        "SRF",
+        "LRF",
+        "SRF/mem",
+        "LRF/SRF",
+        "peak ops/mem word",
+    ]);
     for shape in [
         Shape::new(8, 5),
         Shape::new(32, 5),
@@ -54,11 +62,7 @@ pub fn full_custom() -> Report {
         "full_custom",
         "Standard-cell (45 FO4) vs full-custom (20 FO4) methodology",
     )
-    .headers([
-        "metric",
-        "std-cell",
-        "full-custom",
-    ]);
+    .headers(["metric", "std-cell", "full-custom"]);
     let ratio = |model: &CostModel, f: &dyn Fn(&CostModel, Shape) -> f64| -> f64 {
         f(model, Shape::HEADLINE_640) / f(model, Shape::BASELINE)
     };
@@ -88,7 +92,9 @@ pub fn full_custom() -> Report {
             format!("{}", dc.extra_intracluster_stages()),
         ]);
     }
-    r.note("paper Section 4.3: similar relative results, higher latencies in cycles for full custom");
+    r.note(
+        "paper Section 4.3: similar relative results, higher latencies in cycles for full custom",
+    );
     r
 }
 
@@ -157,7 +163,13 @@ pub fn scaled_datasets() -> Report {
         "scaled_datasets",
         "Fixed vs machine-scaled datasets (speedup over C=8 N=5)",
     )
-    .headers(["machine", "DEPTH fixed", "DEPTH scaled", "CONV fixed", "CONV scaled"]);
+    .headers([
+        "machine",
+        "DEPTH fixed",
+        "DEPTH scaled",
+        "CONV fixed",
+        "CONV scaled",
+    ]);
 
     // Scaling the image *width* lengthens every stream a kernel call
     // consumes — exactly the short-stream remedy Section 5.3 describes
@@ -188,8 +200,7 @@ pub fn scaled_datasets() -> Report {
         // Per-unit-work speedup for the scaled dataset: (work ratio) /
         // (time ratio).
         let depth_fixed = base_depth as f64 / depth_cycles(c, 512) as f64;
-        let depth_scaled =
-            scale as f64 * base_depth as f64 / depth_cycles(c, 512 * scale) as f64;
+        let depth_scaled = scale as f64 * base_depth as f64 / depth_cycles(c, 512 * scale) as f64;
         let conv_fixed = base_conv as f64 / conv_cycles(c, 512) as f64;
         let conv_scaled = scale as f64 * base_conv as f64 / conv_cycles(c, 512 * scale) as f64;
         r.row([
@@ -213,18 +224,14 @@ pub fn short_streams() -> Report {
         "short_streams",
         "Kernel call efficiency vs stream length (FFT kernel)",
     )
-    .headers([
-        "records", "C=8 N=5", "C=32 N=5", "C=128 N=5", "C=128 N=10",
-    ]);
+    .headers(["records", "C=8 N=5", "C=32 N=5", "C=128 N=5", "C=128 N=10"]);
     let machines: Vec<Machine> = [(8u32, 5u32), (32, 5), (128, 5), (128, 10)]
         .iter()
         .map(|&(c, n)| Machine::paper(Shape::new(c, n)))
         .collect();
     let compiled: Vec<CompiledKernel> = machines
         .iter()
-        .map(|m| {
-            CompiledKernel::compile_default(&KernelId::Fft.build(m), m).expect("schedules")
-        })
+        .map(|m| CompiledKernel::compile_default(&KernelId::Fft.build(m), m).expect("schedules"))
         .collect();
     for records in [64u64, 256, 1024, 4096, 16384, 65536] {
         let mut row = vec![records.to_string()];
@@ -257,11 +264,9 @@ pub fn fft_exchange() -> Report {
     ]);
     for &c in FIG14_CS.iter() {
         let machine = Machine::paper(Shape::new(c, 5));
-        let local = CompiledKernel::compile_default(
-            &stream_kernels::fft::kernel(&machine),
-            &machine,
-        )
-        .expect("schedules");
+        let local =
+            CompiledKernel::compile_default(&stream_kernels::fft::kernel(&machine), &machine)
+                .expect("schedules");
         let exch = CompiledKernel::compile_default(
             &stream_kernels::fft::exchange_kernel(&machine, 1),
             &machine,
@@ -298,7 +303,12 @@ pub fn register_org() -> Report {
         "incl. switch (area)",
         "incl. switch (energy)",
     ]);
-    for shape in [Shape::new(8, 6), Shape::new(8, 5), Shape::new(32, 6), Shape::new(128, 10)] {
+    for shape in [
+        Shape::new(8, 6),
+        Shape::new(8, 5),
+        Shape::new(32, 6),
+        Shape::new(128, 10),
+    ] {
         let cmp = RegisterOrgComparison::compute(shape, &TechParams::paper());
         r.row([
             shape.to_string(),
@@ -320,7 +330,13 @@ pub fn projection() -> Report {
         "Process-node projection (Table 1 model de-normalized)",
     )
     .headers([
-        "machine", "node", "clock", "peak GOPS", "die mm^2", "full-issue W", "W @ 20% activity",
+        "machine",
+        "node",
+        "clock",
+        "peak GOPS",
+        "die mm^2",
+        "full-issue W",
+        "W @ 20% activity",
     ]);
     for shape in [Shape::BASELINE, Shape::HEADLINE_640, Shape::HEADLINE_1280] {
         for node in ProcessNode::roadmap() {
@@ -355,11 +371,8 @@ pub fn ablation_memory() -> Report {
     let machine = Machine::baseline();
     let sys = SystemParams::paper_2007();
     // A strip-sweep-shaped program: 32 strip loads + compute + stores.
-    let kernel = CompiledKernel::compile_default(
-        &stream_apps::kernels::coldot(&machine),
-        &machine,
-    )
-    .expect("schedules");
+    let kernel = CompiledKernel::compile_default(&stream_apps::kernels::coldot(&machine), &machine)
+        .expect("schedules");
     let run = |pattern: AccessPattern| -> u64 {
         let mut p = ProgramBuilder::new();
         for i in 0..32 {
@@ -368,7 +381,9 @@ pub fn ablation_memory() -> Report {
             let dots = p.kernel(&kernel, &[strip, v], &[8], 256);
             p.store_patterned(dots[0], pattern);
         }
-        simulate(&p.finish(), &machine, &sys).expect("simulates").cycles
+        simulate(&p.finish(), &machine, &sys)
+            .expect("simulates")
+            .cycles
     };
     let seq = run(AccessPattern::Sequential);
     for (name, pattern) in [
@@ -479,9 +494,7 @@ mod tests {
     #[test]
     fn memory_patterns_order_correctly() {
         let r = ablation_memory();
-        let at = |i: usize| -> f64 {
-            r.rows[i][2].trim_end_matches('x').parse().unwrap()
-        };
+        let at = |i: usize| -> f64 { r.rows[i][2].trim_end_matches('x').parse().unwrap() };
         assert_eq!(at(0), 1.0);
         assert!(at(1) >= at(0));
         assert!(at(2) > at(1));
@@ -491,9 +504,7 @@ mod tests {
     fn multiproc_trades_partitionability_for_switch_cost() {
         let r = multiproc();
         assert_eq!(r.rows.len(), 5);
-        let qrd = |i: usize| -> f64 {
-            r.rows[i][5].trim_end_matches('x').parse().unwrap()
-        };
+        let qrd = |i: usize| -> f64 { r.rows[i][5].trim_end_matches('x').parse().unwrap() };
         // QRD on one of 16 small processors is slower than on the big one.
         assert!(qrd(4) < qrd(0));
         // Per-ALU area of many small processors is not worse than the

@@ -7,26 +7,35 @@ use stream_machine::Machine;
 use stream_sched::CompiledKernel;
 use stream_vlsi::Shape;
 
-/// Compiles a suite kernel for one machine.
+/// Compiles a suite kernel for one machine. In debug builds every figure
+/// datapoint is re-checked by the independent verifier.
 fn compiled(id: KernelId, shape: Shape) -> CompiledKernel {
     let machine = Machine::paper(shape);
-    CompiledKernel::compile_default(&id.build(&machine), &machine)
-        .expect("suite kernels schedule on all paper machines")
+    let c = CompiledKernel::compile_default(&id.build(&machine), &machine)
+        .expect("suite kernels schedule on all paper machines");
+    debug_assert!(
+        !stream_sched::check_schedule(c.ddg(), c.schedule(), &machine).has_errors(),
+        "{id:?} schedule fails independent verification"
+    );
+    c
 }
 
 /// Table 2: kernel inner-loop characteristics, measured from our kernels,
 /// with the paper's values alongside.
 pub fn table2() -> Report {
     let machine = Machine::baseline();
-    let mut r = Report::new("table2", "Kernel Inner Loop Characteristics (ours vs paper)")
-        .headers([
-            "kernel",
-            "ALU ops",
-            "SRF (per op)",
-            "COMM (per op)",
-            "SP (per op)",
-            "paper ALU/SRF/COMM/SP",
-        ]);
+    let mut r = Report::new(
+        "table2",
+        "Kernel Inner Loop Characteristics (ours vs paper)",
+    )
+    .headers([
+        "kernel",
+        "ALU ops",
+        "SRF (per op)",
+        "COMM (per op)",
+        "SP (per op)",
+        "paper ALU/SRF/COMM/SP",
+    ]);
     let mut push = |name: &str, s: stream_ir::KernelStats, paper: Option<(u32, u32, u32, u32)>| {
         let per = |c: u32| format!("{} ({:.2})", c, s.per_alu_op(c));
         let paper = match paper {
@@ -64,7 +73,10 @@ pub fn table4() -> Report {
         r.row([id.name().to_string(), id.description().to_string()]);
     }
     for (name, desc) in [
-        ("RENDER", "polygon rendering of a bowling pin with a procedural marble shader"),
+        (
+            "RENDER",
+            "polygon rendering of a bowling pin with a procedural marble shader",
+        ),
         ("DEPTH", "stereo depth extraction on a 512x384 pixel image"),
         ("CONV", "convolution filter on 512x384 pixel image"),
         ("QRD", "256x256 matrix decomposition"),

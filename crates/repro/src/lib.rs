@@ -16,21 +16,21 @@ mod cost_figs;
 mod extras;
 mod kernel_figs;
 mod report;
+mod verify_figs;
 
 pub use app_figs::{fig15, headline};
-pub use cost_figs::{
-    calibration, fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table3,
-};
+pub use cost_figs::{calibration, fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table3};
 pub use extras::{
-    ablation_memory, ablation_switch, ablation_swp, bandwidth, full_custom, multiproc,
-    fft_exchange, projection, register_org, scaled_datasets, short_streams,
+    ablation_memory, ablation_switch, ablation_swp, bandwidth, fft_exchange, full_custom,
+    multiproc, projection, register_org, scaled_datasets, short_streams,
 };
 pub use kernel_figs::{fig13, fig14, table2, table4, table5, FIG13_NS, FIG14_CS};
 pub use report::Report;
+pub use verify_figs::verify;
 
 /// Every experiment id: the paper's artifacts in paper order, then the
 /// extension experiments.
-pub const EXPERIMENTS: [&str; 28] = [
+pub const EXPERIMENTS: [&str; 29] = [
     "table1",
     "table2",
     "table3",
@@ -59,6 +59,7 @@ pub const EXPERIMENTS: [&str; 28] = [
     "multiproc",
     "register_org",
     "fft_exchange",
+    "verify",
 ];
 
 /// Runs one experiment by id.
@@ -96,6 +97,7 @@ pub fn run(id: &str) -> Report {
         "multiproc" => multiproc(),
         "register_org" => register_org(),
         "fft_exchange" => fft_exchange(),
+        "verify" => verify(),
         other => panic!("unknown experiment {other}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -8,23 +8,35 @@ fn main() {
     println!("=== Fig13 intracluster (C=8), speedup vs N=5; per-cluster elem/cycle ===");
     for id in KernelId::ALL {
         let mut line = format!("{:10}", id.name());
-        let base = CompiledKernel::compile_default(&id.build(&Machine::paper(Shape::new(8,5))), &Machine::paper(Shape::new(8,5))).unwrap();
-        for n in [2u32,5,10,14] {
-            let m = Machine::paper(Shape::new(8,n));
+        let base = CompiledKernel::compile_default(
+            &id.build(&Machine::paper(Shape::new(8, 5))),
+            &Machine::paper(Shape::new(8, 5)),
+        )
+        .unwrap();
+        for n in [2u32, 5, 10, 14] {
+            let m = Machine::paper(Shape::new(8, n));
             let c = CompiledKernel::compile_default(&id.build(&m), &m).unwrap();
-            line += &format!("  N{n}: {:.2}(II{} x{})", c.elements_per_cycle_per_cluster()/base.elements_per_cycle_per_cluster(), c.ii(), c.unroll_factor());
+            line += &format!(
+                "  N{n}: {:.2}(II{} x{})",
+                c.elements_per_cycle_per_cluster() / base.elements_per_cycle_per_cluster(),
+                c.ii(),
+                c.unroll_factor()
+            );
         }
         println!("{line}");
     }
     println!("=== Fig14 intercluster (N=5), machine-wide speedup vs C=8 ===");
     for id in KernelId::ALL {
         let mut line = format!("{:10}", id.name());
-        let base_m = Machine::paper(Shape::new(8,5));
+        let base_m = Machine::paper(Shape::new(8, 5));
         let base = CompiledKernel::compile_default(&id.build(&base_m), &base_m).unwrap();
-        for c in [8u32,16,32,64,128] {
-            let m = Machine::paper(Shape::new(c,5));
+        for c in [8u32, 16, 32, 64, 128] {
+            let m = Machine::paper(Shape::new(c, 5));
             let ck = CompiledKernel::compile_default(&id.build(&m), &m).unwrap();
-            line += &format!("  C{c}: {:.2}", ck.elements_per_cycle()/base.elements_per_cycle());
+            line += &format!(
+                "  C{c}: {:.2}",
+                ck.elements_per_cycle() / base.elements_per_cycle()
+            );
         }
         println!("{line}");
     }

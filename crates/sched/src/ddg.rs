@@ -80,15 +80,16 @@ impl Ddg {
         }
 
         let mut edges: Vec<Edge> = Vec::new();
-        let mut push_edge = |from: usize, to: usize, latency: u32, distance: u32, kind: EdgeKind| {
-            edges.push(Edge {
-                from,
-                to,
-                latency,
-                distance,
-                kind,
-            });
-        };
+        let mut push_edge =
+            |from: usize, to: usize, latency: u32, distance: u32, kind: EdgeKind| {
+                edges.push(Edge {
+                    from,
+                    to,
+                    latency,
+                    distance,
+                    kind,
+                });
+            };
 
         // True data dependences, resolving through free ops (recurrences add
         // iteration distance).
@@ -303,18 +304,14 @@ mod tests {
         let k = b.finish().unwrap();
         let ddg = Ddg::build(&k, &machine());
         // read0 -> read1 (dist 0) and read1 -> read0 (dist 1).
-        assert!(ddg
-            .edges()
-            .iter()
-            .any(|e| e.latency == 1 && e.distance == 0
-                && ddg.nodes()[e.from].class == OpClass::SbRead
-                && ddg.nodes()[e.to].class == OpClass::SbRead));
-        assert!(ddg
-            .edges()
-            .iter()
-            .any(|e| e.latency == 1 && e.distance == 1
-                && ddg.nodes()[e.from].class == OpClass::SbRead
-                && ddg.nodes()[e.to].class == OpClass::SbRead));
+        assert!(ddg.edges().iter().any(|e| e.latency == 1
+            && e.distance == 0
+            && ddg.nodes()[e.from].class == OpClass::SbRead
+            && ddg.nodes()[e.to].class == OpClass::SbRead));
+        assert!(ddg.edges().iter().any(|e| e.latency == 1
+            && e.distance == 1
+            && ddg.nodes()[e.from].class == OpClass::SbRead
+            && ddg.nodes()[e.to].class == OpClass::SbRead));
     }
 
     #[test]

@@ -39,11 +39,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod check;
 mod ddg;
 mod mii;
 mod modulo;
 mod perf;
 
+pub use check::{check_schedule, dep_graph};
 pub use ddg::{Ddg, Edge, EdgeKind, Node};
 pub use mii::{rec_mii, res_mii, res_mii_for, MiiBounds};
 pub use modulo::{modulo_schedule, schedule_at_ii, ModuloSchedule};

@@ -45,7 +45,12 @@ impl ModuloSchedule {
             if lhs > rhs {
                 return Err(format!(
                     "dependence violated: node {} @{} + {} > node {} @{} + {}*{}",
-                    e.from, self.times[e.from], e.latency, e.to, self.times[e.to], self.ii,
+                    e.from,
+                    self.times[e.from],
+                    e.latency,
+                    e.to,
+                    self.times[e.to],
+                    self.ii,
                     e.distance
                 ));
             }
@@ -207,7 +212,10 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
         }
     }
 
-    let times: Vec<u32> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+    let times: Vec<u32> = time
+        .into_iter()
+        .map(|t| t.expect("all scheduled"))
+        .collect();
     let sched = ModuloSchedule { ii, times };
     debug_assert_eq!(sched.verify(ddg, machine), Ok(()));
     match sched.verify(ddg, machine) {
@@ -281,7 +289,11 @@ mod tests {
         let x = b.read(s);
         let mut acc = x;
         for _ in 0..n_ops {
-            acc = if independent { b.add(x, x) } else { b.add(acc, acc) };
+            acc = if independent {
+                b.add(x, x)
+            } else {
+                b.add(acc, acc)
+            };
         }
         b.write(out, acc);
         b.finish().unwrap()

@@ -44,6 +44,11 @@ pub struct CompileOptions {
     /// iteration to completion before starting the next — the ablation
     /// quantifying how much the stream methodology depends on SWP.
     pub software_pipelining: bool,
+    /// Run every candidate schedule through the independent verifier in
+    /// `stream-verify` and discard candidates it rejects. On by default in
+    /// debug builds; opt in explicitly for release-mode runs (the repro
+    /// harness's `verify` experiment does).
+    pub verify: bool,
 }
 
 impl CompileOptions {
@@ -63,6 +68,7 @@ impl Default for CompileOptions {
             respect_registers: true,
             max_length: 2048,
             software_pipelining: true,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -149,6 +155,18 @@ impl CompiledKernel {
             let length = sched.length(&ddg);
             if length > opts.max_length {
                 continue;
+            }
+
+            if opts.verify {
+                let report = crate::check_schedule(&ddg, &sched, machine);
+                debug_assert!(
+                    !report.has_errors(),
+                    "scheduler produced an illegal schedule for {}:\n{report}",
+                    kernel.name()
+                );
+                if report.has_errors() {
+                    continue;
+                }
             }
 
             let cand = CompiledKernel {
@@ -472,8 +490,7 @@ mod tests {
             .unwrap();
         assert!(flat.ii() >= flat.stages() * swp.ii());
         assert!(
-            swp.elements_per_cycle_per_cluster()
-                > 2.0 * flat.elements_per_cycle_per_cluster(),
+            swp.elements_per_cycle_per_cluster() > 2.0 * flat.elements_per_cycle_per_cluster(),
             "SWP {} vs flat {}",
             swp.elements_per_cycle_per_cluster(),
             flat.elements_per_cycle_per_cluster()

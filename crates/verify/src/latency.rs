@@ -1,0 +1,104 @@
+//! The verifier's own operation-latency table.
+//!
+//! This table is maintained independently of `stream-machine`'s internal
+//! `base_latency` so that the two can drift apart and the drift be *caught*
+//! (diagnostic E106) instead of silently propagating into every schedule.
+//! Values are the Imagine prototype latencies the paper schedules with.
+
+use std::collections::BTreeMap;
+use stream_machine::{FuKind, Machine, OpClass};
+
+/// Base (pre-pipelining-adjustment) latency per scheduling class.
+///
+/// The default table covers every class; [`LatencyTable::without`] removes
+/// entries so tests can exercise the missing-latency diagnostic (E008).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyTable {
+    entries: BTreeMap<OpClass, u32>,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        let entries = [
+            (OpClass::IntAlu, 2),
+            (OpClass::Logic, 1),
+            (OpClass::IntMul, 4),
+            (OpClass::FloatAdd, 4),
+            (OpClass::FloatMul, 4),
+            (OpClass::FloatDiv, 17),
+            (OpClass::Select, 1),
+            (OpClass::SpRead, 2),
+            (OpClass::SpWrite, 1),
+            (OpClass::Comm, 1),
+            (OpClass::CondStream, 2),
+            (OpClass::SbRead, 3),
+            (OpClass::SbWrite, 1),
+        ]
+        .into_iter()
+        .collect();
+        Self { entries }
+    }
+}
+
+impl LatencyTable {
+    /// The base latency of `class`, if the table knows it.
+    pub fn get(&self, class: OpClass) -> Option<u32> {
+        self.entries.get(&class).copied()
+    }
+
+    /// This table minus `class` — for exercising E008.
+    pub fn without(mut self, class: OpClass) -> Self {
+        self.entries.remove(&class);
+        self
+    }
+
+    /// The full latency of `class` on `machine`: the base from this table
+    /// plus the machine's switch-derived pipeline stages, re-deriving the
+    /// Section 5.1 adjustment rule rather than calling
+    /// [`Machine::latency`].
+    pub fn expected(&self, class: OpClass, machine: &Machine) -> Option<u32> {
+        let base = self.get(class)?;
+        let extra = match class.fu_kind() {
+            // Results crossing the intracluster switch pay its extra stages.
+            FuKind::Alu | FuKind::Scratchpad => machine.extra_intracluster_stages(),
+            // COMM-kind ops traverse the pipelined intercluster switch.
+            FuKind::Comm => machine.intercluster_cycles(),
+            // Stream reads come back through the intracluster switch;
+            // writes head outward and pay nothing.
+            FuKind::SbPort => match class {
+                OpClass::SbRead => machine.extra_intracluster_stages(),
+                _ => 0,
+            },
+        };
+        Some(base + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_every_class() {
+        let t = LatencyTable::default();
+        for c in OpClass::ALL {
+            assert!(t.get(c).is_some(), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn without_removes_one_class() {
+        let t = LatencyTable::default().without(OpClass::FloatDiv);
+        assert_eq!(t.get(OpClass::FloatDiv), None);
+        assert!(t.get(OpClass::FloatAdd).is_some());
+    }
+
+    #[test]
+    fn expected_matches_machine_on_the_baseline() {
+        let m = Machine::baseline();
+        let t = LatencyTable::default();
+        for c in OpClass::ALL {
+            assert_eq!(t.expected(c, &m), Some(m.latency(c)), "class {c}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Independent static verification and lint layer.
+//!
+//! The scheduler (`stream-sched`) *constructs* modulo schedules; this crate
+//! *checks* them, re-deriving every legality condition from scratch so a
+//! scheduler bug cannot vouch for itself:
+//!
+//! - [`verify_schedule`] re-counts per-modulo-slot functional-unit usage,
+//!   re-checks every dependence edge against
+//!   `t(to) + II·distance ≥ t(from) + latency`, recomputes ResMII and
+//!   RecMII independently, and re-derives steady-state register pressure
+//!   (diagnostics `E101`–`E106`, `W101`).
+//! - [`lint_kernel`] re-checks the structural and typing invariants of a
+//!   built [`stream_ir::Kernel`] and warns about dead values and unused
+//!   streams (`E00x`, `W00x`).
+//! - [`lint_text`] lints the textual kernel format leniently, reporting
+//!   every problem with line *and column* spans instead of stopping at the
+//!   first like `parse_kernel`.
+//!
+//! All checkers return a [`Report`] of [`Diagnostic`]s with stable
+//! [`Code`]s cataloged in `docs/lint_codes.md`. The crate deliberately
+//! depends only on `stream-ir` and `stream-machine` — never on the
+//! scheduler it checks — and keeps its own [`LatencyTable`] so latency
+//! drift between the scheduler and the machine model is *caught* (`E106`)
+//! rather than inherited.
+
+#![warn(missing_docs)]
+
+mod diag;
+mod latency;
+mod lint;
+mod schedule;
+mod text_lint;
+
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use latency::LatencyTable;
+pub use lint::{lint_kernel, lint_kernel_with_table, span_of_input, span_of_output, span_of_value};
+pub use schedule::{
+    max_live, rec_mii, res_mii, verify_schedule, verify_schedule_with_table, DepEdge, DepGraph,
+    DepKind, SchedNode,
+};
+pub use text_lint::lint_text;

@@ -1,0 +1,839 @@
+//! A lenient linter over the textual kernel format.
+//!
+//! Unlike [`stream_ir::parse_kernel`], which stops at the first problem,
+//! [`lint_text`] keeps going: malformed producers poison their result so
+//! one mistake yields one diagnostic instead of a cascade, and every
+//! finding carries a line *and column* span. It accepts exactly the
+//! grammar `to_text` emits and reports the same structural rules the
+//! builder enforces, plus the dead-value and unused-stream warnings.
+
+use crate::{Code, Report, Span};
+use stream_ir::Ty;
+
+/// What a `vN` line left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// A well-typed value.
+    Value(Ty),
+    /// A write: occupies an id but produces nothing.
+    NoValue,
+    /// A malformed producer; uses of it are silently accepted to avoid
+    /// cascading diagnostics.
+    Poison,
+}
+
+#[derive(Debug)]
+struct ValInfo {
+    slot: Slot,
+    /// Eligible for W001 when never used.
+    pure: bool,
+    used: bool,
+    line: u32,
+    /// `Some` for `recur` lines: the bound next value, once a `loop` line
+    /// binds it.
+    recur_next: Option<Option<usize>>,
+}
+
+#[derive(Debug)]
+struct StreamInfo {
+    ty: Ty,
+    used: bool,
+    ok: bool,
+    line: u32,
+}
+
+struct Tok<'a> {
+    text: &'a str,
+    col: u32,
+}
+
+fn tokenize(line: &str) -> Vec<Tok<'_>> {
+    let mut toks = Vec::new();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                toks.push(Tok {
+                    text: &line[s..i],
+                    col: s as u32 + 1,
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        toks.push(Tok {
+            text: &line[s..],
+            col: s as u32 + 1,
+        });
+    }
+    toks
+}
+
+struct Linter {
+    report: Report,
+    inputs: Vec<StreamInfo>,
+    outputs: Vec<StreamInfo>,
+    values: Vec<ValInfo>,
+}
+
+impl Linter {
+    fn push(&mut self, code: Code, msg: impl Into<String>, line: u32, col: u32) {
+        self.report.push(code, msg, Some(Span { line, col }));
+    }
+
+    fn parse_ty(&mut self, tok: Option<&Tok<'_>>, line: u32, fallback_col: u32) -> Option<Ty> {
+        match tok.map(|t| t.text) {
+            Some("i32") => Some(Ty::I32),
+            Some("f32") => Some(Ty::F32),
+            Some(other) => {
+                let col = tok.map_or(fallback_col, |t| t.col);
+                self.push(
+                    Code::Syntax,
+                    format!("expected type, found `{other}`"),
+                    line,
+                    col,
+                );
+                None
+            }
+            None => {
+                self.push(Code::Syntax, "expected type", line, fallback_col);
+                None
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self, toks: &[Tok<'_>], line: u32, fallback_col: u32) -> Option<Ty> {
+        let ty = self.parse_ty(toks.first(), line, fallback_col)?;
+        let Some(lit) = toks.get(1) else {
+            self.push(Code::Syntax, "expected literal", line, fallback_col);
+            return None;
+        };
+        let ok = match ty {
+            Ty::I32 => lit.text.parse::<i32>().is_ok(),
+            Ty::F32 => lit.text.parse::<f32>().is_ok(),
+        };
+        if !ok {
+            self.push(
+                Code::Syntax,
+                format!("bad {ty} literal `{}`", lit.text),
+                line,
+                lit.col,
+            );
+            return None;
+        }
+        Some(ty)
+    }
+
+    /// Resolves an operand token to its slot index, reporting E010/E001 as
+    /// appropriate. Marks the value used.
+    fn operand_index(
+        &mut self,
+        tok: Option<&Tok<'_>>,
+        line: u32,
+        fallback_col: u32,
+    ) -> Option<usize> {
+        let Some(tok) = tok else {
+            self.push(Code::Syntax, "missing operand", line, fallback_col);
+            return None;
+        };
+        let Some(idx) = tok
+            .text
+            .strip_prefix('v')
+            .and_then(|d| d.parse::<usize>().ok())
+        else {
+            self.push(
+                Code::Syntax,
+                format!("expected value id, found `{}`", tok.text),
+                line,
+                tok.col,
+            );
+            return None;
+        };
+        if idx >= self.values.len() {
+            self.push(
+                Code::UndefinedValue,
+                format!("v{idx} is not defined before this use"),
+                line,
+                tok.col,
+            );
+            return None;
+        }
+        self.values[idx].used = true;
+        Some(idx)
+    }
+
+    /// Resolves an operand to its type: `None` means "don't check further"
+    /// (missing, undefined, or poisoned), with the diagnostic already
+    /// reported where one is due.
+    fn operand_ty(&mut self, tok: Option<&Tok<'_>>, line: u32, fallback_col: u32) -> Option<Ty> {
+        let idx = self.operand_index(tok, line, fallback_col)?;
+        match self.values[idx].slot {
+            Slot::Value(ty) => Some(ty),
+            Slot::Poison => None,
+            Slot::NoValue => {
+                let col = tok.map_or(fallback_col, |t| t.col);
+                self.push(
+                    Code::NoValueOperand,
+                    format!("v{idx} produces no value"),
+                    line,
+                    col,
+                );
+                None
+            }
+        }
+    }
+
+    /// Requires `ty(tok) == want` when both sides are known.
+    fn expect_ty(&mut self, tok: Option<&Tok<'_>>, want: Ty, what: &str, line: u32, col: u32) {
+        if let Some(got) = self.operand_ty(tok, line, col) {
+            if got != want {
+                let at = tok.map_or(col, |t| t.col);
+                self.push(
+                    Code::TypeMismatch,
+                    format!("{what} is {got}, must be {want}"),
+                    line,
+                    at,
+                );
+            }
+        }
+    }
+
+    fn stream(
+        &mut self,
+        tok: Option<&Tok<'_>>,
+        dir: &str,
+        line: u32,
+        fallback_col: u32,
+    ) -> Option<usize> {
+        let Some(tok) = tok else {
+            self.push(Code::Syntax, "expected stream id", line, fallback_col);
+            return None;
+        };
+        let Some(idx) = tok
+            .text
+            .strip_prefix('s')
+            .and_then(|d| d.parse::<usize>().ok())
+        else {
+            self.push(
+                Code::Syntax,
+                format!("expected stream id, found `{}`", tok.text),
+                line,
+                tok.col,
+            );
+            return None;
+        };
+        let decls = if dir == "input" {
+            &mut self.inputs
+        } else {
+            &mut self.outputs
+        };
+        match decls.get_mut(idx) {
+            Some(info) => {
+                info.used = true;
+                Some(idx)
+            }
+            None => {
+                self.push(
+                    Code::UnknownStream,
+                    format!("{dir} stream s{idx} is not declared"),
+                    line,
+                    tok.col,
+                );
+                None
+            }
+        }
+    }
+
+    fn op_line(&mut self, toks: &[Tok<'_>], line: u32) {
+        let id_tok = &toks[0];
+        match id_tok
+            .text
+            .strip_prefix('v')
+            .and_then(|d| d.parse::<usize>().ok())
+        {
+            None => {
+                self.push(
+                    Code::Syntax,
+                    format!("expected `vN = <op> ...`, found `{}`", id_tok.text),
+                    line,
+                    id_tok.col,
+                );
+                return;
+            }
+            Some(idx) if idx != self.values.len() => {
+                self.push(
+                    Code::NonDenseIds,
+                    format!(
+                        "value ids must be dense: expected v{}, found v{idx}",
+                        self.values.len()
+                    ),
+                    line,
+                    id_tok.col,
+                );
+                // Recover: treat the line as defining the next dense id.
+            }
+            Some(_) => {}
+        }
+        if toks.get(1).map(|t| t.text) != Some("=") || toks.len() < 3 {
+            self.push(Code::Syntax, "expected `vN = <op> ...`", line, id_tok.col);
+            self.values.push(ValInfo {
+                slot: Slot::Poison,
+                pure: true,
+                used: false,
+                line,
+                recur_next: None,
+            });
+            return;
+        }
+        let op = &toks[2];
+        let rest = &toks[3..];
+        let end_col = op.col + op.text.len() as u32;
+        let mut recur_next = None;
+        let mut pure = true;
+
+        let slot = match op.text {
+            "const" => match self.parse_scalar(rest, line, end_col) {
+                Some(ty) => Slot::Value(ty),
+                None => Slot::Poison,
+            },
+            "recur" => {
+                recur_next = Some(None);
+                match self.parse_scalar(rest, line, end_col) {
+                    Some(ty) => Slot::Value(ty),
+                    None => Slot::Poison,
+                }
+            }
+            "param" => match self.parse_ty(rest.first(), line, end_col) {
+                Some(ty) => Slot::Value(ty),
+                None => Slot::Poison,
+            },
+            "iter" | "cid" | "nclusters" => Slot::Value(Ty::I32),
+            "read" => {
+                pure = false;
+                match self.stream(rest.first(), "input", line, end_col) {
+                    Some(s) => Slot::Value(self.inputs[s].ty),
+                    None => Slot::Poison,
+                }
+            }
+            "write" => {
+                pure = false;
+                let s = self.stream(rest.first(), "output", line, end_col);
+                match (s, self.operand_ty(rest.get(1), line, end_col)) {
+                    (Some(s), Some(got)) if got != self.outputs[s].ty => {
+                        let want = self.outputs[s].ty;
+                        let col = rest.get(1).map_or(end_col, |t| t.col);
+                        self.push(
+                            Code::TypeMismatch,
+                            format!("write of {got} to {want} stream s{s}"),
+                            line,
+                            col,
+                        );
+                    }
+                    _ => {}
+                }
+                Slot::NoValue
+            }
+            "cond_rd" => {
+                pure = false;
+                let s = self.stream(rest.first(), "input", line, end_col);
+                self.expect_ty(rest.get(1), Ty::I32, "cond_rd predicate", line, end_col);
+                match s {
+                    Some(s) => Slot::Value(self.inputs[s].ty),
+                    None => Slot::Poison,
+                }
+            }
+            "cond_wr" => {
+                pure = false;
+                let s = self.stream(rest.first(), "output", line, end_col);
+                self.expect_ty(rest.get(1), Ty::I32, "cond_wr predicate", line, end_col);
+                match (s, self.operand_ty(rest.get(2), line, end_col)) {
+                    (Some(s), Some(got)) if got != self.outputs[s].ty => {
+                        let want = self.outputs[s].ty;
+                        let col = rest.get(2).map_or(end_col, |t| t.col);
+                        self.push(
+                            Code::TypeMismatch,
+                            format!("cond_wr of {got} to {want} stream s{s}"),
+                            line,
+                            col,
+                        );
+                    }
+                    _ => {}
+                }
+                Slot::NoValue
+            }
+            "sp_rd" => {
+                let ty = self.parse_ty(rest.first(), line, end_col);
+                self.expect_ty(rest.get(1), Ty::I32, "sp_rd address", line, end_col);
+                match ty {
+                    Some(ty) => Slot::Value(ty),
+                    None => Slot::Poison,
+                }
+            }
+            "sp_wr" => {
+                pure = false;
+                self.expect_ty(rest.first(), Ty::I32, "sp_wr address", line, end_col);
+                self.operand_ty(rest.get(1), line, end_col);
+                Slot::NoValue
+            }
+            "comm" => {
+                let data = self.operand_ty(rest.first(), line, end_col);
+                self.expect_ty(rest.get(1), Ty::I32, "comm source cluster", line, end_col);
+                match data {
+                    Some(ty) => Slot::Value(ty),
+                    None => Slot::Poison,
+                }
+            }
+            "select" => {
+                self.expect_ty(rest.first(), Ty::I32, "select condition", line, end_col);
+                let a = self.operand_ty(rest.get(1), line, end_col);
+                let b = self.operand_ty(rest.get(2), line, end_col);
+                match (a, b) {
+                    (Some(x), Some(y)) if x != y => {
+                        let col = rest.get(2).map_or(end_col, |t| t.col);
+                        self.push(
+                            Code::TypeMismatch,
+                            format!("select arms are {x} vs {y}"),
+                            line,
+                            col,
+                        );
+                        Slot::Value(x)
+                    }
+                    (Some(x), _) => Slot::Value(x),
+                    _ => Slot::Poison,
+                }
+            }
+            "sqrt" | "floor" => {
+                self.expect_ty(rest.first(), Ty::F32, op.text, line, end_col);
+                Slot::Value(Ty::F32)
+            }
+            "neg" | "abs" => match self.operand_ty(rest.first(), line, end_col) {
+                Some(ty) => Slot::Value(ty),
+                None => Slot::Poison,
+            },
+            "itof" => {
+                self.expect_ty(rest.first(), Ty::I32, "itof operand", line, end_col);
+                Slot::Value(Ty::F32)
+            }
+            "ftoi" => {
+                self.expect_ty(rest.first(), Ty::F32, "ftoi operand", line, end_col);
+                Slot::Value(Ty::I32)
+            }
+            "add" | "sub" | "mul" | "div" | "min" | "max" => {
+                let a = self.operand_ty(rest.first(), line, end_col);
+                let b = self.operand_ty(rest.get(1), line, end_col);
+                match (a, b) {
+                    (Some(x), Some(y)) if x != y => {
+                        let col = rest.get(1).map_or(end_col, |t| t.col);
+                        self.push(
+                            Code::TypeMismatch,
+                            format!("{} operands are {x} vs {y}", op.text),
+                            line,
+                            col,
+                        );
+                        Slot::Value(x)
+                    }
+                    (Some(x), _) => Slot::Value(x),
+                    (_, Some(y)) => Slot::Value(y),
+                    _ => Slot::Poison,
+                }
+            }
+            "and" | "or" | "xor" | "shl" | "shr" => {
+                self.expect_ty(rest.first(), Ty::I32, op.text, line, end_col);
+                self.expect_ty(rest.get(1), Ty::I32, op.text, line, end_col);
+                Slot::Value(Ty::I32)
+            }
+            "eq" | "ne" | "lt" | "le" => {
+                let a = self.operand_ty(rest.first(), line, end_col);
+                let b = self.operand_ty(rest.get(1), line, end_col);
+                if let (Some(x), Some(y)) = (a, b) {
+                    if x != y {
+                        let col = rest.get(1).map_or(end_col, |t| t.col);
+                        self.push(
+                            Code::TypeMismatch,
+                            format!("{} compares {x} vs {y}", op.text),
+                            line,
+                            col,
+                        );
+                    }
+                }
+                Slot::Value(Ty::I32)
+            }
+            other => {
+                self.push(
+                    Code::UnknownOpcode,
+                    format!("unknown opcode `{other}`"),
+                    line,
+                    op.col,
+                );
+                Slot::Poison
+            }
+        };
+
+        self.values.push(ValInfo {
+            slot,
+            pure,
+            used: false,
+            line,
+            recur_next,
+        });
+    }
+
+    fn loop_line(&mut self, toks: &[Tok<'_>], line: u32) {
+        if toks.len() < 4 || toks[2].text != "<-" {
+            self.push(Code::Syntax, "expected `loop vR <- vN`", line, toks[0].col);
+            return;
+        }
+        let r = self.operand_index(Some(&toks[1]), line, toks[1].col);
+        let n = self.operand_index(Some(&toks[3]), line, toks[3].col);
+        let Some(r) = r else { return };
+        if self.values[r].recur_next.is_none() {
+            self.push(
+                Code::RecurrenceBinding,
+                format!("v{r} is not a recurrence"),
+                line,
+                toks[1].col,
+            );
+            return;
+        }
+        if self.values[r].recur_next == Some(None) {
+            self.values[r].recur_next = Some(n);
+        } else {
+            self.push(
+                Code::RecurrenceBinding,
+                format!("recurrence v{r} is bound twice"),
+                line,
+                toks[1].col,
+            );
+            return;
+        }
+        if let Some(n) = n {
+            if let (Slot::Value(rt), Slot::Value(nt)) = (self.values[r].slot, self.values[n].slot) {
+                if rt != nt {
+                    self.push(
+                        Code::TypeMismatch,
+                        format!("recurrence v{r} is {rt}, next v{n} is {nt}"),
+                        line,
+                        toks[3].col,
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Report {
+        // E006: recurrences never bound by a `loop` line.
+        for i in 0..self.values.len() {
+            if self.values[i].recur_next == Some(None) {
+                let line = self.values[i].line;
+                self.push(
+                    Code::RecurrenceBinding,
+                    format!("recurrence v{i} has no `loop` binding"),
+                    line,
+                    1,
+                );
+            }
+        }
+        // E007: next-chains that never leave the recurrence ops.
+        for i in 0..self.values.len() {
+            if self.values[i].recur_next.is_none() {
+                continue;
+            }
+            let mut cur = i;
+            let mut hops = 0usize;
+            while let Some(Some(next)) = self.values[cur].recur_next {
+                hops += 1;
+                if next == i || hops > self.values.len() {
+                    let line = self.values[i].line;
+                    self.push(
+                        Code::DegenerateRecurrence,
+                        format!("recurrence v{i} next-chain cycles through recurrences only"),
+                        line,
+                        1,
+                    );
+                    break;
+                }
+                cur = next;
+            }
+        }
+        // W001: pure, value-producing, never used.
+        for (i, v) in self.values.iter().enumerate() {
+            if matches!(v.slot, Slot::Value(_)) && v.pure && !v.used {
+                self.report.push(
+                    Code::DeadValue,
+                    format!("v{i} is never used"),
+                    Some(Span {
+                        line: v.line,
+                        col: 1,
+                    }),
+                );
+            }
+        }
+        // W002/W003: well-formed stream declarations never accessed.
+        for (i, s) in self.inputs.iter().enumerate() {
+            if s.ok && !s.used {
+                self.report.push(
+                    Code::UnusedInput,
+                    format!("input stream s{i} is never read"),
+                    Some(Span::line(s.line)),
+                );
+            }
+        }
+        for (i, s) in self.outputs.iter().enumerate() {
+            if s.ok && !s.used {
+                self.report.push(
+                    Code::UnusedOutput,
+                    format!("output stream s{i} is never written"),
+                    Some(Span::line(s.line)),
+                );
+            }
+        }
+        self.report
+    }
+}
+
+/// Lints kernel text leniently: reports *all* problems it can find, with
+/// line and column spans, instead of stopping at the first like
+/// [`stream_ir::parse_kernel`]. A text that parses cleanly lints with no
+/// errors; the converse does not hold (lint recovery is approximate).
+pub fn lint_text(text: &str) -> Report {
+    let mut l = Linter {
+        report: Report::new(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        values: Vec::new(),
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let stripped = raw.split('#').next().unwrap_or("");
+        let toks = tokenize(stripped);
+        if toks.is_empty() {
+            continue;
+        }
+        match toks[0].text {
+            "kernel" => {
+                if toks.len() < 2 {
+                    l.push(
+                        Code::Syntax,
+                        "expected `kernel <name>`",
+                        line_no,
+                        toks[0].col,
+                    );
+                }
+            }
+            "in" | "out" => {
+                let is_in = toks[0].text == "in";
+                let ty = l.parse_ty(toks.get(1), line_no, toks[0].col);
+                let info = StreamInfo {
+                    ty: ty.unwrap_or(Ty::I32),
+                    used: false,
+                    ok: ty.is_some(),
+                    line: line_no,
+                };
+                if is_in {
+                    l.inputs.push(info);
+                } else {
+                    l.outputs.push(info);
+                }
+            }
+            "sp" => {
+                if toks
+                    .get(1)
+                    .and_then(|t| t.text.parse::<u32>().ok())
+                    .is_none()
+                {
+                    l.push(Code::Syntax, "expected `sp <words>`", line_no, toks[0].col);
+                }
+            }
+            "loop" => l.loop_line(&toks, line_no),
+            _ => l.op_line(&toks, line_no),
+        }
+    }
+
+    l.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_lints_clean() {
+        let text = "\
+kernel saxpy
+in f32
+in f32
+out f32
+v0 = param f32
+v1 = read s0
+v2 = read s1
+v3 = mul v0 v1
+v4 = add v3 v2
+v5 = write s0 v4
+";
+        let r = lint_text(text);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn round_trip_of_built_kernel_is_clean() {
+        use stream_ir::{to_text, KernelBuilder, Scalar};
+        let mut b = KernelBuilder::new("acc");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        b.require_sp(8);
+        let acc = b.recurrence(Scalar::F32(0.0));
+        let x = b.read(s);
+        let sum = b.add(acc, x);
+        b.bind_next(acc, sum);
+        let addr = b.const_i(3);
+        b.sp_write(addr, sum);
+        let y = b.sp_read(addr, Ty::F32);
+        let cid = b.cluster_id();
+        let z = b.comm(y, cid);
+        b.write(out, z);
+        let k = b.finish().unwrap();
+        let r = lint_text(&to_text(&k));
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn one_bad_producer_does_not_cascade() {
+        // v1's opcode is unknown; its uses must not produce more errors.
+        let text = "\
+kernel bad
+in f32
+out f32
+v0 = read s0
+v1 = frobnicate v0
+v2 = add v1 v0
+v3 = write s0 v2
+";
+        let r = lint_text(text);
+        assert_eq!(r.count(Code::UnknownOpcode), 1);
+        assert_eq!(r.error_count(), 1, "{r}");
+        let d = &r.diagnostics()[0];
+        assert_eq!(d.span.unwrap().line, 5);
+        assert_eq!(d.span.unwrap().col, 6);
+    }
+
+    #[test]
+    fn reports_multiple_problems_with_columns() {
+        let text = "\
+kernel bad
+in f32
+v0 = read s0
+v1 = add v0 v9
+v2 = write s3 v1
+";
+        let r = lint_text(text);
+        assert!(r.has(Code::UndefinedValue), "{r}");
+        assert!(r.has(Code::UnknownStream), "{r}");
+        // v9 sits at column 13 of line 4.
+        let undef = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::UndefinedValue)
+            .unwrap();
+        assert_eq!(undef.span.unwrap(), Span { line: 4, col: 13 });
+    }
+
+    #[test]
+    fn non_dense_ids_recover() {
+        let text = "\
+kernel bad
+in i32
+out i32
+v0 = read s0
+v7 = add v0 v0
+v2 = write s0 v1
+";
+        let r = lint_text(text);
+        assert_eq!(r.count(Code::NonDenseIds), 1, "{r}");
+        // The adds still define dense slots, so `v1` resolves.
+        assert!(!r.has(Code::UndefinedValue), "{r}");
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        let text = "\
+kernel bad
+in f32
+in i32
+out f32
+v0 = read s0
+v1 = read s1
+v2 = add v0 v1
+v3 = and v0 v0
+v4 = write s0 v2
+";
+        let r = lint_text(text);
+        assert!(r.count(Code::TypeMismatch) >= 2, "{r}");
+    }
+
+    #[test]
+    fn recurrence_problems_are_reported() {
+        let unbound = "\
+kernel bad
+in f32
+out f32
+v0 = recur f32 0.0
+v1 = read s0
+v2 = add v0 v1
+v3 = write s0 v2
+";
+        assert!(lint_text(unbound).has(Code::RecurrenceBinding));
+
+        let not_a_recur = "\
+kernel bad
+in f32
+out f32
+v0 = read s0
+v1 = add v0 v0
+v2 = write s0 v1
+loop v0 <- v1
+";
+        assert!(lint_text(not_a_recur).has(Code::RecurrenceBinding));
+
+        let cycle = "\
+kernel bad
+in f32
+out f32
+v0 = recur f32 0.0
+v1 = recur f32 0.0
+v2 = read s0
+v3 = add v2 v0
+v4 = write s0 v3
+loop v0 <- v1
+loop v1 <- v0
+";
+        assert!(lint_text(cycle).has(Code::DegenerateRecurrence));
+    }
+
+    #[test]
+    fn syntax_problems_are_e010() {
+        let r = lint_text("kernel\nin q32\nsp many\nv0 = const f32 abc\n");
+        assert_eq!(r.count(Code::Syntax), 4, "{r}");
+    }
+
+    #[test]
+    fn dead_values_and_unused_streams_warn() {
+        let text = "\
+kernel lazy
+in i32
+in f32
+out i32
+out f32
+v0 = read s0
+v1 = const i32 9
+v2 = write s0 v0
+";
+        let r = lint_text(text);
+        assert!(!r.has_errors(), "{r}");
+        assert_eq!(r.count(Code::DeadValue), 1);
+        assert!(r.has(Code::UnusedInput));
+        assert!(r.has(Code::UnusedOutput));
+    }
+}

@@ -119,8 +119,7 @@ impl AreaBreakdown {
 fn srf_bank_area(d: &DerivedCounts, p: &TechParams) -> SrfBankArea {
     let n = d.shape.n();
     let storage = p.srf_words_per_alu_latency * p.t_mem() * n * p.b() * p.sram_area_per_bit;
-    let streambuffers =
-        2.0 * p.srf_width_per_alu * n * f64::from(d.total_sbs) * p.sb_area_per_word;
+    let streambuffers = 2.0 * p.srf_width_per_alu * n * f64::from(d.total_sbs) * p.sb_area_per_word;
     SrfBankArea {
         storage,
         streambuffers,
@@ -242,8 +241,12 @@ mod tests {
     #[test]
     fn srf_storage_linear_in_n() {
         let p = paper();
-        let a5 = AreaBreakdown::compute(Shape::new(8, 5), &p).srf_bank.storage;
-        let a10 = AreaBreakdown::compute(Shape::new(8, 10), &p).srf_bank.storage;
+        let a5 = AreaBreakdown::compute(Shape::new(8, 5), &p)
+            .srf_bank
+            .storage;
+        let a10 = AreaBreakdown::compute(Shape::new(8, 10), &p)
+            .srf_bank
+            .storage;
         assert!((a10 / a5 - 2.0).abs() < 1e-12);
     }
 
@@ -291,7 +294,10 @@ mod tests {
             for &n in &[1u32, 2, 3, 5, 8, 10, 14, 16, 32, 64, 128] {
                 let a = breakdown(c, n);
                 assert!(a.per_alu().is_finite());
-                assert!(a.per_alu() > 0.0, "per-ALU area must be positive at C={c} N={n}");
+                assert!(
+                    a.per_alu() > 0.0,
+                    "per-ALU area must be positive at C={c} N={n}"
+                );
             }
         }
     }
@@ -300,7 +306,10 @@ mod tests {
     fn alu_area_fraction_is_a_fraction() {
         for &(c, n) in &[(8u32, 5u32), (128, 5), (8, 64), (256, 2)] {
             let f = breakdown(c, n).alu_area_fraction();
-            assert!(f > 0.0 && f < 1.0, "fraction {f} out of range at C={c} N={n}");
+            assert!(
+                f > 0.0 && f < 1.0,
+                "fraction {f} out of range at C={c} N={n}"
+            );
         }
     }
 }

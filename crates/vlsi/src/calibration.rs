@@ -180,7 +180,11 @@ mod tests {
                 )
             })
             .collect();
-        assert!(failures.is_empty(), "anchor failures:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "anchor failures:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]

@@ -97,7 +97,11 @@ mod tests {
     fn baseline_intracluster_fits_in_half_cycle() {
         // Imagine allocated half a 45-FO4 cycle; the N=5 cluster fits.
         let d = delays(8, 5);
-        assert!(d.intracluster_fo4 < 22.5, "t_intra = {}", d.intracluster_fo4);
+        assert!(
+            d.intracluster_fo4 < 22.5,
+            "t_intra = {}",
+            d.intracluster_fo4
+        );
         assert_eq!(d.extra_intracluster_stages(), 0);
     }
 
@@ -105,7 +109,11 @@ mod tests {
     fn n14_needs_an_extra_stage() {
         // Section 5.1: at N = 14 an additional pipeline stage was added.
         let d = delays(8, 14);
-        assert!(d.intracluster_fo4 > 22.5, "t_intra = {}", d.intracluster_fo4);
+        assert!(
+            d.intracluster_fo4 > 22.5,
+            "t_intra = {}",
+            d.intracluster_fo4
+        );
         assert_eq!(d.extra_intracluster_stages(), 1);
     }
 

@@ -55,11 +55,7 @@ impl EnergyBreakdown {
             srf_bank: srf_bank_energy(&d, params, e_intra),
             microcontroller: microcontroller_energy(&d, params, areas),
             cluster: cluster_energy(&d, params, e_intra),
-            intercluster: params.comm_units_per_alu
-                * shape.n()
-                * shape.c()
-                * params.b()
-                * e_inter,
+            intercluster: params.comm_units_per_alu * shape.n() * shape.c() * params.b() * e_inter,
         }
     }
 
@@ -92,7 +88,12 @@ fn intracluster_traversal_energy(d: &DerivedCounts, p: &TechParams) -> f64 {
 /// `E_inter`: wire energy of one bit of intercluster communication — a row
 /// bus and the destination's column bus, each spanning `sqrt(C)` cluster
 /// pitches.
-fn intercluster_traversal_energy(d: &DerivedCounts, p: &TechParams, a_clst: f64, a_srf: f64) -> f64 {
+fn intercluster_traversal_energy(
+    d: &DerivedCounts,
+    p: &TechParams,
+    a_clst: f64,
+    a_srf: f64,
+) -> f64 {
     let c = d.shape.c();
     let bundle = d.n_comm() * p.b() * c.sqrt();
     p.crossbar_density
@@ -134,9 +135,8 @@ fn cluster_energy(d: &DerivedCounts, p: &TechParams, e_intra: f64) -> f64 {
 fn microcontroller_energy(d: &DerivedCounts, p: &TechParams, areas: &AreaBreakdown) -> f64 {
     let c = d.shape.c();
     let fetch = p.microcode_instructions * d.vliw_width_bits(p) * p.sram_energy_per_bit;
-    let array_side = (c * (areas.cluster.total() + areas.srf_bank.total())
-        + areas.intercluster_switch)
-        .sqrt();
+    let array_side =
+        (c * (areas.cluster.total() + areas.srf_bank.total()) + areas.intercluster_switch).sqrt();
     let distribution = p.vliw_bits_per_fu * d.n_fu() * p.wire_energy_per_track * array_side;
     fetch + distribution
 }
@@ -188,10 +188,8 @@ mod tests {
     #[test]
     fn total_is_sum_of_parts() {
         let e = breakdown(16, 8);
-        let sum = e.shape.c() * e.srf_bank
-            + e.microcontroller
-            + e.shape.c() * e.cluster
-            + e.intercluster;
+        let sum =
+            e.shape.c() * e.srf_bank + e.microcontroller + e.shape.c() * e.cluster + e.intercluster;
         assert!((e.total_per_cycle() - sum).abs() < 1e-6 * e.total_per_cycle());
     }
 

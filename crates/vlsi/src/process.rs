@@ -149,7 +149,11 @@ mod tests {
             "clock {} GHz",
             p.clock_ghz
         );
-        assert!(p.die_mm2 > 60.0 && p.die_mm2 < 200.0, "die {} mm^2", p.die_mm2);
+        assert!(
+            p.die_mm2 > 60.0 && p.die_mm2 < 200.0,
+            "die {} mm^2",
+            p.die_mm2
+        );
         assert!(
             p.full_activity_watts > 1.0 && p.full_activity_watts < 10.0,
             "power {} W",

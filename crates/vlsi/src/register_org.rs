@@ -117,8 +117,8 @@ impl RegisterOrgComparison {
         let switch_area = c * report.area.cluster.intracluster_switch;
         let e_intra_per_result = EnergyBreakdown::from_areas(&report.area, params);
         // Cluster switch energy: every FU result crosses the switch.
-        let switch_energy =
-            c * (e_intra_per_result.cluster
+        let switch_energy = c
+            * (e_intra_per_result.cluster
                 - d.n_fu() * params.lrf_energy
                 - shape.n() * params.alu_energy
                 - d.n_sp() * params.sp_energy)
@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn unified_rf_explodes_quadratically() {
         let p = TechParams::paper();
-        let small = UnifiedRf { alus: 8, words: 256 };
+        let small = UnifiedRf {
+            alus: 8,
+            words: 256,
+        };
         let big = UnifiedRf {
             alus: 48,
             words: 256,

@@ -32,11 +32,11 @@ impl Shape {
     ///
     /// Panics if either dimension is zero.
     pub fn new(clusters: u32, alus_per_cluster: u32) -> Self {
-        assert!(clusters > 0, "a stream processor needs at least one cluster");
         assert!(
-            alus_per_cluster > 0,
-            "a cluster needs at least one ALU"
+            clusters > 0,
+            "a stream processor needs at least one cluster"
         );
+        assert!(alus_per_cluster > 0, "a cluster needs at least one ALU");
         Self {
             clusters,
             alus_per_cluster,

@@ -119,10 +119,7 @@ pub fn sweep(model: &CostModel, kind: CostKind, reference: Shape, shapes: &[Shap
             components: components_per_alu(model, shape, kind).scaled(1.0 / ref_total),
         })
         .collect();
-    Sweep {
-        reference,
-        points,
-    }
+    Sweep { reference, points }
 }
 
 /// The `N` values plotted in the intracluster figures (Figures 6–8 span
@@ -168,10 +165,7 @@ pub fn combined_sweep(model: &CostModel, kind: CostKind, ns: &[u32]) -> Vec<Swee
     let reference = Shape::new(32, 5);
     ns.iter()
         .map(|&n| {
-            let shapes: Vec<Shape> = INTERCLUSTER_CS
-                .iter()
-                .map(|&c| Shape::new(c, n))
-                .collect();
+            let shapes: Vec<Shape> = INTERCLUSTER_CS.iter().map(|&c| Shape::new(c, n)).collect();
             sweep(model, kind, reference, &shapes)
         })
         .collect()
@@ -220,11 +214,7 @@ mod tests {
     fn intercluster_switch_share_grows_with_c() {
         let s = intercluster_sweep(&model(), CostKind::Area, 5);
         let share = |c: u32| {
-            let p = s
-                .points
-                .iter()
-                .find(|p| p.shape.clusters == c)
-                .unwrap();
+            let p = s.points.iter().find(|p| p.shape.clusters == c).unwrap();
             p.components.intercluster_switch / p.total()
         };
         assert!(share(256) > share(64));
@@ -235,11 +225,7 @@ mod tests {
     fn microcontroller_share_shrinks_with_c() {
         let s = intercluster_sweep(&model(), CostKind::Area, 5);
         let share = |c: u32| {
-            let p = s
-                .points
-                .iter()
-                .find(|p| p.shape.clusters == c)
-                .unwrap();
+            let p = s.points.iter().find(|p| p.shape.clusters == c).unwrap();
             p.components.microcontroller / p.total()
         };
         assert!(share(32) < share(8));

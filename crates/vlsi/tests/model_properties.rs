@@ -2,9 +2,7 @@
 //! every point of the design space, not just the paper's samples.
 
 use proptest::prelude::*;
-use stream_vlsi::{
-    calibration_anchors, CostModel, ProcessNode, Projection, Shape, TechParams,
-};
+use stream_vlsi::{calibration_anchors, CostModel, ProcessNode, Projection, Shape, TechParams};
 
 fn shapes() -> impl Strategy<Value = Shape> {
     (1u32..=512, 1u32..=128).prop_map(|(c, n)| Shape::new(c, n))

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== kernel text ==\n{}", stream_ir::to_text(&kernel));
 
     // Compile for a range of machines and report the schedule.
-    println!("{:<14} {:>4} {:>7} {:>7} {:>12} {:>14}", "machine", "II", "unroll", "stages", "elems/cycle", "GOPS @ 1 GHz");
+    println!(
+        "{:<14} {:>4} {:>7} {:>7} {:>12} {:>14}",
+        "machine", "II", "unroll", "stages", "elems/cycle", "GOPS @ 1 GHz"
+    );
     for (c, n) in [(8u32, 2u32), (8, 5), (8, 10), (64, 5), (128, 10)] {
         let machine = Machine::paper(Shape::new(c, n));
         let compiled = CompiledKernel::compile_default(&kernel, &machine)?;

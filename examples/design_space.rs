@@ -33,7 +33,10 @@ fn main() {
         }
         println!();
     }
-    println!("\nmost area-efficient: {} ({:.3}x baseline)", best.1, best.0);
+    println!(
+        "\nmost area-efficient: {} ({:.3}x baseline)",
+        best.1, best.0
+    );
 
     println!("\nenergy per ALU op (normalized); rows = N, cols = C");
     print!("{:>6}", "N\\C");

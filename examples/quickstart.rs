@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use stream_ir::{KernelBuilder, Ty};
 use stream_scaling::machine::{Machine, SystemParams};
 use stream_scaling::vlsi::{CostModel, Shape};
-use stream_ir::{KernelBuilder, Ty};
 use stream_sched::CompiledKernel;
 use stream_sim::{simulate, ProgramBuilder};
 
@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CostModel::paper();
     let base = model.evaluate(Shape::BASELINE); // C=8,  N=5
     let big = model.evaluate(Shape::HEADLINE_640); // C=128, N=5
-    println!("== VLSI scaling: {} -> {} ==", Shape::BASELINE, Shape::HEADLINE_640);
+    println!(
+        "== VLSI scaling: {} -> {} ==",
+        Shape::BASELINE,
+        Shape::HEADLINE_640
+    );
     println!(
         "area per ALU:   {:+.1}%",
         (big.area.per_alu() / base.area.per_alu() - 1.0) * 100.0

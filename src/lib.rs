@@ -17,6 +17,7 @@
 //! * [`kernels`] — Blocksad, Convolve, Update, FFT, Noise, Irast,
 //! * [`sim`] — the stream-program timing simulator,
 //! * [`apps`] — RENDER, DEPTH, CONV, QRD, FFT1K, FFT4K,
+//! * [`verify`] — independent schedule verification and IR lints,
 //! * [`repro`] — per-table/figure reproduction reports.
 //!
 //! # Examples
@@ -39,4 +40,5 @@ pub use stream_machine as machine;
 pub use stream_repro as repro;
 pub use stream_sched as sched;
 pub use stream_sim as sim;
+pub use stream_verify as verify;
 pub use stream_vlsi as vlsi;

@@ -18,7 +18,12 @@ fn section4_cost_anchors() {
     let failures: Vec<String> = calibration_anchors(&CostModel::paper())
         .iter()
         .filter(|a| !a.passes())
-        .map(|a| format!("{}: {:.4} outside [{:.3},{:.3}]", a.id, a.measured, a.band.0, a.band.1))
+        .map(|a| {
+            format!(
+                "{}: {:.4} outside [{:.3},{:.3}]",
+                a.id, a.measured, a.band.0, a.band.1
+            )
+        })
         .collect();
     assert!(failures.is_empty(), "{failures:?}");
 }
@@ -43,7 +48,10 @@ fn headline_kernel_speedups() {
     };
     let k640 = speedup(Shape::HEADLINE_640);
     let k1280 = speedup(Shape::HEADLINE_1280);
-    assert!(k640 > 8.0 && k640 < 20.0, "640-ALU kernel HM {k640} (paper 15.3)");
+    assert!(
+        k640 > 8.0 && k640 < 20.0,
+        "640-ALU kernel HM {k640} (paper 15.3)"
+    );
     assert!(
         k1280 > 16.0 && k1280 < 40.0,
         "1280-ALU kernel HM {k1280} (paper 27.9)"
@@ -82,7 +90,10 @@ fn application_speedup_shape() {
     assert!(hm > 4.0 && hm < 16.0, "application HM {hm} (paper 10.4)");
     // Sustained GOPS at scale in the hundreds for the best apps.
     let best = big_gops.values().cloned().fold(0.0f64, f64::max);
-    assert!(best > 150.0, "best app sustains {best} GOPS (paper up to 469)");
+    assert!(
+        best > 150.0,
+        "best app sustains {best} GOPS (paper up to 469)"
+    );
 }
 
 /// Section 5.1: the N=14 configurations pay an extra pipeline stage, and

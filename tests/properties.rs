@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use stream_scaling::ir::{
-    execute, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder, Scalar, Ty,
-    ValueId,
+    execute, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder, Scalar, Ty, ValueId,
 };
 use stream_scaling::kernels::fft::{dft_reference, fft_reference, C32};
 use stream_scaling::kernels::split::{gather_words, max_chain, scatter_words, split_plan};
@@ -266,7 +265,6 @@ proptest! {
         prop_assert!(more_c.energy.total_per_cycle() > base.energy.total_per_cycle());
     }
 }
-
 
 /// Every suite kernel round-trips through the textual format on every
 /// paper machine (deterministic companion to the property above).
