@@ -10,7 +10,6 @@ use stream_ir::{execute, ExecConfig};
 use stream_kernels::convolve::{self, Taps};
 use stream_kernels::util::{to_f32, XorShift32};
 use stream_machine::Machine;
-use stream_sched::CompiledKernel;
 use stream_sim::{fits_in_srf, ProgramBuilder};
 
 /// 16-bit pixels pack two to a 32-bit word in memory and the SRF; the
@@ -64,8 +63,7 @@ fn band_rows(cfg: &Config, machine: &Machine) -> usize {
 
 /// Builds the CONV stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let kernel = CompiledKernel::compile_default(&convolve::kernel(machine), machine)
-        .expect("convolve schedules on all paper machines");
+    let kernel = crate::compile_cached(&convolve::kernel(machine), machine, "convolve");
     let mut p = ProgramBuilder::new();
     let band = band_rows(cfg, machine);
     let width = cfg.width as u64;

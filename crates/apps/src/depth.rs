@@ -14,7 +14,6 @@ use stream_ir::{execute, ExecConfig, Scalar};
 use stream_kernels::blocksad;
 use stream_kernels::util::{to_i32, words_i32, XorShift32};
 use stream_machine::Machine;
-use stream_sched::CompiledKernel;
 use stream_sim::{fits_in_srf, ProgramBuilder};
 
 /// 16-bit pixels pack two to a word in memory (see DESIGN.md).
@@ -67,12 +66,9 @@ fn band_rows(cfg: &Config, machine: &Machine) -> usize {
 
 /// Builds the DEPTH stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let sad = CompiledKernel::compile_default(&blocksad::kernel(machine), machine)
-        .expect("blocksad schedules");
-    let init =
-        CompiledKernel::compile_default(&sad_init(machine), machine).expect("sad_init schedules");
-    let kmin =
-        CompiledKernel::compile_default(&sad_min(machine), machine).expect("sad_min schedules");
+    let sad = crate::compile_cached(&blocksad::kernel(machine), machine, "blocksad");
+    let init = crate::compile_cached(&sad_init(machine), machine, "sad_init");
+    let kmin = crate::compile_cached(&sad_min(machine), machine, "sad_min");
 
     let mut p = ProgramBuilder::new();
     let band = band_rows(cfg, machine);

@@ -15,7 +15,6 @@ use stream_kernels::fft::{
 };
 use stream_kernels::util::XorShift32;
 use stream_machine::Machine;
-use stream_sched::CompiledKernel;
 use stream_sim::{fits_in_srf, ProgramBuilder};
 
 /// FFT configuration.
@@ -44,8 +43,7 @@ impl Config {
 
 /// Builds the FFT stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let kernel =
-        CompiledKernel::compile_default(&fft::kernel(machine), machine).expect("fft schedules");
+    let kernel = crate::compile_cached(&fft::kernel(machine), machine, "fft");
     let n = cfg.points as u64;
     let stages = cfg.stages();
     let data_words = 2 * n;

@@ -38,8 +38,25 @@ pub mod render;
 
 mod suite;
 
+use std::sync::Arc;
+use stream_machine::Machine;
+use stream_sched::{CompileOptions, CompiledKernel};
 use stream_sim::StreamProgram;
 pub use suite::AppId;
+
+/// Compiles one of an application's kernels through the process-wide
+/// compiled-kernel cache ([`stream_grid::global_cache`]): building the same
+/// application on the same machine twice — or sweeping many applications
+/// that share kernels — schedules each kernel once.
+pub(crate) fn compile_cached(
+    kernel: &stream_ir::Kernel,
+    machine: &Machine,
+    what: &str,
+) -> Arc<CompiledKernel> {
+    stream_grid::global_cache()
+        .get_or_compile(kernel, machine, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{what} schedules: {e}"))
+}
 
 /// A named, paper-scale application program ready to simulate.
 #[derive(Debug, Clone)]

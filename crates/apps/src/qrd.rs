@@ -15,7 +15,6 @@ use crate::AppProgram;
 use stream_ir::{execute_with, ExecConfig, ExecOptions, Scalar};
 use stream_kernels::util::{to_f32, words_f32, XorShift32};
 use stream_machine::Machine;
-use stream_sched::CompiledKernel;
 use stream_sim::{AccessPattern, ProgramBuilder};
 
 /// QRD configuration.
@@ -52,10 +51,10 @@ fn round_up(x: usize, to: usize) -> usize {
 /// Builds the (panel-blocked) QRD stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
     let c = machine.clusters() as usize;
-    let knorm = CompiledKernel::compile_default(&colnorm(machine), machine).expect("colnorm");
-    let kscale = CompiledKernel::compile_default(&vscale(machine), machine).expect("vscale");
-    let kdot = CompiledKernel::compile_default(&coldot(machine), machine).expect("coldot");
-    let kaxpy = CompiledKernel::compile_default(&colaxpy(machine), machine).expect("colaxpy");
+    let knorm = crate::compile_cached(&colnorm(machine), machine, "colnorm");
+    let kscale = crate::compile_cached(&vscale(machine), machine, "vscale");
+    let kdot = crate::compile_cached(&coldot(machine), machine, "coldot");
+    let kaxpy = crate::compile_cached(&colaxpy(machine), machine, "colaxpy");
 
     let mut p = ProgramBuilder::new();
     let reflectors = cfg.cols.min(cfg.rows - 1);

@@ -17,7 +17,6 @@ use stream_kernels::irast::{self, Span};
 use stream_kernels::noise;
 use stream_kernels::util::{to_f32, to_i32, words_f32, words_i32};
 use stream_machine::Machine;
-use stream_sched::CompiledKernel;
 use stream_sim::ProgramBuilder;
 
 /// RENDER configuration.
@@ -115,11 +114,11 @@ fn pad_to_multiple(mut v: Vec<Scalar>, m: usize, fill: Scalar) -> Vec<Scalar> {
 
 /// Builds the RENDER stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let ktrans = CompiledKernel::compile_default(&transform(machine), machine).expect("transform");
-    let kirast = CompiledKernel::compile_default(&irast::kernel(machine), machine).expect("irast");
-    let kdecode = CompiledKernel::compile_default(&decode_frag(machine), machine).expect("decode");
-    let knoise = CompiledKernel::compile_default(&noise::kernel(machine), machine).expect("noise");
-    let kblend = CompiledKernel::compile_default(&blend(machine), machine).expect("blend");
+    let ktrans = crate::compile_cached(&transform(machine), machine, "transform");
+    let kirast = crate::compile_cached(&irast::kernel(machine), machine, "irast");
+    let kdecode = crate::compile_cached(&decode_frag(machine), machine, "decode");
+    let knoise = crate::compile_cached(&noise::kernel(machine), machine, "noise");
+    let kblend = crate::compile_cached(&blend(machine), machine, "blend");
 
     let spans = pin_spans(cfg);
     let n_verts = (3 * cfg.triangles) as u64;

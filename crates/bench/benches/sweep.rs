@@ -1,0 +1,66 @@
+//! Benchmarks for the parallel sweep engine and the shared compiled-kernel
+//! cache: cold vs warm compiles, and a figure-13-shaped grid at different
+//! worker counts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use stream_grid::{Engine, KernelCache};
+use stream_kernels::KernelId;
+use stream_machine::Machine;
+use stream_repro::ExperimentId;
+use stream_sched::CompileOptions;
+use stream_vlsi::Shape;
+
+fn bench_cache(c: &mut Criterion) {
+    let machine = Machine::baseline();
+    let kernel = KernelId::Fft.build(&machine);
+    let opts = CompileOptions::default();
+
+    let mut g = c.benchmark_group("kernel_cache");
+    g.measurement_time(Duration::from_secs(5));
+    // Cold: a fresh cache per iteration, so every lookup compiles.
+    g.bench_function("cold_compile_fft", |b| {
+        b.iter_batched(
+            KernelCache::new,
+            |cache| cache.get_or_compile(&kernel, &machine, &opts).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Warm: the same cache every iteration, so every lookup is a hit.
+    let warm = KernelCache::new();
+    warm.get_or_compile(&kernel, &machine, &opts).unwrap();
+    g.bench_function("warm_lookup_fft", |b| {
+        b.iter(|| warm.get_or_compile(&kernel, &machine, &opts).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    // The figure-13 compile grid end to end — cache hits dominate after the
+    // first iteration, so this mostly measures the sweep machinery.
+    g.bench_function("fig13_serial", |b| {
+        b.iter(|| stream_repro::run_with(ExperimentId::Fig13, &Engine::new(1)))
+    });
+    g.bench_function("fig13_default_parallelism", |b| {
+        let engine = Engine::with_default_parallelism();
+        b.iter(|| stream_repro::run_with(ExperimentId::Fig13, &engine))
+    });
+    // The raw engine without any compilation: dispatch overhead per job.
+    g.bench_function("dispatch_256_trivial_jobs", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| {
+            engine
+                .map((0u64..256).collect::<Vec<_>>(), |i| {
+                    Shape::new(1 + (i % 128) as u32, 1 + (i % 10) as u32).clusters
+                })
+                .results
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! The shared compiled-kernel cache.
+//!
+//! Compiling a kernel (dependence graph, iterative modulo scheduling, unroll
+//! search) dominates every sweep; the same `(kernel, machine, options)`
+//! triple is requested by several experiments per `repro all` run. The cache
+//! guarantees each distinct schedule is compiled **exactly once per
+//! process**: concurrent requests for the same key block on the first
+//! compiler invocation and share its result.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use stream_ir::{to_text, Kernel};
+use stream_machine::{Machine, MachineConfig};
+use stream_sched::{CompileOptions, CompiledKernel, ScheduleError};
+
+/// Cache key: the kernel's identity (name plus a fingerprint of its exact
+/// IR — kernels are rebuilt per machine, so the name alone is not enough),
+/// the machine configuration, and the compile options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kernel: String,
+    kernel_fingerprint: u64,
+    machine: MachineConfig,
+    opts: CompileOptions,
+}
+
+impl CacheKey {
+    fn new(kernel: &Kernel, machine: &Machine, opts: &CompileOptions) -> Self {
+        Self {
+            kernel: kernel.name().to_string(),
+            kernel_fingerprint: fnv1a(to_text(kernel).as_bytes()),
+            machine: machine.config(),
+            opts: opts.clone(),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+type CacheSlot = Arc<OnceLock<Result<Arc<CompiledKernel>, ScheduleError>>>;
+
+/// A thread-safe compiled-kernel cache.
+///
+/// Lookups return [`Arc<CompiledKernel>`] so cached schedules are shared,
+/// not cloned. Failed compilations are cached too (the error is
+/// deterministic for a given key). Global hit/miss counters are exact:
+/// *misses* is the number of distinct keys compiled, *hits* is every other
+/// lookup — both independent of thread scheduling.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    map: Mutex<HashMap<CacheKey, CacheSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A snapshot of cache-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an already-compiled entry.
+    pub hits: u64,
+    /// Lookups that ran the compiler (= distinct keys seen).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl KernelCache {
+    /// Creates an empty cache. Most callers want [`global_cache`] instead so
+    /// that every consumer in the process shares one cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `kernel` for `machine` with `opts`, or returns the cached
+    /// result of an identical earlier request.
+    ///
+    /// # Errors
+    ///
+    /// Returns (and caches) the [`ScheduleError`] if no legal schedule
+    /// exists for the key.
+    pub fn get_or_compile(
+        &self,
+        kernel: &Kernel,
+        machine: &Machine,
+        opts: &CompileOptions,
+    ) -> Result<Arc<CompiledKernel>, ScheduleError> {
+        self.get_or_compile_keyed(CacheKey::new(kernel, machine, opts), kernel, machine, opts)
+    }
+
+    fn get_or_compile_keyed(
+        &self,
+        key: CacheKey,
+        kernel: &Kernel,
+        machine: &Machine,
+        opts: &CompileOptions,
+    ) -> Result<Arc<CompiledKernel>, ScheduleError> {
+        let slot: CacheSlot = {
+            let mut map = self.map.lock().expect("kernel cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut compiled_here = false;
+        let result = slot.get_or_init(|| {
+            compiled_here = true;
+            CompiledKernel::compile(kernel, machine, opts).map(Arc::new)
+        });
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Current cache-wide counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("kernel cache poisoned").len(),
+        }
+    }
+
+    /// Opens a scope with its own deterministic counters (see
+    /// [`CacheScope`]).
+    pub fn scoped(&self) -> CacheScope<'_> {
+        CacheScope {
+            cache: self,
+            seen: Mutex::new(HashSet::new()),
+            lookups: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The process-wide kernel cache: every consumer (the repro harness, the
+/// application builders, benchmarks) compiles through this cache so a
+/// schedule requested by several of them is compiled once.
+pub fn global_cache() -> &'static KernelCache {
+    static GLOBAL: OnceLock<KernelCache> = OnceLock::new();
+    GLOBAL.get_or_init(KernelCache::new)
+}
+
+/// A consumer-local view of a [`KernelCache`] whose hit/miss counters are
+/// **deterministic**: a lookup counts as a hit iff this scope has already
+/// looked up the same key, regardless of which thread or which other scope
+/// populated the shared cache first. This is what lets per-experiment cache
+/// counters appear in rendered reports while `--jobs 1` and `--jobs N`
+/// output stay byte-identical.
+#[derive(Debug)]
+pub struct CacheScope<'c> {
+    cache: &'c KernelCache,
+    seen: Mutex<HashSet<CacheKey>>,
+    lookups: AtomicU64,
+}
+
+/// Counters for one [`CacheScope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeCounters {
+    /// Total lookups made through the scope.
+    pub lookups: u64,
+    /// Distinct schedules the scope needed (its logical compile count).
+    pub compiles: u64,
+    /// `lookups - compiles`: requests served without a (logical) compile.
+    pub hits: u64,
+}
+
+impl CacheScope<'_> {
+    /// Compiles through the underlying shared cache, recording the lookup
+    /// in this scope's deterministic counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`KernelCache::get_or_compile`].
+    pub fn compile(
+        &self,
+        kernel: &Kernel,
+        machine: &Machine,
+        opts: &CompileOptions,
+    ) -> Result<Arc<CompiledKernel>, ScheduleError> {
+        let key = CacheKey::new(kernel, machine, opts);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.seen
+            .lock()
+            .expect("cache scope poisoned")
+            .insert(key.clone());
+        self.cache.get_or_compile_keyed(key, kernel, machine, opts)
+    }
+
+    /// Compiles with default options.
+    ///
+    /// # Errors
+    ///
+    /// As [`KernelCache::get_or_compile`].
+    pub fn compile_default(
+        &self,
+        kernel: &Kernel,
+        machine: &Machine,
+    ) -> Result<Arc<CompiledKernel>, ScheduleError> {
+        self.compile(kernel, machine, &CompileOptions::default())
+    }
+
+    /// This scope's deterministic counters.
+    pub fn counters(&self) -> ScopeCounters {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let compiles = self.seen.lock().expect("cache scope poisoned").len() as u64;
+        ScopeCounters {
+            lookups,
+            compiles,
+            hits: lookups - compiles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_ir::{KernelBuilder, Ty};
+    use stream_kernels::KernelId;
+    use stream_vlsi::Shape;
+
+    fn toy_kernel(name: &str, muls: usize) -> Kernel {
+        let mut b = KernelBuilder::new(name);
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::F32);
+        let x = b.read(s);
+        let mut acc = b.mul(x, x);
+        for _ in 0..muls {
+            acc = b.add(acc, x);
+        }
+        b.write(out, acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_schedule() {
+        let cache = KernelCache::new();
+        let machine = Machine::baseline();
+        let k = toy_kernel("t", 4);
+        let opts = CompileOptions::new();
+        let a = cache.get_or_compile(&k, &machine, &opts).unwrap();
+        let b = cache.get_or_compile(&k, &machine, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_options_machine_and_ir_get_distinct_entries() {
+        let cache = KernelCache::new();
+        let m1 = Machine::baseline();
+        let m2 = Machine::paper(Shape::new(16, 5));
+        let k = toy_kernel("t", 4);
+        let opts = CompileOptions::new();
+        cache.get_or_compile(&k, &m1, &opts).unwrap();
+        cache.get_or_compile(&k, &m2, &opts).unwrap();
+        cache
+            .get_or_compile(&k, &m1, &opts.clone().without_software_pipelining())
+            .unwrap();
+        // Same name, different IR: still a distinct entry.
+        cache
+            .get_or_compile(&toy_kernel("t", 5), &m1, &opts)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 4, 4));
+    }
+
+    #[test]
+    fn cached_schedule_matches_a_fresh_compile() {
+        let machine = Machine::paper(Shape::new(8, 10));
+        let opts = CompileOptions::default();
+        for id in KernelId::ALL {
+            let kernel = id.build(&machine);
+            let fresh = CompiledKernel::compile(&kernel, &machine, &opts).unwrap();
+            let cache = KernelCache::new();
+            cache.get_or_compile(&kernel, &machine, &opts).unwrap();
+            let cached = cache.get_or_compile(&kernel, &machine, &opts).unwrap();
+            assert_eq!(fresh.listing(), cached.listing(), "{id}");
+            assert_eq!(fresh.ii(), cached.ii(), "{id}");
+            assert_eq!(fresh.unroll_factor(), cached.unroll_factor(), "{id}");
+        }
+    }
+
+    #[test]
+    fn scope_counters_are_independent_of_shared_state() {
+        let cache = KernelCache::new();
+        let machine = Machine::baseline();
+        let k = toy_kernel("t", 4);
+        let opts = CompileOptions::new();
+        // Warm the shared cache through a first scope.
+        let warm = cache.scoped();
+        warm.compile(&k, &machine, &opts).unwrap();
+        // A second scope still counts its first lookup as a compile.
+        let scope = cache.scoped();
+        scope.compile(&k, &machine, &opts).unwrap();
+        scope.compile(&k, &machine, &opts).unwrap();
+        let c = scope.counters();
+        assert_eq!((c.lookups, c.compiles, c.hits), (2, 1, 1));
+        // The shared cache compiled only once overall.
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_compile_exactly_once() {
+        let cache = KernelCache::new();
+        let machine = Machine::baseline();
+        let k = toy_kernel("t", 8);
+        let opts = CompileOptions::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.get_or_compile(&k, &machine, &opts).unwrap());
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

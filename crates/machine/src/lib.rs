@@ -25,5 +25,5 @@ mod machine;
 mod op_class;
 
 pub use bandwidth::BandwidthHierarchy;
-pub use machine::{Machine, SystemParams};
+pub use machine::{Machine, MachineConfig, SystemParams};
 pub use op_class::{FuKind, OpClass};

@@ -27,11 +27,38 @@ use stream_vlsi::{CostModel, CostReport, DelayModel, DerivedCounts, Shape, TechP
 #[derive(Debug, Clone)]
 pub struct Machine {
     shape: Shape,
+    config: MachineConfig,
     derived: DerivedCounts,
     cost: CostReport,
     extra_intra_stages: u32,
     intercluster_cycles: u32,
     lrf_words_per_fu: u32,
+}
+
+/// The configuration identity of a [`Machine`]: its shape plus a
+/// fingerprint of the technology parameters it was elaborated with.
+///
+/// Everything else on a `Machine` is derived deterministically from these
+/// two inputs, so `MachineConfig` is a complete, cheap (`Copy`, `Hash`,
+/// `Eq`) cache key for per-machine artifacts such as compiled kernels.
+///
+/// # Examples
+///
+/// ```
+/// use stream_machine::Machine;
+/// use stream_vlsi::Shape;
+///
+/// let a = Machine::paper(Shape::BASELINE).config();
+/// let b = Machine::baseline().config();
+/// assert_eq!(a, b);
+/// assert_ne!(a, Machine::paper(Shape::new(16, 5)).config());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineConfig {
+    /// The `(C, N)` shape.
+    pub shape: Shape,
+    /// Fingerprint of the [`TechParams`] (see [`TechParams::fingerprint`]).
+    pub params_fingerprint: u64,
 }
 
 /// Registers per LRF on Imagine; each FU input has two LRFs, and we expose
@@ -48,6 +75,10 @@ impl Machine {
         let delay: DelayModel = cost.delay;
         Self {
             shape,
+            config: MachineConfig {
+                shape,
+                params_fingerprint: params.fingerprint(),
+            },
             derived,
             cost,
             extra_intra_stages: delay.extra_intracluster_stages(),
@@ -69,6 +100,12 @@ impl Machine {
     /// The machine's shape.
     pub fn shape(&self) -> Shape {
         self.shape
+    }
+
+    /// The configuration identity this machine was elaborated from —
+    /// hashable and equality-comparable, for keying per-machine caches.
+    pub fn config(&self) -> MachineConfig {
+        self.config
     }
 
     /// `C`: the number of SIMD clusters.
@@ -281,6 +318,21 @@ mod tests {
         assert_eq!(s.memory_words_per_cycle, 4.0);
         assert_eq!(s.host_issue_cycles(), 16);
         assert_eq!(s, SystemParams::default());
+    }
+
+    #[test]
+    fn config_identity_distinguishes_shape_and_params() {
+        use std::collections::HashSet;
+        let a = Machine::baseline().config();
+        let b = Machine::paper(Shape::BASELINE).config();
+        assert_eq!(a, b);
+        let custom = Machine::new(Shape::BASELINE, &TechParams::full_custom()).config();
+        assert_ne!(a, custom);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&custom));
+        assert!(!set.contains(&Machine::paper(Shape::new(16, 5)).config()));
     }
 
     #[test]

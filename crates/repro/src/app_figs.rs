@@ -2,11 +2,11 @@
 //! abstract's headline claims.
 
 use crate::kernel_figs::FIG14_CS;
-use crate::Report;
+use crate::sweep::Ctx;
+use crate::{ExperimentId, Report};
 use stream_apps::AppId;
 use stream_kernels::KernelId;
 use stream_machine::{Machine, SystemParams};
-use stream_sched::CompiledKernel;
 use stream_sim::simulate;
 use stream_vlsi::Shape;
 
@@ -28,7 +28,7 @@ fn harmonic_mean(values: &[f64]) -> f64 {
 /// Figure 15: application speedups over the `C=8 N=5` baseline, with GOPS
 /// annotations, across cluster counts at `N = 5` and at the `N = 10`
 /// configurations the paper highlights.
-pub fn fig15() -> Report {
+pub(crate) fn fig15_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new(
         "fig15",
         "Application Performance (speedup over C=8 N=5; GOPS in parentheses)",
@@ -45,19 +45,26 @@ pub fn fig15() -> Report {
         "C=128 N=14",
         "paper C128N10",
     ]);
+    // One sweep job per (app, shape) cell; the C=8 column doubles as the
+    // speedup baseline.
+    let shapes: Vec<Shape> = FIG14_CS
+        .iter()
+        .map(|&c| Shape::new(c, 5))
+        .chain([2u32, 10, 14].map(|n| Shape::new(128, n)))
+        .collect();
+    let cells: Vec<(AppId, Shape)> = AppId::ALL
+        .iter()
+        .flat_map(|&id| shapes.iter().map(move |&s| (id, s)))
+        .collect();
+    let sims = ctx.map(cells, |(id, shape)| cycles(id, shape));
     let mut big_speedups = Vec::new();
-    for id in AppId::ALL {
-        let (base_cycles, base_gops) = cycles(id, Shape::new(8, 5));
+    for (ai, id) in AppId::ALL.iter().enumerate() {
+        let (base_cycles, _base_gops) = sims[ai * shapes.len()];
         let mut row = vec![id.name().to_string()];
-        for &c in FIG14_CS.iter() {
-            let (cyc, gops) = cycles(id, Shape::new(c, 5));
+        for (si, shape) in shapes.iter().enumerate() {
+            let (cyc, gops) = sims[ai * shapes.len() + si];
             let speedup = base_cycles as f64 / cyc as f64;
-            row.push(format!("{speedup:.1} ({gops:.0})"));
-        }
-        for n in [2u32, 10, 14] {
-            let (cyc, gops) = cycles(id, Shape::new(128, n));
-            let speedup = base_cycles as f64 / cyc as f64;
-            if n == 10 {
+            if *shape == Shape::new(128, 10) {
                 big_speedups.push(speedup);
             }
             row.push(format!("{speedup:.1} ({gops:.0})"));
@@ -65,7 +72,6 @@ pub fn fig15() -> Report {
         let (pb, pg, px) = id.paper_fig15();
         row.push(format!("{px:.1} ({pb:.0}->{pg:.0})"));
         r.row(row);
-        let _ = base_gops;
     }
     let mut hm_row = vec!["Harmonic Mean".to_string()];
     hm_row.extend(std::iter::repeat_n(String::new(), 6));
@@ -77,55 +83,65 @@ pub fn fig15() -> Report {
     r
 }
 
+/// Figure 15, on an engine sized to the host.
+pub fn fig15() -> Report {
+    crate::run(ExperimentId::Fig15)
+}
+
 /// The abstract's headline claims vs this reproduction.
-pub fn headline() -> Report {
+pub(crate) fn headline_impl(ctx: &Ctx) -> Report {
     let model = stream_vlsi::CostModel::paper();
     let base = model.evaluate(Shape::BASELINE);
     let big = model.evaluate(Shape::HEADLINE_640);
     let area = big.area.per_alu() / base.area.per_alu() - 1.0;
     let energy = big.energy.per_alu_op() / base.energy.per_alu_op() - 1.0;
 
-    // Kernel harmonic-mean speedups.
-    let kernel_speedup = |shape: Shape| -> f64 {
-        let vals: Vec<f64> = KernelId::ALL
-            .iter()
-            .map(|&id| {
-                let m0 = Machine::baseline();
-                let m1 = Machine::paper(shape);
-                let k0 = CompiledKernel::compile_default(&id.build(&m0), &m0).unwrap();
-                let k1 = CompiledKernel::compile_default(&id.build(&m1), &m1).unwrap();
-                k1.elements_per_cycle() / k0.elements_per_cycle()
-            })
-            .collect();
-        harmonic_mean(&vals)
-    };
-    let k640 = kernel_speedup(Shape::HEADLINE_640);
-    let k1280 = kernel_speedup(Shape::HEADLINE_1280);
+    let shapes = [Shape::BASELINE, Shape::HEADLINE_640, Shape::HEADLINE_1280];
 
-    // Application harmonic-mean speedups.
-    let app_speedup = |shape: Shape| -> f64 {
-        let vals: Vec<f64> = AppId::ALL
-            .iter()
-            .map(|&id| {
-                let (b, _) = cycles(id, Shape::BASELINE);
-                let (x, _) = cycles(id, shape);
-                b as f64 / x as f64
-            })
-            .collect();
-        harmonic_mean(&vals)
-    };
-    let a640 = app_speedup(Shape::HEADLINE_640);
-    let a1280 = app_speedup(Shape::HEADLINE_1280);
-
-    // Sustained kernel GOPS on the 640-ALU machine.
-    let m640 = Machine::paper(Shape::HEADLINE_640);
-    let gops640: f64 = KernelId::ALL
+    // One job per (kernel, shape): machine-wide throughput and ALU
+    // ops/cycle, compiled through the shared cache.
+    let kernel_cells: Vec<(KernelId, Shape)> = KernelId::ALL
         .iter()
-        .map(|&id| {
-            CompiledKernel::compile_default(&id.build(&m640), &m640)
-                .unwrap()
-                .alu_ops_per_cycle()
-        })
+        .flat_map(|&id| shapes.iter().map(move |&s| (id, s)))
+        .collect();
+    let kernel_vals = ctx.map(kernel_cells, |(id, shape)| {
+        let m = Machine::paper(shape);
+        let k = ctx
+            .scope
+            .compile_default(&id.build(&m), &m)
+            .expect("suite kernels schedule on all paper machines");
+        (k.elements_per_cycle(), k.alu_ops_per_cycle())
+    });
+    let kernel_at = |ki: usize, si: usize| kernel_vals[ki * shapes.len() + si];
+    let kernel_speedup = |si: usize| -> f64 {
+        let vals: Vec<f64> = (0..KernelId::ALL.len())
+            .map(|ki| kernel_at(ki, si).0 / kernel_at(ki, 0).0)
+            .collect();
+        harmonic_mean(&vals)
+    };
+    let k640 = kernel_speedup(1);
+    let k1280 = kernel_speedup(2);
+
+    // One job per (app, shape): simulated cycle count.
+    let app_cells: Vec<(AppId, Shape)> = AppId::ALL
+        .iter()
+        .flat_map(|&id| shapes.iter().map(move |&s| (id, s)))
+        .collect();
+    let app_cycles = ctx.map(app_cells, |(id, shape)| cycles(id, shape).0);
+    let app_speedup = |si: usize| -> f64 {
+        let vals: Vec<f64> = (0..AppId::ALL.len())
+            .map(|ai| {
+                app_cycles[ai * shapes.len()] as f64 / app_cycles[ai * shapes.len() + si] as f64
+            })
+            .collect();
+        harmonic_mean(&vals)
+    };
+    let a640 = app_speedup(1);
+    let a1280 = app_speedup(2);
+
+    // Sustained kernel GOPS on the 640-ALU machine (best kernel).
+    let gops640: f64 = (0..KernelId::ALL.len())
+        .map(|ki| kernel_at(ki, 1).1)
         .fold(0.0f64, f64::max);
 
     let mut r = Report::new("headline", "Abstract claims vs reproduction")
@@ -166,6 +182,11 @@ pub fn headline() -> Report {
         format!("{gops640:.0}"),
     ]);
     r
+}
+
+/// The headline report, on an engine sized to the host.
+pub fn headline() -> Report {
+    crate::run(ExperimentId::Headline)
 }
 
 #[cfg(test)]

@@ -3,40 +3,84 @@
 //! Usage:
 //!
 //! ```text
-//! repro all            # every experiment, paper order
-//! repro fig13 table5   # a subset
-//! repro list           # list experiment ids
+//! repro all                # every experiment, paper order
+//! repro fig13 table5       # a subset
+//! repro --jobs 4 all       # sweep on 4 worker threads
+//! repro list               # list experiment ids
 //! ```
+//!
+//! `--jobs N` (or `-j N`) sets the worker-thread count; the default is the
+//! host's available parallelism and `--jobs 1` is strictly serial. Stdout
+//! is byte-identical for every worker count; per-experiment timings go to
+//! stderr.
 
 use std::process::ExitCode;
+use stream_grid::Engine;
+use stream_repro::ExperimentId;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro [--jobs N] <all | list | experiment...>");
+    eprintln!("experiments: {}", stream_repro::EXPERIMENTS.join(" "));
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <all | list | experiment...>");
-        eprintln!("experiments: {}", stream_repro::EXPERIMENTS.join(" "));
-        return ExitCode::from(2);
+    let mut jobs: Option<usize> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return usage();
+                };
+                jobs = Some(n);
+            }
+            other if other.starts_with("--jobs=") => {
+                let Ok(n) = other["--jobs=".len()..].parse() else {
+                    eprintln!("--jobs needs a positive integer");
+                    return usage();
+                };
+                jobs = Some(n);
+            }
+            "help" | "--help" | "-h" => return usage(),
+            other => names.push(other.to_string()),
+        }
     }
-    if args[0] == "list" {
-        for id in stream_repro::EXPERIMENTS {
+    if names.is_empty() {
+        return usage();
+    }
+    if names[0] == "list" {
+        for id in ExperimentId::ALL {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
     }
-    let ids: Vec<&str> = if args[0] == "all" {
-        stream_repro::EXPERIMENTS.to_vec()
+    let ids: Vec<ExperimentId> = if names[0] == "all" {
+        ExperimentId::ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
-    };
-    for id in &ids {
-        if !stream_repro::EXPERIMENTS.contains(id) {
-            eprintln!("unknown experiment: {id}");
-            eprintln!("known: {}", stream_repro::EXPERIMENTS.join(" "));
-            return ExitCode::from(2);
+        let mut ids = Vec::with_capacity(names.len());
+        for name in &names {
+            match name.parse() {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
-    }
-    for id in ids {
-        println!("{}", stream_repro::run(id));
+        ids
+    };
+    let engine = match jobs {
+        Some(n) => Engine::new(n),
+        None => Engine::with_default_parallelism(),
+    };
+    for report in stream_repro::run_many(&ids, &engine) {
+        println!("{report}");
+        for line in &report.perf {
+            eprintln!("# {}: {}", report.id, line);
+        }
     }
     ExitCode::SUCCESS
 }

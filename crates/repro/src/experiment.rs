@@ -1,0 +1,209 @@
+//! The typed experiment identifier.
+//!
+//! [`ExperimentId`] is the single source of truth for which experiments
+//! exist: the legacy [`crate::EXPERIMENTS`] string array is derived from
+//! [`ExperimentId::ALL`] at compile time, so the two can never drift.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Every table, figure, and extension experiment the harness can
+/// regenerate, in paper order (the paper's artifacts first, then the
+/// extension experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExperimentId {
+    /// Table 1: the VLSI model parameters.
+    Table1,
+    /// Table 2: kernel inner-loop characteristics.
+    Table2,
+    /// Table 3: area/delay/energy of the baseline machine's structures.
+    Table3,
+    /// Table 4: the kernel and application inventory.
+    Table4,
+    /// Cost-model calibration anchors.
+    Calibration,
+    /// Figure 6: intracluster area per ALU vs `N`.
+    Fig6,
+    /// Figure 7: intracluster energy per op vs `N`.
+    Fig7,
+    /// Figure 8: intracluster delay vs `N`.
+    Fig8,
+    /// Figure 9: intercluster area per ALU vs `C`.
+    Fig9,
+    /// Figure 10: intercluster energy per op vs `C`.
+    Fig10,
+    /// Figure 11: intercluster delay vs `C`.
+    Fig11,
+    /// Figure 12: combined area/energy across the `(C, N)` grid.
+    Fig12,
+    /// Figure 13: intracluster kernel speedup (C=8, over N=5).
+    Fig13,
+    /// Figure 14: intercluster kernel speedup (N=5, over C=8).
+    Fig14,
+    /// Table 5: kernel performance per unit area.
+    Table5,
+    /// Figure 15: application performance across the design space.
+    Fig15,
+    /// The abstract's headline claims vs this reproduction.
+    Headline,
+    /// Section 2.2's three-tier bandwidth hierarchy.
+    Bandwidth,
+    /// Section 4.3's full-custom methodology sensitivity.
+    FullCustom,
+    /// Process-node projection of the conclusion.
+    Projection,
+    /// Sparse-crossbar ablation (proposed future work).
+    AblationSwitch,
+    /// Software-pipelining ablation.
+    AblationSwp,
+    /// Fixed vs machine-scaled datasets (Section 5.3).
+    ScaledDatasets,
+    /// Kernel call efficiency vs stream length.
+    ShortStreams,
+    /// DRAM access-pattern sensitivity.
+    AblationMemory,
+    /// One big processor vs M smaller ones (future work).
+    Multiproc,
+    /// Unified vs stream register organization.
+    RegisterOrg,
+    /// FFT local-gather vs intercluster-exchange formulations.
+    FftExchange,
+    /// Independent schedule verification across the `(C, N)` grid.
+    Verify,
+}
+
+impl ExperimentId {
+    /// Every experiment, in the order `repro all` runs them.
+    pub const ALL: [ExperimentId; 29] = [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Calibration,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig10,
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Fig14,
+        ExperimentId::Table5,
+        ExperimentId::Fig15,
+        ExperimentId::Headline,
+        ExperimentId::Bandwidth,
+        ExperimentId::FullCustom,
+        ExperimentId::Projection,
+        ExperimentId::AblationSwitch,
+        ExperimentId::AblationSwp,
+        ExperimentId::ScaledDatasets,
+        ExperimentId::ShortStreams,
+        ExperimentId::AblationMemory,
+        ExperimentId::Multiproc,
+        ExperimentId::RegisterOrg,
+        ExperimentId::FftExchange,
+        ExperimentId::Verify,
+    ];
+
+    /// The experiment's command-line / report id.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Table4 => "table4",
+            ExperimentId::Calibration => "calibration",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Fig10 => "fig10",
+            ExperimentId::Fig11 => "fig11",
+            ExperimentId::Fig12 => "fig12",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::Fig14 => "fig14",
+            ExperimentId::Table5 => "table5",
+            ExperimentId::Fig15 => "fig15",
+            ExperimentId::Headline => "headline",
+            ExperimentId::Bandwidth => "bandwidth",
+            ExperimentId::FullCustom => "full_custom",
+            ExperimentId::Projection => "projection",
+            ExperimentId::AblationSwitch => "ablation_switch",
+            ExperimentId::AblationSwp => "ablation_swp",
+            ExperimentId::ScaledDatasets => "scaled_datasets",
+            ExperimentId::ShortStreams => "short_streams",
+            ExperimentId::AblationMemory => "ablation_memory",
+            ExperimentId::Multiproc => "multiproc",
+            ExperimentId::RegisterOrg => "register_org",
+            ExperimentId::FftExchange => "fft_exchange",
+            ExperimentId::Verify => "verify",
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for an experiment id string that names no experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The id that failed to parse.
+    pub requested: String,
+}
+
+impl fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown experiment `{}`; known:", self.requested)?;
+        for id in ExperimentId::ALL {
+            write!(f, " {id}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+impl FromStr for ExperimentId {
+    type Err = UnknownExperiment;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentId::ALL
+            .into_iter()
+            .find(|id| id.name() == s)
+            .ok_or_else(|| UnknownExperiment {
+                requested: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_fromstr_and_display() {
+        for id in ExperimentId::ALL {
+            assert_eq!(id.to_string().parse::<ExperimentId>(), Ok(id));
+        }
+    }
+
+    #[test]
+    fn unknown_names_report_the_request_and_the_catalog() {
+        let err = "fig99".parse::<ExperimentId>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown experiment `fig99`"), "{msg}");
+        assert!(msg.contains("table1") && msg.contains("verify"), "{msg}");
+    }
+
+    #[test]
+    fn all_names_are_distinct() {
+        let mut names: Vec<&str> = ExperimentId::ALL.iter().map(|id| id.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ExperimentId::ALL.len());
+    }
+}

@@ -5,11 +5,12 @@
 //! claim of Section 5.3.
 
 use crate::kernel_figs::FIG14_CS;
-use crate::Report;
+use crate::sweep::Ctx;
+use crate::{ExperimentId, Report};
 use stream_apps::{conv, depth, qrd};
 use stream_kernels::KernelId;
 use stream_machine::{BandwidthHierarchy, Machine, SystemParams};
-use stream_sched::{CompileOptions, CompiledKernel};
+use stream_sched::CompileOptions;
 use stream_sim::simulate;
 use stream_vlsi::{CostModel, ProcessNode, Projection, RegisterOrgComparison, Shape, TechParams};
 
@@ -127,37 +128,49 @@ pub fn ablation_switch() -> Report {
 
 /// Software-pipelining ablation: kernel throughput with and without modulo
 /// scheduling on the baseline machine.
-pub fn ablation_swp() -> Report {
+pub(crate) fn ablation_swp_impl(ctx: &Ctx) -> Report {
     let machine = Machine::baseline();
     let mut r = Report::new(
         "ablation_swp",
         "Software pipelining ablation (C=8 N=5; elements/cycle/cluster)",
     )
     .headers(["kernel", "with SWP", "without SWP", "SWP gain"]);
-    let no_swp = CompileOptions::without_software_pipelining();
-    for id in KernelId::ALL {
-        let k = id.build(&machine);
-        let swp = CompiledKernel::compile_default(&k, &machine).expect("schedules");
-        let flat = CompiledKernel::compile(&k, &machine, &no_swp).expect("schedules");
+    let no_swp = CompileOptions::new().without_software_pipelining();
+    // One job per kernel; both compiles go through the shared cache (the
+    // SWP build is the same schedule Figures 13/14 measure).
+    let machine = &machine;
+    let no_swp = &no_swp;
+    let pairs = ctx.map(KernelId::ALL.to_vec(), |id| {
+        let k = id.build(machine);
+        let swp = ctx.scope.compile_default(&k, machine).expect("schedules");
+        let flat = ctx.scope.compile(&k, machine, no_swp).expect("schedules");
+        (
+            swp.elements_per_cycle_per_cluster(),
+            flat.elements_per_cycle_per_cluster(),
+        )
+    });
+    for (id, (swp, flat)) in KernelId::ALL.iter().zip(pairs) {
         r.row([
             id.name().to_string(),
-            format!("{:.3}", swp.elements_per_cycle_per_cluster()),
-            format!("{:.3}", flat.elements_per_cycle_per_cluster()),
-            format!(
-                "{:.1}x",
-                swp.elements_per_cycle_per_cluster() / flat.elements_per_cycle_per_cluster()
-            ),
+            format!("{swp:.3}"),
+            format!("{flat:.3}"),
+            format!("{:.1}x", swp / flat),
         ]);
     }
     r.note("Section 5.1 relies on software pipelining + unrolling to convert DLP into ILP");
     r
 }
 
+/// The software-pipelining ablation, on an engine sized to the host.
+pub fn ablation_swp() -> Report {
+    crate::run(ExperimentId::AblationSwp)
+}
+
 /// Section 5.3's closing claim: if dataset size scaled with machine size,
 /// application speedups would track kernel speedups. Scales DEPTH's and
 /// CONV's stream lengths (image width) with C and compares per-unit-work
 /// speedups against the fixed-dataset runs.
-pub fn scaled_datasets() -> Report {
+pub(crate) fn scaled_datasets_impl(ctx: &Ctx) -> Report {
     let sys = SystemParams::paper_2007();
     let mut r = Report::new(
         "scaled_datasets",
@@ -174,6 +187,7 @@ pub fn scaled_datasets() -> Report {
     // Scaling the image *width* lengthens every stream a kernel call
     // consumes — exactly the short-stream remedy Section 5.3 describes
     // (scaling rows would only add more equally-short calls).
+    let sys = &sys;
     let depth_cycles = |c: u32, width: usize| -> u64 {
         let cfg = depth::Config {
             width,
@@ -181,28 +195,50 @@ pub fn scaled_datasets() -> Report {
             disparities: 16,
         };
         let m = Machine::paper(Shape::new(c, 5));
-        simulate(&depth::program(&cfg, &m).program, &m, &sys)
+        simulate(&depth::program(&cfg, &m).program, &m, sys)
             .expect("simulates")
             .cycles
     };
     let conv_cycles = |c: u32, width: usize| -> u64 {
         let cfg = conv::Config { width, height: 384 };
         let m = Machine::paper(Shape::new(c, 5));
-        simulate(&conv::program(&cfg, &m).program, &m, &sys)
+        simulate(&conv::program(&cfg, &m).program, &m, sys)
             .expect("simulates")
             .cycles
     };
 
-    let base_depth = depth_cycles(8, 512);
-    let base_conv = conv_cycles(8, 512);
-    for &c in FIG14_CS.iter() {
+    // One job per (machine, app, dataset) simulation; the C=8 fixed cells
+    // double as the baselines (scale there is 1).
+    let cells: Vec<(u32, bool, usize)> = FIG14_CS
+        .iter()
+        .flat_map(|&c| {
+            let scale = (c / 8) as usize;
+            [
+                (c, false, 512),
+                (c, false, 512 * scale),
+                (c, true, 512),
+                (c, true, 512 * scale),
+            ]
+        })
+        .collect();
+    let cycles = ctx.map(cells, |(c, is_conv, width)| {
+        if is_conv {
+            conv_cycles(c, width)
+        } else {
+            depth_cycles(c, width)
+        }
+    });
+    let base_depth = cycles[0];
+    let base_conv = cycles[2];
+    for (ci, &c) in FIG14_CS.iter().enumerate() {
         let scale = (c / 8) as usize;
+        let at = |j: usize| cycles[ci * 4 + j];
         // Per-unit-work speedup for the scaled dataset: (work ratio) /
         // (time ratio).
-        let depth_fixed = base_depth as f64 / depth_cycles(c, 512) as f64;
-        let depth_scaled = scale as f64 * base_depth as f64 / depth_cycles(c, 512 * scale) as f64;
-        let conv_fixed = base_conv as f64 / conv_cycles(c, 512) as f64;
-        let conv_scaled = scale as f64 * base_conv as f64 / conv_cycles(c, 512 * scale) as f64;
+        let depth_fixed = base_depth as f64 / at(0) as f64;
+        let depth_scaled = scale as f64 * base_depth as f64 / at(1) as f64;
+        let conv_fixed = base_conv as f64 / at(2) as f64;
+        let conv_scaled = scale as f64 * base_conv as f64 / at(3) as f64;
         r.row([
             format!("C={c}"),
             format!("{depth_fixed:.1}x"),
@@ -215,24 +251,31 @@ pub fn scaled_datasets() -> Report {
     r
 }
 
+/// The dataset-scaling comparison, on an engine sized to the host.
+pub fn scaled_datasets() -> Report {
+    crate::run(ExperimentId::ScaledDatasets)
+}
+
 /// Short-stream effects (Section 5.3 / Owens et al., reference 14): kernel call
 /// efficiency (steady-state cycles / total call cycles) versus stream
 /// length, per machine. As `C` grows, a fixed stream length covers fewer
 /// loop iterations per call and the fixed overheads dominate.
-pub fn short_streams() -> Report {
+pub(crate) fn short_streams_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new(
         "short_streams",
         "Kernel call efficiency vs stream length (FFT kernel)",
     )
     .headers(["records", "C=8 N=5", "C=32 N=5", "C=128 N=5", "C=128 N=10"]);
-    let machines: Vec<Machine> = [(8u32, 5u32), (32, 5), (128, 5), (128, 10)]
-        .iter()
-        .map(|&(c, n)| Machine::paper(Shape::new(c, n)))
-        .collect();
-    let compiled: Vec<CompiledKernel> = machines
-        .iter()
-        .map(|m| CompiledKernel::compile_default(&KernelId::Fft.build(m), m).expect("schedules"))
-        .collect();
+    // One job per machine: compile the FFT kernel through the shared cache.
+    let compiled = ctx.map(
+        vec![(8u32, 5u32), (32, 5), (128, 5), (128, 10)],
+        |(c, n)| {
+            let m = Machine::paper(Shape::new(c, n));
+            ctx.scope
+                .compile_default(&KernelId::Fft.build(&m), &m)
+                .expect("schedules")
+        },
+    );
     for records in [64u64, 256, 1024, 4096, 16384, 65536] {
         let mut row = vec![records.to_string()];
         for k in &compiled {
@@ -245,12 +288,17 @@ pub fn short_streams() -> Report {
     r
 }
 
+/// The short-stream study, on an engine sized to the host.
+pub fn short_streams() -> Report {
+    crate::run(ExperimentId::ShortStreams)
+}
+
 /// The two FFT formulations: the local radix-4 kernel (partners gathered
 /// into one record by SRF addressing) versus the radix-2 exchange kernel
 /// (partners fetched over the intercluster switch). The exchange version
 /// pays the pipelined COMM latency, which grows with the cluster grid —
 /// the paper's FFT mixes both styles (Table 2: 40 comms per iteration).
-pub fn fft_exchange() -> Report {
+pub(crate) fn fft_exchange_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new(
         "fft_exchange",
         "FFT stage formulations: local gather vs intercluster exchange",
@@ -262,23 +310,31 @@ pub fn fft_exchange() -> Report {
         "exchange: pts/cycle/cluster",
         "exchange penalty",
     ]);
-    for &c in FIG14_CS.iter() {
+    // One job per cluster count: both formulations compiled per machine.
+    let rows = ctx.map(FIG14_CS.to_vec(), |c| {
         let machine = Machine::paper(Shape::new(c, 5));
-        let local =
-            CompiledKernel::compile_default(&stream_kernels::fft::kernel(&machine), &machine)
-                .expect("schedules");
-        let exch = CompiledKernel::compile_default(
-            &stream_kernels::fft::exchange_kernel(&machine, 1),
-            &machine,
-        )
-        .expect("schedules");
+        let local = ctx
+            .scope
+            .compile_default(&stream_kernels::fft::kernel(&machine), &machine)
+            .expect("schedules");
+        let exch = ctx
+            .scope
+            .compile_default(&stream_kernels::fft::exchange_kernel(&machine, 1), &machine)
+            .expect("schedules");
         // Points per cycle: the radix-4 record covers four points, the
         // exchange record one.
         let local_pts = 4.0 * local.elements_per_cycle_per_cluster();
         let exch_pts = exch.elements_per_cycle_per_cluster();
+        (
+            machine.latency(stream_machine::OpClass::Comm),
+            local_pts,
+            exch_pts,
+        )
+    });
+    for (&c, (comm, local_pts, exch_pts)) in FIG14_CS.iter().zip(rows) {
         r.row([
             format!("C={c} N=5"),
-            format!("{}", machine.latency(stream_machine::OpClass::Comm)),
+            format!("{comm}"),
             format!("{local_pts:.2}"),
             format!("{exch_pts:.2}"),
             format!("{:.1}x", local_pts / exch_pts),
@@ -286,6 +342,11 @@ pub fn fft_exchange() -> Report {
     }
     r.note("the local form leans on SRF gather bandwidth; the exchange form on the intercluster switch");
     r
+}
+
+/// The FFT formulation comparison, on an engine sized to the host.
+pub fn fft_exchange() -> Report {
+    crate::run(ExperimentId::FftExchange)
 }
 
 /// Register organization comparison (Section 3's "195 times less area, 430
@@ -361,7 +422,7 @@ pub fn projection() -> Report {
 /// scheduling): the same QRD program with its strip gathers treated as
 /// sequential (a perfect access scheduler), strided (the default), and
 /// random (no scheduling).
-pub fn ablation_memory() -> Report {
+pub(crate) fn ablation_memory_impl(ctx: &Ctx) -> Report {
     use stream_sim::{AccessPattern, ProgramBuilder};
     let mut r = Report::new(
         "ablation_memory",
@@ -371,27 +432,33 @@ pub fn ablation_memory() -> Report {
     let machine = Machine::baseline();
     let sys = SystemParams::paper_2007();
     // A strip-sweep-shaped program: 32 strip loads + compute + stores.
-    let kernel = CompiledKernel::compile_default(&stream_apps::kernels::coldot(&machine), &machine)
+    let kernel = ctx
+        .scope
+        .compile_default(&stream_apps::kernels::coldot(&machine), &machine)
         .expect("schedules");
-    let run = |pattern: AccessPattern| -> u64 {
+    let machine = &machine;
+    let sys = &sys;
+    let kernel = &kernel;
+    let patterns = [
+        ("sequential", AccessPattern::Sequential),
+        ("strided", AccessPattern::Strided),
+        ("random", AccessPattern::Random),
+    ];
+    // One job per access pattern.
+    let all_cycles = ctx.map(patterns.to_vec(), |(_, pattern)| {
         let mut p = ProgramBuilder::new();
         for i in 0..32 {
             let strip = p.load_patterned(format!("strip{i}"), 2048, pattern);
             let v = p.resident(256);
-            let dots = p.kernel(&kernel, &[strip, v], &[8], 256);
+            let dots = p.kernel(kernel, &[strip, v], &[8], 256);
             p.store_patterned(dots[0], pattern);
         }
-        simulate(&p.finish(), &machine, &sys)
+        simulate(&p.finish(), machine, sys)
             .expect("simulates")
             .cycles
-    };
-    let seq = run(AccessPattern::Sequential);
-    for (name, pattern) in [
-        ("sequential", AccessPattern::Sequential),
-        ("strided", AccessPattern::Strided),
-        ("random", AccessPattern::Random),
-    ] {
-        let cycles = run(pattern);
+    });
+    let seq = all_cycles[0];
+    for ((name, _), cycles) in patterns.iter().zip(all_cycles) {
         r.row([
             name.to_string(),
             cycles.to_string(),
@@ -402,13 +469,18 @@ pub fn ablation_memory() -> Report {
     r
 }
 
+/// The access-pattern ablation, on an engine sized to the host.
+pub fn ablation_memory() -> Report {
+    crate::run(ExperimentId::AblationMemory)
+}
+
 /// The paper's second future-work question: one big stream processor vs
 /// several smaller ones on the same die. Cost side from the VLSI model
 /// (M independent processors have no shared intercluster switch); the
 /// performance side runs DEPTH partitioned across the processors (row
 /// bands, shared memory bandwidth) and QRD pinned to one processor (its
 /// reflector chain does not partition).
-pub fn multiproc() -> Report {
+pub(crate) fn multiproc_impl(ctx: &Ctx) -> Report {
     let sys = SystemParams::paper_2007();
     let mut r = Report::new(
         "multiproc",
@@ -423,26 +495,24 @@ pub fn multiproc() -> Report {
         "QRD speedup",
     ]);
     let mono = CostModel::paper().evaluate(Shape::new(128, 5));
-    let base_machine = Machine::baseline();
-    let base_depth = simulate(
-        &depth::program(&depth::Config::paper(), &base_machine).program,
-        &base_machine,
-        &sys,
-    )
-    .expect("simulates")
-    .cycles;
-    let base_qrd = simulate(
-        &qrd::program(&qrd::Config::paper(), &base_machine).program,
-        &base_machine,
-        &sys,
-    )
-    .expect("simulates")
-    .cycles;
+    let sys = &sys;
+    let bases = ctx.map(vec![false, true], |is_qrd| {
+        let base_machine = Machine::baseline();
+        let program = if is_qrd {
+            qrd::program(&qrd::Config::paper(), &base_machine).program
+        } else {
+            depth::program(&depth::Config::paper(), &base_machine).program
+        };
+        simulate(&program, &base_machine, sys)
+            .expect("simulates")
+            .cycles
+    });
+    let (base_depth, base_qrd) = (bases[0], bases[1]);
 
-    for m in [1u32, 2, 4, 8, 16] {
+    // One job per processor count M.
+    let rows = ctx.map(vec![1u32, 2, 4, 8, 16], |m| {
         let c = 128 / m;
         let shape = Shape::new(c, 5);
-        let cost = CostModel::paper().evaluate(shape);
         let machine = Machine::paper(shape);
         // Shared memory: each processor sees 1/M of the channel.
         let shared = SystemParams {
@@ -459,15 +529,21 @@ pub fn multiproc() -> Report {
         let part = simulate(&depth::program(&cfg, &machine).program, &machine, &shared)
             .expect("simulates")
             .cycles;
-        let depth_speedup = base_depth as f64 / part as f64;
         // QRD stays on one processor (full memory bandwidth, smaller array).
         let q = simulate(
             &qrd::program(&qrd::Config::paper(), &machine).program,
             &machine,
-            &sys,
+            sys,
         )
         .expect("simulates")
         .cycles;
+        (m, part, q)
+    });
+    for (m, part, q) in rows {
+        let c = 128 / m;
+        let cost = CostModel::paper().evaluate(Shape::new(c, 5));
+        let machine = Machine::paper(Shape::new(c, 5));
+        let depth_speedup = base_depth as f64 / part as f64;
         let qrd_speedup = base_qrd as f64 / q as f64;
         r.row([
             format!("{m} x C={c}"),
@@ -485,6 +561,11 @@ pub fn multiproc() -> Report {
     }
     r.note("paper conclusion poses this comparison as future work; partitionable apps keep their speedup on M smaller processors (cheaper switches), serial-chain apps lose it");
     r
+}
+
+/// The multiprocessor comparison, on an engine sized to the host.
+pub fn multiproc() -> Report {
+    crate::run(ExperimentId::Multiproc)
 }
 
 #[cfg(test)]

@@ -1,17 +1,22 @@
 //! Section 5.1/5.2 reproductions: Table 2 (kernel characteristics),
 //! Figures 13 and 14 (kernel speedups), Table 5 (performance per area).
 
-use crate::Report;
+use crate::sweep::Ctx;
+use crate::{ExperimentId, Report};
+use std::sync::Arc;
 use stream_kernels::KernelId;
 use stream_machine::Machine;
 use stream_sched::CompiledKernel;
 use stream_vlsi::Shape;
 
-/// Compiles a suite kernel for one machine. In debug builds every figure
-/// datapoint is re-checked by the independent verifier.
-fn compiled(id: KernelId, shape: Shape) -> CompiledKernel {
+/// Compiles a suite kernel for one machine through the sweep context's
+/// shared cache. In debug builds every figure datapoint is re-checked by
+/// the independent verifier.
+fn compiled(ctx: &Ctx, id: KernelId, shape: Shape) -> Arc<CompiledKernel> {
     let machine = Machine::paper(shape);
-    let c = CompiledKernel::compile_default(&id.build(&machine), &machine)
+    let c = ctx
+        .scope
+        .compile_default(&id.build(&machine), &machine)
         .expect("suite kernels schedule on all paper machines");
     debug_assert!(
         !stream_sched::check_schedule(c.ddg(), c.schedule(), &machine).has_errors(),
@@ -97,65 +102,84 @@ fn harmonic_mean(values: &[f64]) -> f64 {
     values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
 }
 
+/// The shared shape of Figures 13 and 14: one sweep job per `(kernel,
+/// sweep-point)` cell producing a throughput number, then rows of speedups
+/// over the cell at `base` plus a harmonic-mean row.
+fn kernel_speedup_grid(
+    ctx: &Ctx,
+    points: &[u32],
+    base: u32,
+    throughput: impl Fn(&Ctx, KernelId, u32) -> f64 + Sync,
+) -> Vec<Vec<String>> {
+    let cells: Vec<(KernelId, u32)> = KernelId::ALL
+        .iter()
+        .flat_map(|&id| points.iter().map(move |&p| (id, p)))
+        .collect();
+    let vals = ctx.map(cells, |(id, p)| throughput(ctx, id, p));
+    let base_col = points.iter().position(|&p| p == base).expect("base swept");
+    let mut per_point: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut rows = Vec::new();
+    for (ki, id) in KernelId::ALL.iter().enumerate() {
+        let at = |pi: usize| vals[ki * points.len() + pi];
+        let mut row = vec![id.name().to_string()];
+        for (pi, col) in per_point.iter_mut().enumerate() {
+            let v = at(pi) / at(base_col);
+            col.push(v);
+            row.push(format!("{v:.2}"));
+        }
+        rows.push(row);
+    }
+    let mut hm = vec!["Harmonic Mean".to_string()];
+    for col in &per_point {
+        hm.push(format!("{:.2}", harmonic_mean(col)));
+    }
+    rows.push(hm);
+    rows
+}
+
 /// Figure 13: kernel inner-loop speedup under intracluster scaling (C = 8,
 /// speedup over N = 5).
-pub fn fig13() -> Report {
+pub(crate) fn fig13_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new(
         "fig13",
         "Intracluster Kernel Speedup (C=8, over N=5; per-cluster elements/cycle ratio)",
     )
     .headers(["kernel", "N=2", "N=5", "N=10", "N=14"]);
-    let mut per_n: Vec<Vec<f64>> = vec![Vec::new(); FIG13_NS.len()];
-    for id in KernelId::ALL {
-        let base = compiled(id, Shape::new(8, 5)).elements_per_cycle_per_cluster();
-        let mut row = vec![id.name().to_string()];
-        for (i, &n) in FIG13_NS.iter().enumerate() {
-            let v = compiled(id, Shape::new(8, n)).elements_per_cycle_per_cluster() / base;
-            per_n[i].push(v);
-            row.push(format!("{v:.2}"));
-        }
-        r.row(row);
-    }
-    let mut hm = vec!["Harmonic Mean".to_string()];
-    for col in &per_n {
-        hm.push(format!("{:.2}", harmonic_mean(col)));
-    }
-    r.row(hm);
+    r.rows = kernel_speedup_grid(ctx, &FIG13_NS, 5, |ctx, id, n| {
+        compiled(ctx, id, Shape::new(8, n)).elements_per_cycle_per_cluster()
+    });
     r.note("paper: near-linear to N=10, smaller speedups at N=14 (limited ILP, longer latencies)");
     r
 }
 
+/// Figure 13, on an engine sized to the host.
+pub fn fig13() -> Report {
+    crate::run(ExperimentId::Fig13)
+}
+
 /// Figure 14: kernel inner-loop speedup under intercluster scaling (N = 5,
 /// machine-wide speedup over C = 8).
-pub fn fig14() -> Report {
+pub(crate) fn fig14_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new(
         "fig14",
         "Intercluster Kernel Speedup (N=5, over C=8; machine elements/cycle ratio)",
     )
     .headers(["kernel", "C=8", "C=16", "C=32", "C=64", "C=128"]);
-    let mut per_c: Vec<Vec<f64>> = vec![Vec::new(); FIG14_CS.len()];
-    for id in KernelId::ALL {
-        let base = compiled(id, Shape::new(8, 5)).elements_per_cycle();
-        let mut row = vec![id.name().to_string()];
-        for (i, &c) in FIG14_CS.iter().enumerate() {
-            let v = compiled(id, Shape::new(c, 5)).elements_per_cycle() / base;
-            per_c[i].push(v);
-            row.push(format!("{v:.2}"));
-        }
-        r.row(row);
-    }
-    let mut hm = vec!["Harmonic Mean".to_string()];
-    for col in &per_c {
-        hm.push(format!("{:.2}", harmonic_mean(col)));
-    }
-    r.row(hm);
+    r.rows = kernel_speedup_grid(ctx, &FIG14_CS, 8, |ctx, id, c| {
+        compiled(ctx, id, Shape::new(c, 5)).elements_per_cycle()
+    });
     r.note("paper: near-linear speedups to 128 clusters");
     r
 }
 
+/// Figure 14, on an engine sized to the host.
+pub fn fig14() -> Report {
+    crate::run(ExperimentId::Fig14)
+}
+
 /// Table 5: kernel performance per unit area (harmonic mean of the suite;
 /// an area of exactly N ALUs sustaining N ops/cycle scores 1.0).
-pub fn table5() -> Report {
+pub(crate) fn table5_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new("table5", "Kernel performance per unit area (harmonic mean)")
         .headers(["N \\ C", "8", "16", "32", "64", "128"]);
     let paper: [(u32, [f64; 5]); 4] = [
@@ -164,25 +188,34 @@ pub fn table5() -> Report {
         (10, [0.109, 0.111, 0.104, 0.101, 0.095]),
         (14, [0.065, 0.080, 0.073, 0.072, 0.067]),
     ];
-    for &n in FIG13_NS.iter() {
+    let cells: Vec<(u32, u32)> = FIG13_NS
+        .iter()
+        .flat_map(|&n| FIG14_CS.iter().map(move |&c| (n, c)))
+        .collect();
+    let hms = ctx.map(cells, |(n, c)| {
+        let shape = Shape::new(c, n);
+        let machine = Machine::paper(shape);
+        let area = machine.cost().area;
+        // Normalization unit: the area of one ALU datapath, so that a
+        // chip of exactly N ALUs sustaining N ops/cycle scores 1.0.
+        let alu_unit = area.cluster.alus / shape.n();
+        let vals: Vec<f64> = KernelId::ALL
+            .iter()
+            .map(|&id| {
+                let k = ctx
+                    .scope
+                    .compile_default(&id.build(&machine), &machine)
+                    .expect("schedules");
+                // ops/cycle relative to the chip area measured in ALUs.
+                k.alu_ops_per_cycle() / (area.total() / alu_unit)
+            })
+            .collect();
+        harmonic_mean(&vals)
+    });
+    for (ni, &n) in FIG13_NS.iter().enumerate() {
         let mut row = vec![format!("N={n}")];
-        for &c in FIG14_CS.iter() {
-            let shape = Shape::new(c, n);
-            let machine = Machine::paper(shape);
-            let area = machine.cost().area;
-            // Normalization unit: the area of one ALU datapath, so that a
-            // chip of exactly N ALUs sustaining N ops/cycle scores 1.0.
-            let alu_unit = area.cluster.alus / shape.n();
-            let vals: Vec<f64> = KernelId::ALL
-                .iter()
-                .map(|&id| {
-                    let k = CompiledKernel::compile_default(&id.build(&machine), &machine)
-                        .expect("schedules");
-                    // ops/cycle relative to the chip area measured in ALUs.
-                    k.alu_ops_per_cycle() / (area.total() / alu_unit)
-                })
-                .collect();
-            row.push(format!("{:.3}", harmonic_mean(&vals)));
+        for ci in 0..FIG14_CS.len() {
+            row.push(format!("{:.3}", hms[ni * FIG14_CS.len() + ci]));
         }
         r.row(row);
     }
@@ -195,6 +228,11 @@ pub fn table5() -> Report {
     }
     r.note("paper: N>5 configurations lose efficiency; intercluster scaling barely affects it");
     r
+}
+
+/// Table 5, on an engine sized to the host.
+pub fn table5() -> Report {
+    crate::run(ExperimentId::Table5)
 }
 
 #[cfg(test)]

@@ -2,24 +2,42 @@
 //! Reproduction harness: regenerates every table and figure of the paper
 //! and reports paper-vs-measured values.
 //!
-//! Each `table*`/`fig*` function returns a [`Report`] that renders as an
-//! aligned text table with paper anchors in its notes. The `repro` binary
-//! prints any subset:
+//! Each experiment is named by a typed [`ExperimentId`] and returns a
+//! [`Report`] that renders as an aligned text table with paper anchors in
+//! its notes. Grid-shaped experiments express their cells as jobs on a
+//! [`stream_grid::Engine`], so they parallelize across worker threads while
+//! rendering **byte-identically** to a serial run (ordered reduction +
+//! deterministic cache counters), and all schedule compilation goes through
+//! the process-wide compiled-kernel cache. The `repro` binary prints any
+//! subset:
 //!
 //! ```text
 //! cargo run -p stream-repro --bin repro -- all
-//! cargo run -p stream-repro --bin repro -- fig13 table5
+//! cargo run -p stream-repro --bin repro -- --jobs 4 fig13 table5
+//! ```
+//!
+//! Library use:
+//!
+//! ```
+//! use stream_repro::{run, try_run, ExperimentId};
+//!
+//! let report = run(ExperimentId::Table4);
+//! assert_eq!(report.id, "table4");
+//! assert!(try_run("fig99").is_err());
 //! ```
 
 mod app_figs;
 mod cost_figs;
+mod experiment;
 mod extras;
 mod kernel_figs;
 mod report;
+mod sweep;
 mod verify_figs;
 
 pub use app_figs::{fig15, headline};
 pub use cost_figs::{calibration, fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table3};
+pub use experiment::{ExperimentId, UnknownExperiment};
 pub use extras::{
     ablation_memory, ablation_switch, ablation_swp, bandwidth, fft_exchange, full_custom,
     multiproc, projection, register_org, scaled_datasets, short_streams,
@@ -28,77 +46,102 @@ pub use kernel_figs::{fig13, fig14, table2, table4, table5, FIG13_NS, FIG14_CS};
 pub use report::Report;
 pub use verify_figs::verify;
 
-/// Every experiment id: the paper's artifacts in paper order, then the
-/// extension experiments.
-pub const EXPERIMENTS: [&str; 29] = [
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "calibration",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "table5",
-    "fig15",
-    "headline",
-    "bandwidth",
-    "full_custom",
-    "projection",
-    "ablation_switch",
-    "ablation_swp",
-    "scaled_datasets",
-    "short_streams",
-    "ablation_memory",
-    "multiproc",
-    "register_org",
-    "fft_exchange",
-    "verify",
-];
+use stream_grid::Engine;
+use sweep::Ctx;
 
-/// Runs one experiment by id.
+/// Every experiment id string, derived from [`ExperimentId::ALL`] at
+/// compile time so it can never drift from the enum.
+pub const EXPERIMENTS: [&str; ExperimentId::ALL.len()] = {
+    let mut out = [""; ExperimentId::ALL.len()];
+    let mut i = 0;
+    while i < out.len() {
+        out[i] = ExperimentId::ALL[i].name();
+        i += 1;
+    }
+    out
+};
+
+/// Runs one experiment on `engine`: its grid cells become engine jobs and
+/// its kernels compile through the engine's shared cache. The rendered
+/// report is identical for every worker count.
+pub fn run_with(id: ExperimentId, engine: &Engine) -> Report {
+    let ctx = Ctx::new(engine);
+    let mut r = match id {
+        ExperimentId::Table1 => table1(),
+        ExperimentId::Table2 => table2(),
+        ExperimentId::Table3 => table3(),
+        ExperimentId::Table4 => table4(),
+        ExperimentId::Calibration => calibration(),
+        ExperimentId::Fig6 => fig6(),
+        ExperimentId::Fig7 => fig7(),
+        ExperimentId::Fig8 => fig8(),
+        ExperimentId::Fig9 => fig9(),
+        ExperimentId::Fig10 => fig10(),
+        ExperimentId::Fig11 => fig11(),
+        ExperimentId::Fig12 => fig12(),
+        ExperimentId::Fig13 => kernel_figs::fig13_impl(&ctx),
+        ExperimentId::Fig14 => kernel_figs::fig14_impl(&ctx),
+        ExperimentId::Table5 => kernel_figs::table5_impl(&ctx),
+        ExperimentId::Fig15 => app_figs::fig15_impl(&ctx),
+        ExperimentId::Headline => app_figs::headline_impl(&ctx),
+        ExperimentId::Bandwidth => bandwidth(),
+        ExperimentId::FullCustom => full_custom(),
+        ExperimentId::Projection => projection(),
+        ExperimentId::AblationSwitch => ablation_switch(),
+        ExperimentId::AblationSwp => extras::ablation_swp_impl(&ctx),
+        ExperimentId::ScaledDatasets => extras::scaled_datasets_impl(&ctx),
+        ExperimentId::ShortStreams => extras::short_streams_impl(&ctx),
+        ExperimentId::AblationMemory => extras::ablation_memory_impl(&ctx),
+        ExperimentId::Multiproc => extras::multiproc_impl(&ctx),
+        ExperimentId::RegisterOrg => register_org(),
+        ExperimentId::FftExchange => extras::fft_exchange_impl(&ctx),
+        ExperimentId::Verify => verify_figs::verify_impl(&ctx),
+    };
+    ctx.finish(&mut r);
+    r
+}
+
+/// Runs one experiment on an engine sized to the host's parallelism.
+pub fn run(id: ExperimentId) -> Report {
+    run_with(id, &Engine::with_default_parallelism())
+}
+
+/// Parses `id` and runs the experiment.
+///
+/// # Errors
+///
+/// Returns [`UnknownExperiment`] if `id` names no experiment.
+pub fn try_run(id: &str) -> Result<Report, UnknownExperiment> {
+    id.parse().map(run)
+}
+
+/// Runs several experiments on `engine`. Independent experiments run
+/// concurrently as engine jobs (each experiment's own grid sweeps nest
+/// inside the same engine, bounded by its permit pool); reports come back
+/// in `ids` order.
+pub fn run_many(ids: &[ExperimentId], engine: &Engine) -> Vec<Report> {
+    let sweep = engine.map(ids.to_vec(), |id| run_with(id, engine));
+    sweep.results
+}
+
+/// Runs every experiment, paper order, on `engine`.
+pub fn run_all(engine: &Engine) -> Vec<Report> {
+    run_many(&ExperimentId::ALL, engine)
+}
+
+/// Runs one experiment by id string.
 ///
 /// # Panics
 ///
-/// Panics on an unknown id (the binary validates first).
-pub fn run(id: &str) -> Report {
-    match id {
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(),
-        "table4" => table4(),
-        "calibration" => calibration(),
-        "fig6" => fig6(),
-        "fig7" => fig7(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "fig10" => fig10(),
-        "fig11" => fig11(),
-        "fig12" => fig12(),
-        "fig13" => fig13(),
-        "fig14" => fig14(),
-        "table5" => table5(),
-        "fig15" => fig15(),
-        "headline" => headline(),
-        "bandwidth" => bandwidth(),
-        "full_custom" => full_custom(),
-        "projection" => projection(),
-        "ablation_switch" => ablation_switch(),
-        "ablation_swp" => ablation_swp(),
-        "scaled_datasets" => scaled_datasets(),
-        "short_streams" => short_streams(),
-        "ablation_memory" => ablation_memory(),
-        "multiproc" => multiproc(),
-        "register_org" => register_org(),
-        "fft_exchange" => fft_exchange(),
-        "verify" => verify(),
-        other => panic!("unknown experiment {other}; known: {EXPERIMENTS:?}"),
+/// Panics on an unknown id.
+#[deprecated(
+    since = "0.1.0",
+    note = "parse the id into an `ExperimentId` and call `run`, or use `try_run`"
+)]
+pub fn run_str(id: &str) -> Report {
+    match try_run(id) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -106,19 +149,60 @@ pub fn run(id: &str) -> Report {
 mod tests {
     use super::*;
 
+    /// Experiments whose full grids are too heavy for this smoke test;
+    /// each is exercised by its own module test instead.
+    const HEAVYWEIGHT: [ExperimentId; 12] = [
+        ExperimentId::Fig13,
+        ExperimentId::Fig14,
+        ExperimentId::Table5,
+        ExperimentId::Fig15,
+        ExperimentId::Headline,
+        ExperimentId::AblationSwp,
+        ExperimentId::ScaledDatasets,
+        ExperimentId::ShortStreams,
+        ExperimentId::AblationMemory,
+        ExperimentId::Multiproc,
+        ExperimentId::FftExchange,
+        ExperimentId::Verify,
+    ];
+
     #[test]
     fn every_listed_experiment_runs() {
-        // The heavyweight ones (fig13..fig15) are covered by their module
-        // tests; here just check the cheap ones dispatch.
-        for id in ["table1", "table3", "table4", "calibration", "fig6", "fig11"] {
+        // Every variant dispatches; the heavyweight grids are carved out to
+        // their module tests but still must parse and be listed.
+        let mut ran = 0usize;
+        for id in ExperimentId::ALL {
+            assert!(EXPERIMENTS.contains(&id.name()));
+            if HEAVYWEIGHT.contains(&id) {
+                continue;
+            }
             let r = run(id);
-            assert_eq!(r.id, id);
+            assert_eq!(r.id, id.name());
+            ran += 1;
+        }
+        assert_eq!(ran, ExperimentId::ALL.len() - HEAVYWEIGHT.len());
+    }
+
+    #[test]
+    fn experiments_const_tracks_the_enum() {
+        assert_eq!(EXPERIMENTS.len(), ExperimentId::ALL.len());
+        for (name, id) in EXPERIMENTS.iter().zip(ExperimentId::ALL) {
+            assert_eq!(*name, id.name());
+            assert_eq!(name.parse::<ExperimentId>(), Ok(id));
         }
     }
 
     #[test]
+    fn unknown_experiment_errors() {
+        let err = try_run("fig99").unwrap_err();
+        assert_eq!(err.requested, "fig99");
+        assert!(err.to_string().contains("unknown experiment"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "unknown experiment")]
-    fn unknown_experiment_panics() {
-        let _ = run("fig99");
+    fn deprecated_string_shim_still_panics_on_unknown_ids() {
+        let _ = run_str("fig99");
     }
 }

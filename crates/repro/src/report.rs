@@ -15,6 +15,11 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes: paper anchors, deviations, substitutions.
     pub notes: Vec<String>,
+    /// Out-of-band performance lines (sweep wall-clock, thread counts).
+    /// Never rendered by `Display` — their values vary run to run, and the
+    /// rendered report is guaranteed identical across worker counts. The
+    /// `repro` binary prints them to stderr.
+    pub perf: Vec<String>,
 }
 
 impl Report {
@@ -26,6 +31,7 @@ impl Report {
             headers: Vec::new(),
             rows: Vec::new(),
             notes: Vec::new(),
+            perf: Vec::new(),
         }
     }
 
@@ -93,6 +99,14 @@ impl fmt::Display for Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn perf_lines_are_not_rendered() {
+        let mut r = Report::new("t", "demo");
+        r.row(["x"]);
+        r.perf.push("9 jobs on 4 thread(s)".to_string());
+        assert!(!r.to_string().contains("jobs"));
+    }
 
     #[test]
     fn renders_aligned_columns() {

@@ -1,0 +1,65 @@
+//! The per-experiment sweep context: one [`Ctx`] wraps the engine an
+//! experiment runs on, a deterministic cache-counting scope, and the
+//! accumulated timing stats for its sweeps. [`Ctx::finish`] writes the
+//! deterministic cache counters into the report's notes and the (run-to-run
+//! variable) wall-clock numbers into [`Report::perf`], which `Display`
+//! never renders — keeping `--jobs 1` and `--jobs N` output byte-identical.
+
+use crate::Report;
+use std::sync::Mutex;
+use stream_grid::{CacheScope, Engine, SweepStats};
+
+pub(crate) struct Ctx<'e> {
+    engine: &'e Engine,
+    pub(crate) scope: CacheScope<'static>,
+    stats: Mutex<SweepStats>,
+}
+
+impl<'e> Ctx<'e> {
+    pub(crate) fn new(engine: &'e Engine) -> Self {
+        Self {
+            engine,
+            scope: engine.scope(),
+            stats: Mutex::new(SweepStats::default()),
+        }
+    }
+
+    /// Maps `f` over `items` through the engine (results keep item order)
+    /// and folds the sweep's timing into this context.
+    pub(crate) fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let sweep = self.engine.map(items, f);
+        self.stats
+            .lock()
+            .expect("sweep stats poisoned")
+            .absorb(&sweep.stats);
+        sweep.results
+    }
+
+    /// Writes this context's counters into `r`: cache counters (exact and
+    /// scheduling-independent) as a rendered note, timings as unrendered
+    /// perf lines.
+    pub(crate) fn finish(self, r: &mut Report) {
+        let c = self.scope.counters();
+        if c.lookups > 0 {
+            r.note(format!(
+                "compile cache: {} lookups = {} distinct schedules + {} hits",
+                c.lookups, c.compiles, c.hits
+            ));
+        }
+        let stats = self.stats.into_inner().expect("sweep stats poisoned");
+        if stats.jobs > 0 {
+            r.perf.push(format!(
+                "{} sweep jobs on {} thread(s): busy {} us, wall {} us",
+                stats.jobs,
+                stats.threads,
+                stats.busy_micros(),
+                stats.wall_micros
+            ));
+        }
+    }
+}

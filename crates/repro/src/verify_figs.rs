@@ -7,10 +7,11 @@
 //! on these schedules being real.
 
 use crate::kernel_figs::{FIG13_NS, FIG14_CS};
-use crate::Report;
+use crate::sweep::Ctx;
+use crate::{ExperimentId, Report};
 use stream_kernels::KernelId;
 use stream_machine::Machine;
-use stream_sched::{check_schedule, CompiledKernel};
+use stream_sched::check_schedule;
 use stream_verify::lint_kernel;
 use stream_vlsi::Shape;
 
@@ -21,7 +22,7 @@ use stream_vlsi::Shape;
 ///
 /// Panics if any suite kernel fails to compile — the same precondition as
 /// the figures themselves.
-pub fn verify() -> Report {
+pub(crate) fn verify_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new(
         "verify",
         "Independent schedule verification across the (C, N) grid",
@@ -34,32 +35,45 @@ pub fn verify() -> Report {
         "lint errors",
         "lint warnings",
     ]);
+    // One job per (kernel, C, N) config; schedules come from the shared
+    // cache, so a `repro all` run verifies the very schedules the figures
+    // measured rather than recompiling its own.
+    let cells: Vec<(KernelId, u32, u32)> = KernelId::ALL
+        .iter()
+        .flat_map(|&id| {
+            FIG14_CS
+                .iter()
+                .flat_map(move |&c| FIG13_NS.iter().map(move |&n| (id, c, n)))
+        })
+        .collect();
+    let checks = ctx.map(cells, |(id, c, n)| {
+        let machine = Machine::paper(Shape::new(c, n));
+        let kernel = id.build(&machine);
+        let lint = lint_kernel(&kernel);
+        let compiled = ctx
+            .scope
+            .compile_default(&kernel, &machine)
+            .expect("suite kernels schedule on all paper machines");
+        let report = check_schedule(compiled.ddg(), compiled.schedule(), &machine);
+        (
+            lint.error_count(),
+            lint.warning_count(),
+            report.error_count(),
+            report.warning_count(),
+        )
+    });
+    let configs_per_kernel = FIG14_CS.len() * FIG13_NS.len();
     let mut total_errors = 0usize;
-    for id in KernelId::ALL {
-        let mut configs = 0usize;
-        let mut sched_errors = 0usize;
-        let mut sched_warnings = 0usize;
-        let mut lint_errors = 0usize;
-        let mut lint_warnings = 0usize;
-        for &c in FIG14_CS.iter() {
-            for &n in FIG13_NS.iter() {
-                let machine = Machine::paper(Shape::new(c, n));
-                let kernel = id.build(&machine);
-                let lint = lint_kernel(&kernel);
-                lint_errors += lint.error_count();
-                lint_warnings += lint.warning_count();
-                let compiled = CompiledKernel::compile_default(&kernel, &machine)
-                    .expect("suite kernels schedule on all paper machines");
-                let report = check_schedule(compiled.ddg(), compiled.schedule(), &machine);
-                sched_errors += report.error_count();
-                sched_warnings += report.warning_count();
-                configs += 1;
-            }
+    for (ki, id) in KernelId::ALL.iter().enumerate() {
+        let mut sums = (0usize, 0usize, 0usize, 0usize);
+        for (le, lw, se, sw) in &checks[ki * configs_per_kernel..(ki + 1) * configs_per_kernel] {
+            sums = (sums.0 + le, sums.1 + lw, sums.2 + se, sums.3 + sw);
         }
+        let (lint_errors, lint_warnings, sched_errors, sched_warnings) = sums;
         total_errors += sched_errors + lint_errors;
         r.row([
             id.name().to_string(),
-            configs.to_string(),
+            configs_per_kernel.to_string(),
             sched_errors.to_string(),
             sched_warnings.to_string(),
             lint_errors.to_string(),
@@ -71,6 +85,11 @@ pub fn verify() -> Report {
     ));
     r.note("diagnostic codes are cataloged in docs/lint_codes.md");
     r
+}
+
+/// The verification sweep, on an engine sized to the host.
+pub fn verify() -> Report {
+    crate::run(ExperimentId::Verify)
 }
 
 #[cfg(test)]

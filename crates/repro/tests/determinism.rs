@@ -1,0 +1,45 @@
+//! The sweep engine's central guarantee: the rendered report of every
+//! experiment is byte-identical no matter how many worker threads ran it.
+
+use stream_grid::Engine;
+use stream_repro::{run_many, run_with, ExperimentId};
+
+/// A mixed subset cheap enough for the test but covering every sweep shape:
+/// a compile grid (fig13), a two-options-per-kernel sweep (ablation_swp), a
+/// multi-compile-per-job grid slice (fft_exchange), and a serial cost-model
+/// table (bandwidth).
+const SUBSET: [ExperimentId; 4] = [
+    ExperimentId::Fig13,
+    ExperimentId::AblationSwp,
+    ExperimentId::FftExchange,
+    ExperimentId::Bandwidth,
+];
+
+#[test]
+fn four_workers_render_byte_identical_to_one() {
+    for id in SUBSET {
+        let serial = run_with(id, &Engine::new(1)).to_string();
+        let parallel = run_with(id, &Engine::new(4)).to_string();
+        assert_eq!(serial, parallel, "{id} diverges across worker counts");
+    }
+}
+
+#[test]
+fn run_many_preserves_request_order_and_serial_output() {
+    let serial: Vec<String> = run_many(&SUBSET, &Engine::new(1))
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let parallel: Vec<String> = run_many(&SUBSET, &Engine::new(4))
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(serial, parallel);
+    for (id, rendered) in SUBSET.iter().zip(&serial) {
+        assert!(
+            rendered.starts_with(&format!("== {id}")),
+            "report order should match request order: wanted {id}, got {}",
+            rendered.lines().next().unwrap_or("")
+        );
+    }
+}

@@ -30,7 +30,23 @@ impl fmt::Display for ScheduleError {
 impl Error for ScheduleError {}
 
 /// Compilation options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Construct with [`CompileOptions::new`] (or `Default`) and refine with the
+/// chainable builder methods; the struct is `#[non_exhaustive]` so new knobs
+/// can be added without breaking callers:
+///
+/// ```
+/// use stream_sched::CompileOptions;
+///
+/// let opts = CompileOptions::new().without_software_pipelining().verify(true);
+/// assert!(!opts.software_pipelining);
+/// assert!(opts.verify);
+/// ```
+///
+/// Options are cheap to hash and compare (`Hash`/`Eq`), so they can key
+/// compiled-kernel caches alongside the kernel and machine identity.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompileOptions {
     /// Unroll factors to try; the best elements/cycle wins.
     pub unroll_factors: Vec<u32>,
@@ -52,12 +68,54 @@ pub struct CompileOptions {
 }
 
 impl CompileOptions {
-    /// Default options with software pipelining disabled (ablation).
-    pub fn without_software_pipelining() -> Self {
-        Self {
-            software_pipelining: false,
-            ..Self::default()
-        }
+    /// Default options (same as `Default`): unroll search over 1/2/4/8,
+    /// register capacity respected, software pipelining on, verification on
+    /// in debug builds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the set of unroll factors the search tries.
+    #[must_use]
+    pub fn unroll_factors(mut self, factors: impl Into<Vec<u32>>) -> Self {
+        self.unroll_factors = factors.into();
+        self
+    }
+
+    /// Sets whether the LRF register capacity is enforced.
+    #[must_use]
+    pub fn respect_registers(mut self, on: bool) -> Self {
+        self.respect_registers = on;
+        self
+    }
+
+    /// Sets the maximum schedule length in VLIW instructions.
+    #[must_use]
+    pub fn max_length(mut self, limit: u32) -> Self {
+        self.max_length = limit;
+        self
+    }
+
+    /// Sets whether software pipelining (modulo scheduling) is used.
+    #[must_use]
+    pub fn software_pipelining(mut self, on: bool) -> Self {
+        self.software_pipelining = on;
+        self
+    }
+
+    /// Disables software pipelining (the Section 5.1 ablation); equivalent
+    /// to `.software_pipelining(false)`.
+    #[must_use]
+    pub fn without_software_pipelining(self) -> Self {
+        self.software_pipelining(false)
+    }
+
+    /// Sets whether every candidate schedule runs through the independent
+    /// verifier in `stream-verify`.
+    #[must_use]
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
     }
 }
 
@@ -486,8 +544,9 @@ mod tests {
         let k = mul_add_kernel(7);
         let m = Machine::baseline();
         let swp = CompiledKernel::compile_default(&k, &m).unwrap();
-        let flat = CompiledKernel::compile(&k, &m, &CompileOptions::without_software_pipelining())
-            .unwrap();
+        let flat =
+            CompiledKernel::compile(&k, &m, &CompileOptions::new().without_software_pipelining())
+                .unwrap();
         assert!(flat.ii() >= flat.stages() * swp.ii());
         assert!(
             swp.elements_per_cycle_per_cluster() > 2.0 * flat.elements_per_cycle_per_cluster(),
@@ -497,6 +556,33 @@ mod tests {
         );
         // The flat schedule is still legal: one stage, nothing overlaps.
         assert_eq!(flat.stages(), 1);
+    }
+
+    #[test]
+    fn compile_options_builder_chains_and_hashes() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let opts = CompileOptions::new()
+            .unroll_factors([1, 2])
+            .respect_registers(false)
+            .max_length(512)
+            .without_software_pipelining()
+            .verify(true);
+        assert_eq!(opts.unroll_factors, vec![1, 2]);
+        assert!(!opts.respect_registers);
+        assert_eq!(opts.max_length, 512);
+        assert!(!opts.software_pipelining);
+        assert!(opts.verify);
+        let hash = |o: &CompileOptions| {
+            let mut h = DefaultHasher::new();
+            o.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            hash(&CompileOptions::new()),
+            hash(&CompileOptions::default())
+        );
+        assert_ne!(hash(&opts), hash(&CompileOptions::new()));
     }
 
     #[test]

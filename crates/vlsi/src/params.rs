@@ -165,6 +165,57 @@ impl TechParams {
         }
     }
 
+    /// A stable 64-bit fingerprint of every parameter, suitable as a cheap
+    /// hash key for caches keyed by machine configuration (two parameter
+    /// sets compare equal iff their fingerprints and fields match; the
+    /// fingerprint hashes the exact bit patterns of the `f64` fields).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the field bit patterns, in declaration order.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for f in [
+            self.sram_area_per_bit,
+            self.sb_area_per_word,
+            self.alu_width,
+            self.lrf_width,
+            self.sp_width,
+            self.datapath_height,
+            self.wire_velocity,
+            self.fo4_per_cycle,
+            self.mux_delay_fo4,
+            self.wire_energy_per_track,
+            self.alu_energy,
+            self.sram_energy_per_bit,
+            self.sb_energy_per_bit,
+            self.lrf_energy,
+            self.sp_energy,
+            self.srf_width_per_alu,
+            self.sb_accesses_per_op,
+            self.comm_units_per_alu,
+            self.sp_units_per_alu,
+            self.vliw_base_bits,
+            self.vliw_bits_per_fu,
+            self.base_cluster_sbs,
+            self.other_sbs,
+            self.extra_sbs_per_alu,
+            self.srf_words_per_alu_latency,
+            self.microcode_instructions,
+            self.crossbar_density,
+        ] {
+            mix(f.to_bits());
+        }
+        mix(u64::from(self.memory_latency_cycles));
+        mix(u64::from(self.data_width_bits));
+        h
+    }
+
     /// `b` as `f64`, for formulae.
     pub(crate) fn b(&self) -> f64 {
         f64::from(self.data_width_bits)
@@ -255,5 +306,16 @@ mod tests {
     #[test]
     fn normalization_unit_is_one() {
         assert_eq!(TechParams::default().wire_energy_per_track, 1.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_parameter_family() {
+        let paper = TechParams::paper().fingerprint();
+        assert_eq!(paper, TechParams::default().fingerprint());
+        assert_ne!(paper, TechParams::full_custom().fingerprint());
+        assert_ne!(paper, TechParams::sparse_crossbar(0.5).fingerprint());
+        let mut latency = TechParams::paper();
+        latency.memory_latency_cycles += 1;
+        assert_ne!(paper, latency.fingerprint());
     }
 }

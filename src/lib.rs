@@ -14,6 +14,7 @@
 //! * [`machine`] — elaborated machine configurations and latencies,
 //! * [`ir`] — the kernel dataflow IR, builder, and SIMD interpreter,
 //! * [`sched`] — dependence graphs and iterative modulo scheduling,
+//! * [`grid`] — the parallel sweep engine and shared compiled-kernel cache,
 //! * [`kernels`] — Blocksad, Convolve, Update, FFT, Noise, Irast,
 //! * [`sim`] — the stream-program timing simulator,
 //! * [`apps`] — RENDER, DEPTH, CONV, QRD, FFT1K, FFT4K,
@@ -34,6 +35,7 @@
 //! ```
 
 pub use stream_apps as apps;
+pub use stream_grid as grid;
 pub use stream_ir as ir;
 pub use stream_kernels as kernels;
 pub use stream_machine as machine;

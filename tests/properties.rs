@@ -3,13 +3,16 @@
 //! mathematics, and interpreter determinism.
 
 use proptest::prelude::*;
+use stream_scaling::grid::KernelCache;
 use stream_scaling::ir::{
     execute, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder, Scalar, Ty, ValueId,
 };
 use stream_scaling::kernels::fft::{dft_reference, fft_reference, C32};
 use stream_scaling::kernels::split::{gather_words, max_chain, scatter_words, split_plan};
 use stream_scaling::machine::Machine;
-use stream_scaling::sched::{modulo_schedule, CompiledKernel, Ddg, MiiBounds};
+use stream_scaling::sched::{
+    check_schedule, modulo_schedule, CompileOptions, CompiledKernel, Ddg, MiiBounds,
+};
 use stream_scaling::vlsi::Shape;
 
 /// Builds a random elementwise kernel from a byte script: two input
@@ -135,6 +138,35 @@ proptest! {
         let c = CompiledKernel::compile_default(&k, &machine).expect("compiles");
         prop_assert!(c.registers() <= machine.register_capacity());
         prop_assert!(c.elements_per_cycle_per_cluster() > 0.0);
+    }
+
+    /// A compiled kernel served from the shared cache is the same artifact
+    /// a fresh compile produces, and it still passes the independent
+    /// schedule verifier — caching never changes what the scheduler built.
+    #[test]
+    fn cached_compiles_match_fresh_compiles(
+        script in proptest::collection::vec(any::<u8>(), 1..32),
+        n_alus in prop_oneof![Just(2u32), Just(5), Just(10)],
+    ) {
+        let machine = Machine::paper(Shape::new(8, n_alus));
+        let k = structured_kernel(&script, 8);
+        let opts = CompileOptions::default();
+        let cache = KernelCache::new();
+        let first = cache.get_or_compile(&k, &machine, &opts).expect("compiles");
+        let again = cache.get_or_compile(&k, &machine, &opts).expect("compiles");
+        prop_assert!(std::sync::Arc::ptr_eq(&first, &again));
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.entries, 1);
+        let fresh = CompiledKernel::compile(&k, &machine, &opts).expect("compiles");
+        prop_assert_eq!(first.ii(), fresh.ii());
+        prop_assert_eq!(first.unroll_factor(), fresh.unroll_factor());
+        prop_assert_eq!(first.schedule_length(), fresh.schedule_length());
+        prop_assert_eq!(first.registers(), fresh.registers());
+        prop_assert_eq!(first.listing(), fresh.listing());
+        let report = check_schedule(first.ddg(), first.schedule(), &machine);
+        prop_assert!(!report.has_errors(), "cached schedule fails verification:\n{report}");
     }
 
     /// Stream scatter/gather round-trips for every width/split combination.

@@ -30,10 +30,7 @@ fn suite_schedules_pass_the_independent_verifier() {
 #[test]
 fn compile_with_verification_enabled_succeeds() {
     let machine = Machine::baseline();
-    let opts = CompileOptions {
-        verify: true,
-        ..CompileOptions::default()
-    };
+    let opts = CompileOptions::new().verify(true);
     for id in KernelId::ALL {
         let compiled = CompiledKernel::compile(&id.build(&machine), &machine, &opts)
             .unwrap_or_else(|e| panic!("{e}"));
