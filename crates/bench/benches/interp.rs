@@ -1,0 +1,146 @@
+//! Interpreter fast path: compiled execution tape vs the legacy tree-walk.
+//!
+//! Besides the criterion display benches, this harness self-times both
+//! paths (the offline criterion shim has no machine-readable output) and
+//! writes `BENCH_interp.json` at the repository root so CI can assert the
+//! tape's speedup without scraping bench stdout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use stream_ir::{execute_legacy, ExecConfig, Kernel, Scalar, Tape, Ty};
+use stream_kernels::{convolve, KernelId};
+use stream_machine::Machine;
+
+/// Synthesizes deterministic well-typed input streams sized for
+/// `iterations` loop iterations at `clusters` clusters.
+fn synth_inputs(kernel: &Kernel, iterations: usize, clusters: usize) -> Vec<Vec<Scalar>> {
+    kernel
+        .inputs()
+        .iter()
+        .map(|decl| {
+            let words = iterations * clusters * decl.record_width as usize;
+            (0..words)
+                .map(|i| match decl.ty {
+                    Ty::I32 => Scalar::I32((i % 251) as i32 - 125),
+                    Ty::F32 => Scalar::F32((i % 17) as f32 * 0.125 - 1.0),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct Case {
+    name: &'static str,
+    kernel: Kernel,
+    params: Vec<Scalar>,
+    inputs: Vec<Vec<Scalar>>,
+    cfg: ExecConfig,
+}
+
+fn cases() -> Vec<Case> {
+    let machine = Machine::baseline();
+
+    // Convolve over one 512-column row strip — the interpreter benchmark
+    // the tape's >=5x acceptance criterion is judged on.
+    let conv = convolve::kernel(&machine);
+    let taps = convolve::Taps::gaussian();
+    let rows = convolve::sample_rows(512, 3);
+    let conv_inputs = convolve::input_streams(&rows);
+    let conv_params = convolve::params(&taps);
+
+    // FFT radix-4 stage over a 1K-point-sized strip (256 butterflies =
+    // 32 iterations x 8 clusters), with synthetic but well-typed data.
+    let fft = KernelId::Fft.build(&machine);
+    let fft_inputs = synth_inputs(&fft, 32, 8);
+
+    vec![
+        Case {
+            name: "convolve_512px",
+            kernel: conv,
+            params: conv_params,
+            inputs: conv_inputs,
+            cfg: ExecConfig::with_clusters(8),
+        },
+        Case {
+            name: "fft_1k",
+            kernel: fft,
+            params: Vec::new(),
+            inputs: fft_inputs,
+            cfg: ExecConfig::with_clusters(8),
+        },
+    ]
+}
+
+/// Mean ns/call over enough calls to fill ~200ms, after warmup.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let samples = ((200_000_000 / once) as usize).clamp(10, 20_000);
+    let t0 = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / samples as f64
+}
+
+/// Self-times both paths and writes `BENCH_interp.json` at the repo root.
+fn emit_json(cases: &[Case]) {
+    let mut bench_entries = Vec::new();
+    let mut speedup_entries = Vec::new();
+    for case in cases {
+        let tape = Tape::compile(&case.kernel);
+        let expect = execute_legacy(&case.kernel, &case.params, &case.inputs, &case.cfg)
+            .expect("legacy path executes");
+        assert_eq!(
+            tape.execute(&case.params, &case.inputs, &case.cfg)
+                .expect("tape path executes"),
+            expect,
+            "tape and legacy outputs diverge on {}",
+            case.name
+        );
+
+        let legacy_ns = time_ns(|| {
+            execute_legacy(&case.kernel, &case.params, &case.inputs, &case.cfg).unwrap();
+        });
+        let tape_ns = time_ns(|| {
+            tape.execute(&case.params, &case.inputs, &case.cfg).unwrap();
+        });
+        let speedup = legacy_ns / tape_ns;
+        println!(
+            "interp/{}: legacy {:.0} ns, tape {:.0} ns, speedup {:.2}x",
+            case.name, legacy_ns, tape_ns, speedup
+        );
+        bench_entries.push(format!(
+            "    \"legacy_{}\": {{\"mean_ns\": {:.1}}},\n    \"tape_{}\": {{\"mean_ns\": {:.1}}}",
+            case.name, legacy_ns, case.name, tape_ns
+        ));
+        speedup_entries.push(format!("    \"{}\": {:.3}", case.name, speedup));
+    }
+    let json = format!
+        ("{{\n  \"bench\": \"interp\",\n  \"unit\": \"ns_per_call\",\n  \"benchmarks\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }}\n}}\n",
+        bench_entries.join(",\n"),
+        speedup_entries.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
+    std::fs::write(&path, json).expect("write BENCH_interp.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let cases = cases();
+    emit_json(&cases);
+    for case in &cases {
+        let tape = Tape::compile(&case.kernel);
+        c.bench_function(&format!("interp/tape_{}", case.name), |b| {
+            b.iter(|| tape.execute(&case.params, &case.inputs, &case.cfg).unwrap())
+        });
+        c.bench_function(&format!("interp/legacy_{}", case.name), |b| {
+            b.iter(|| execute_legacy(&case.kernel, &case.params, &case.inputs, &case.cfg).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -48,6 +48,21 @@ fn bench_sweep(c: &mut Criterion) {
         let engine = Engine::with_default_parallelism();
         b.iter(|| stream_repro::run_with(ExperimentId::Fig13, &engine))
     });
+    // A figure-15-shaped app cell on the functional path: CONV end to end
+    // through the engine — interpreter-bound, so it rides the compiled
+    // execution tape.
+    g.bench_function("fig15_functional_conv_cell_tape", |b| {
+        let engine = Engine::new(1);
+        b.iter(|| {
+            engine
+                .map(vec![8usize], |c| {
+                    stream_apps::conv::run_functional(&stream_apps::conv::Config::small(), c)
+                        .0
+                        .len()
+                })
+                .results
+        })
+    });
     // The raw engine without any compilation: dispatch overhead per job.
     g.bench_function("dispatch_256_trivial_jobs", |b| {
         let engine = Engine::new(4);

@@ -6,7 +6,7 @@
 //! between clusters, and conditional streams compact/expand across clusters
 //! in cluster order.
 
-use crate::{IrError, Kernel, Opcode, Scalar, StreamDir, Ty, ValueId};
+use crate::{IrError, Kernel, Opcode, Scalar, StreamDecl, StreamDir, Tape, Ty, ValueId};
 
 /// Execution configuration: how many clusters run the kernel SIMD, and how
 /// big each per-cluster scratchpad is.
@@ -92,14 +92,24 @@ pub fn infer_iterations(
     inputs: &[Vec<Scalar>],
     cfg: &ExecConfig,
 ) -> Result<usize, IrError> {
-    if inputs.len() != kernel.inputs().len() {
+    infer_iterations_decls(kernel.inputs(), inputs, cfg)
+}
+
+/// [`infer_iterations`] over bare stream declarations (shared with the
+/// compiled tape, which carries its own copy of the kernel's decls).
+pub(crate) fn infer_iterations_decls(
+    decls: &[StreamDecl],
+    inputs: &[Vec<Scalar>],
+    cfg: &ExecConfig,
+) -> Result<usize, IrError> {
+    if inputs.len() != decls.len() {
         return Err(IrError::WrongInputCount {
-            expected: kernel.inputs().len(),
+            expected: decls.len(),
             found: inputs.len(),
         });
     }
     let mut iterations: Option<usize> = None;
-    for (idx, (decl, words)) in kernel.inputs().iter().zip(inputs).enumerate() {
+    for (idx, (decl, words)) in decls.iter().zip(inputs).enumerate() {
         if decl.conditional || decl.record_width == 0 {
             continue;
         }
@@ -171,10 +181,51 @@ pub struct ExecOptions<'a> {
 
 /// Executes `kernel` with full [`ExecOptions`].
 ///
+/// Compiles an execution [`Tape`] and runs it; for repeated calls on the
+/// same kernel, compile the tape once with [`Tape::compile`] and reuse it.
+///
 /// # Errors
 ///
 /// As [`execute`].
 pub fn execute_with(
+    kernel: &Kernel,
+    opts: &ExecOptions<'_>,
+    inputs: &[Vec<Scalar>],
+    cfg: &ExecConfig,
+) -> Result<Vec<Vec<Scalar>>, IrError> {
+    Tape::compile(kernel).execute_with(opts, inputs, cfg)
+}
+
+/// Executes `kernel` with the legacy tree-walk interpreter, inferring the
+/// iteration count as [`execute`] does.
+///
+/// This is the slow reference semantics — kept as the differential-test
+/// oracle for the compiled [`Tape`], not for production use.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_legacy(
+    kernel: &Kernel,
+    params: &[Scalar],
+    inputs: &[Vec<Scalar>],
+    cfg: &ExecConfig,
+) -> Result<Vec<Vec<Scalar>>, IrError> {
+    let opts = ExecOptions {
+        params,
+        sp_init: None,
+        iterations: None,
+    };
+    execute_with_legacy(kernel, &opts, inputs, cfg)
+}
+
+/// [`execute_with`] on the legacy tree-walk interpreter (the differential
+/// oracle; see [`execute_legacy`]).
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_legacy(
     kernel: &Kernel,
     opts: &ExecOptions<'_>,
     inputs: &[Vec<Scalar>],
@@ -220,6 +271,8 @@ struct Interp<'a> {
     sp: Vec<Vec<Option<Scalar>>>,
     /// Per-recurrence per-cluster state.
     recur_state: Vec<(ValueId, Vec<Scalar>)>,
+    /// Op index -> index into `recur_state` (usize::MAX for non-Recur ops).
+    recur_pos: Vec<usize>,
     /// Value lattice: vals[cluster][op].
     vals: Vec<Vec<Scalar>>,
 }
@@ -270,13 +323,16 @@ impl<'a> Interp<'a> {
         }
 
         let clusters = cfg.clusters;
-        let recur_state = kernel
+        let mut recur_pos = vec![usize::MAX; kernel.ops().len()];
+        let recur_state: Vec<(ValueId, Vec<Scalar>)> = kernel
             .recurrences()
-            .map(|(r, _)| {
+            .enumerate()
+            .map(|(i, (r, _))| {
                 let init = match &kernel.ops()[r.index()].opcode {
                     Opcode::Recur(init) => *init,
                     _ => unreachable!("recurrences() yields Recur ops"),
                 };
+                recur_pos[r.index()] = i;
                 (r, vec![init; clusters])
             })
             .collect();
@@ -292,16 +348,21 @@ impl<'a> Interp<'a> {
             outputs: kernel.outputs().iter().map(|_| Vec::new()).collect(),
             sp: vec![vec![None; cfg.sp_words]; clusters],
             recur_state,
+            recur_pos,
             vals: vec![vec![Scalar::I32(0); kernel.ops().len()]; clusters],
         })
     }
 
     fn run(mut self, iterations: usize) -> Result<Vec<Vec<Scalar>>, IrError> {
-        // Preallocate plain output buffers.
+        // Preallocate plain output buffers; reserve conditional ones to
+        // their upper bound (every cluster active every iteration) so
+        // cond-write pushes never reallocate mid-run.
         for (s, decl) in self.kernel.outputs().iter().enumerate() {
+            let words = iterations * self.clusters * decl.record_width as usize;
             if !decl.conditional {
-                let words = iterations * self.clusters * decl.record_width as usize;
                 self.outputs[s] = vec![Scalar::zero(decl.ty); words];
+            } else {
+                self.outputs[s].reserve(words);
             }
         }
         for iter in 0..iterations {
@@ -346,15 +407,9 @@ impl<'a> Interp<'a> {
                 self.broadcast(v, |_| Scalar::I32(c));
             }
             Opcode::Recur(_) => {
-                let state = self
-                    .recur_state
-                    .iter()
-                    .find(|(r, _)| *r == v)
-                    .expect("recurrence state exists")
-                    .1
-                    .clone();
+                let idx = self.recur_pos[v.index()];
                 for c in 0..self.clusters {
-                    self.vals[c][v.index()] = state[c];
+                    self.vals[c][v.index()] = self.recur_state[idx].1[c];
                 }
             }
             Opcode::Read(s) => {

@@ -1,0 +1,1415 @@
+//! Compiled execution tape — the interpreter's fast path.
+//!
+//! [`Tape::compile`] validates and lowers a kernel **once** into a flat
+//! instruction list with pre-resolved operand slots, precomputed stream
+//! record widths/word offsets, a `ValueId -> recurrence slot` index, and
+//! opcodes pre-specialized by static type. Execution then runs
+//! strip-at-a-time over untagged 32-bit value lanes in structure-of-arrays
+//! layout (`vals[value * C + cluster]`), so the per-iteration loop is
+//! clone-free, allocation-free, and dispatches on a dense enum.
+//!
+//! Iteration-invariant ops (constants, params, cluster ids) are hoisted
+//! into a prologue executed once per kernel call.
+//!
+//! The legacy tree-walk interpreter ([`crate::execute_legacy`]) stays as
+//! the differential-test oracle; the tape reproduces its observable
+//! behavior exactly, including error values and error ordering. The one
+//! semantic gap is the legacy interpreter's *dynamic* typing of input
+//! stream words: when an input word's runtime type disagrees with the
+//! stream declaration, the tape falls back to the oracle wholesale rather
+//! than guess.
+
+use crate::interp::{execute_with_legacy, infer_iterations_decls, ExecConfig, ExecOptions};
+use crate::{IrError, Kernel, Opcode, Scalar, StreamId, Ty, ValueId};
+
+/// One loop-carried recurrence, pre-resolved at compile time.
+#[derive(Debug, Clone, Copy)]
+struct RecurSlot {
+    /// First-iteration value, as raw bits.
+    init_bits: u32,
+    /// Value whose lanes feed the next iteration.
+    next: u32,
+}
+
+/// A tape instruction: operand `ValueId`s resolved to dense value slots,
+/// opcodes specialized by the kernel's static types, stream accesses
+/// carrying their record width and word offset inline.
+#[derive(Debug, Clone, Copy)]
+enum Instr {
+    ConstBits {
+        dst: u32,
+        bits: u32,
+    },
+    Param {
+        dst: u32,
+        idx: u32,
+    },
+    IterIndex {
+        dst: u32,
+    },
+    ClusterId {
+        dst: u32,
+    },
+    ClusterCount {
+        dst: u32,
+    },
+    LoadRecur {
+        dst: u32,
+        slot: u32,
+    },
+    Read {
+        dst: u32,
+        stream: u32,
+        width: u32,
+        offset: u32,
+    },
+    Write {
+        src: u32,
+        stream: u32,
+        width: u32,
+        offset: u32,
+    },
+    CondRead {
+        dst: u32,
+        pred: u32,
+        stream: u32,
+    },
+    CondWrite {
+        pred: u32,
+        src: u32,
+        stream: u32,
+    },
+    SpRead {
+        dst: u32,
+        addr: u32,
+        ty: Ty,
+    },
+    SpWrite {
+        at: u32,
+        addr: u32,
+        src: u32,
+        ty: Ty,
+    },
+    Comm {
+        dst: u32,
+        data: u32,
+        src: u32,
+    },
+    AddI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    AddF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    SubI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    SubF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MulI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MulF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    DivI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    DivF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Sqrt {
+        dst: u32,
+        a: u32,
+    },
+    MinI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MinF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MaxI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MaxF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NegI {
+        dst: u32,
+        a: u32,
+    },
+    NegF {
+        dst: u32,
+        a: u32,
+    },
+    AbsI {
+        dst: u32,
+        a: u32,
+    },
+    AbsF {
+        dst: u32,
+        a: u32,
+    },
+    Floor {
+        dst: u32,
+        a: u32,
+    },
+    And {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Or {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Xor {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Shl {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Shr {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    EqI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    EqF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NeI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NeF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    LtI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    LtF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    LeI {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    LeF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Select {
+        dst: u32,
+        cond: u32,
+        a: u32,
+        b: u32,
+    },
+    ItoF {
+        dst: u32,
+        a: u32,
+    },
+    FtoI {
+        dst: u32,
+        a: u32,
+    },
+    /// A lowering-time type inconsistency (impossible for builder-validated
+    /// kernels), deferred to runtime so zero-iteration runs still succeed —
+    /// exactly as the legacy interpreter behaves.
+    Fault {
+        at: u32,
+        expected: Ty,
+        found: Ty,
+    },
+}
+
+#[inline(always)]
+fn bits_of(s: Scalar) -> u32 {
+    match s {
+        Scalar::I32(v) => v as u32,
+        Scalar::F32(v) => v.to_bits(),
+    }
+}
+
+#[inline(always)]
+fn scalar_of(bits: u32, ty: Ty) -> Scalar {
+    match ty {
+        Ty::I32 => Scalar::I32(bits as i32),
+        Ty::F32 => Scalar::F32(f32::from_bits(bits)),
+    }
+}
+
+/// Splits the value lattice into the `dst` lane row and the (strictly
+/// earlier, by SSA) operand rows.
+#[inline(always)]
+fn split2(vals: &mut [u32], c: usize, dst: u32, a: u32) -> (&mut [u32], &[u32]) {
+    let (lo, hi) = vals.split_at_mut(dst as usize * c);
+    (&mut hi[..c], &lo[a as usize * c..a as usize * c + c])
+}
+
+#[inline(always)]
+#[allow(clippy::type_complexity)]
+fn split3(vals: &mut [u32], c: usize, dst: u32, a: u32, b: u32) -> (&mut [u32], &[u32], &[u32]) {
+    let (lo, hi) = vals.split_at_mut(dst as usize * c);
+    (
+        &mut hi[..c],
+        &lo[a as usize * c..a as usize * c + c],
+        &lo[b as usize * c..b as usize * c + c],
+    )
+}
+
+#[inline(always)]
+fn fill(vals: &mut [u32], c: usize, dst: u32, bits: u32) {
+    let d = dst as usize * c;
+    vals[d..d + c].fill(bits);
+}
+
+macro_rules! bin_i {
+    ($vals:expr, $c:expr, $d:expr, $a:expr, $b:expr, $f:expr) => {{
+        let (dst, xs, ys) = split3($vals, $c, $d, $a, $b);
+        for ((d, &x), &y) in dst.iter_mut().zip(xs).zip(ys) {
+            *d = $f(x as i32, y as i32) as u32;
+        }
+    }};
+}
+
+macro_rules! bin_f {
+    ($vals:expr, $c:expr, $d:expr, $a:expr, $b:expr, $f:expr) => {{
+        let (dst, xs, ys) = split3($vals, $c, $d, $a, $b);
+        for ((d, &x), &y) in dst.iter_mut().zip(xs).zip(ys) {
+            *d = $f(f32::from_bits(x), f32::from_bits(y)).to_bits();
+        }
+    }};
+}
+
+macro_rules! cmp_i {
+    ($vals:expr, $c:expr, $d:expr, $a:expr, $b:expr, $f:expr) => {{
+        let (dst, xs, ys) = split3($vals, $c, $d, $a, $b);
+        for ((d, &x), &y) in dst.iter_mut().zip(xs).zip(ys) {
+            *d = u32::from($f(x as i32, y as i32));
+        }
+    }};
+}
+
+macro_rules! cmp_f {
+    ($vals:expr, $c:expr, $d:expr, $a:expr, $b:expr, $f:expr) => {{
+        let (dst, xs, ys) = split3($vals, $c, $d, $a, $b);
+        for ((d, &x), &y) in dst.iter_mut().zip(xs).zip(ys) {
+            *d = u32::from($f(f32::from_bits(x), f32::from_bits(y)));
+        }
+    }};
+}
+
+macro_rules! un_i {
+    ($vals:expr, $c:expr, $d:expr, $a:expr, $f:expr) => {{
+        let (dst, xs) = split2($vals, $c, $d, $a);
+        for (d, &x) in dst.iter_mut().zip(xs) {
+            *d = $f(x as i32) as u32;
+        }
+    }};
+}
+
+macro_rules! un_f {
+    ($vals:expr, $c:expr, $d:expr, $a:expr, $f:expr) => {{
+        let (dst, xs) = split2($vals, $c, $d, $a);
+        for (d, &x) in dst.iter_mut().zip(xs) {
+            *d = $f(f32::from_bits(x)).to_bits();
+        }
+    }};
+}
+
+/// A kernel lowered once into a flat, type-specialized instruction tape.
+///
+/// Compile with [`Tape::compile`], then run any number of strips with
+/// [`Tape::execute`]/[`Tape::execute_with`] — the per-call cost is pure
+/// execution, with no per-iteration cloning or dispatch on the tree IR.
+/// The tape is cluster-count independent: one compile serves every `C`.
+///
+/// # Examples
+///
+/// ```
+/// use stream_ir::{ExecConfig, KernelBuilder, Scalar, Tape, Ty};
+///
+/// let mut b = KernelBuilder::new("double");
+/// let s = b.in_stream(Ty::I32);
+/// let out = b.out_stream(Ty::I32);
+/// let x = b.read(s);
+/// let two = b.const_i(2);
+/// let y = b.mul(x, two);
+/// b.write(out, y);
+/// let tape = Tape::compile(&b.finish()?);
+///
+/// let input: Vec<Scalar> = (0..16).map(Scalar::I32).collect();
+/// let outs = tape.execute(&[], &[input], &ExecConfig::with_clusters(8))?;
+/// assert_eq!(outs[0][3], Scalar::I32(6));
+/// # Ok::<(), stream_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tape {
+    kernel: Kernel,
+    /// Iteration-invariant instructions, run once per kernel call.
+    prologue: Vec<Instr>,
+    /// The per-iteration loop body, in program order.
+    body: Vec<Instr>,
+    recurs: Vec<RecurSlot>,
+    n_vals: usize,
+    uses_sp: bool,
+}
+
+impl Tape {
+    /// Lowers `kernel` to an execution tape. Infallible for kernels built
+    /// with [`crate::KernelBuilder`] (any type inconsistency lowers to a
+    /// runtime fault instruction, matching the legacy interpreter).
+    pub fn compile(kernel: &Kernel) -> Self {
+        let ops = kernel.ops();
+        let n = ops.len();
+
+        // ValueId -> recurrence slot index (satellite of the legacy linear
+        // scan fix: the tape never searches at runtime).
+        let mut recur_slot = vec![u32::MAX; n];
+        let mut recurs = Vec::new();
+        for (slot, (r, next)) in kernel.recurrences().enumerate() {
+            let init = match &ops[r.index()].opcode {
+                Opcode::Recur(init) => *init,
+                _ => unreachable!("recurrences() yields Recur ops"),
+            };
+            recur_slot[r.index()] = slot as u32;
+            recurs.push(RecurSlot {
+                init_bits: bits_of(init),
+                next: next.0,
+            });
+        }
+
+        // Word offsets of stream accesses within their record, in access
+        // order (same counting as the legacy interpreter).
+        let mut in_seen = vec![0u32; kernel.inputs().len()];
+        let mut out_seen = vec![0u32; kernel.outputs().len()];
+
+        let mut prologue = Vec::new();
+        let mut body = Vec::new();
+        let mut uses_sp = false;
+
+        for (i, op) in ops.iter().enumerate() {
+            let dst = i as u32;
+            let arg = |j: usize| op.args[j].0;
+            let aty = |j: usize| kernel.ty(op.args[j]);
+            // The legacy interpreter's dynamic-dispatch failure value.
+            let fault = Instr::Fault {
+                at: dst,
+                expected: Ty::F32,
+                found: op.args.first().map_or(Ty::I32, |&a| kernel.ty(a)),
+            };
+            use Opcode::*;
+            let ins = match &op.opcode {
+                Const(s) => {
+                    prologue.push(Instr::ConstBits {
+                        dst,
+                        bits: bits_of(*s),
+                    });
+                    continue;
+                }
+                Param(idx, _) => {
+                    prologue.push(Instr::Param { dst, idx: *idx });
+                    continue;
+                }
+                ClusterId => {
+                    prologue.push(Instr::ClusterId { dst });
+                    continue;
+                }
+                ClusterCount => {
+                    prologue.push(Instr::ClusterCount { dst });
+                    continue;
+                }
+                IterIndex => Instr::IterIndex { dst },
+                Recur(_) => Instr::LoadRecur {
+                    dst,
+                    slot: recur_slot[i],
+                },
+                Read(s) => {
+                    let offset = in_seen[s.index()];
+                    in_seen[s.index()] += 1;
+                    Instr::Read {
+                        dst,
+                        stream: s.0,
+                        width: kernel.inputs()[s.index()].record_width,
+                        offset,
+                    }
+                }
+                Write(s) => {
+                    let offset = out_seen[s.index()];
+                    out_seen[s.index()] += 1;
+                    Instr::Write {
+                        src: arg(0),
+                        stream: s.0,
+                        width: kernel.outputs()[s.index()].record_width,
+                        offset,
+                    }
+                }
+                CondRead(s) => {
+                    in_seen[s.index()] += 1;
+                    Instr::CondRead {
+                        dst,
+                        pred: arg(0),
+                        stream: s.0,
+                    }
+                }
+                CondWrite(s) => {
+                    out_seen[s.index()] += 1;
+                    Instr::CondWrite {
+                        pred: arg(0),
+                        src: arg(1),
+                        stream: s.0,
+                    }
+                }
+                SpRead(ty) => {
+                    uses_sp = true;
+                    Instr::SpRead {
+                        dst,
+                        addr: arg(0),
+                        ty: *ty,
+                    }
+                }
+                SpWrite => {
+                    uses_sp = true;
+                    Instr::SpWrite {
+                        at: dst,
+                        addr: arg(0),
+                        src: arg(1),
+                        ty: aty(1),
+                    }
+                }
+                Comm => Instr::Comm {
+                    dst,
+                    data: arg(0),
+                    src: arg(1),
+                },
+                Add | Sub | Mul | Div | Min | Max if aty(0) != aty(1) => fault,
+                Add => match aty(0) {
+                    Ty::I32 => Instr::AddI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::AddF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Sub => match aty(0) {
+                    Ty::I32 => Instr::SubI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::SubF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Mul => match aty(0) {
+                    Ty::I32 => Instr::MulI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::MulF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Div => match aty(0) {
+                    Ty::I32 => Instr::DivI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::DivF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Min => match aty(0) {
+                    Ty::I32 => Instr::MinI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::MinF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Max => match aty(0) {
+                    Ty::I32 => Instr::MaxI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::MaxF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Sqrt if aty(0) == Ty::F32 => Instr::Sqrt { dst, a: arg(0) },
+                Floor if aty(0) == Ty::F32 => Instr::Floor { dst, a: arg(0) },
+                Neg => match aty(0) {
+                    Ty::I32 => Instr::NegI { dst, a: arg(0) },
+                    Ty::F32 => Instr::NegF { dst, a: arg(0) },
+                },
+                Abs => match aty(0) {
+                    Ty::I32 => Instr::AbsI { dst, a: arg(0) },
+                    Ty::F32 => Instr::AbsF { dst, a: arg(0) },
+                },
+                And | Or | Xor | Shl | Shr if aty(0) != Ty::I32 || aty(1) != Ty::I32 => fault,
+                And => Instr::And {
+                    dst,
+                    a: arg(0),
+                    b: arg(1),
+                },
+                Or => Instr::Or {
+                    dst,
+                    a: arg(0),
+                    b: arg(1),
+                },
+                Xor => Instr::Xor {
+                    dst,
+                    a: arg(0),
+                    b: arg(1),
+                },
+                Shl => Instr::Shl {
+                    dst,
+                    a: arg(0),
+                    b: arg(1),
+                },
+                Shr => Instr::Shr {
+                    dst,
+                    a: arg(0),
+                    b: arg(1),
+                },
+                Eq | Ne if aty(0) != aty(1) => {
+                    // Legacy `scalar_eq` on mixed types is a constant
+                    // (false), not an error; hoist the constant.
+                    prologue.push(Instr::ConstBits {
+                        dst,
+                        bits: u32::from(matches!(op.opcode, Ne)),
+                    });
+                    continue;
+                }
+                Eq => match aty(0) {
+                    Ty::I32 => Instr::EqI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::EqF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Ne => match aty(0) {
+                    Ty::I32 => Instr::NeI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::NeF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Lt | Le if aty(0) != aty(1) => fault,
+                Lt => match aty(0) {
+                    Ty::I32 => Instr::LtI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::LtF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                Le => match aty(0) {
+                    Ty::I32 => Instr::LeI {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                    Ty::F32 => Instr::LeF {
+                        dst,
+                        a: arg(0),
+                        b: arg(1),
+                    },
+                },
+                // Builder-validated kernels always have an i32 condition,
+                // so `is_true` reduces to `bits != 0`.
+                Select => Instr::Select {
+                    dst,
+                    cond: arg(0),
+                    a: arg(1),
+                    b: arg(2),
+                },
+                ItoF if aty(0) == Ty::I32 => Instr::ItoF { dst, a: arg(0) },
+                FtoI if aty(0) == Ty::F32 => Instr::FtoI { dst, a: arg(0) },
+                Sqrt | Floor | ItoF | FtoI => fault,
+            };
+            body.push(ins);
+        }
+
+        Self {
+            kernel: kernel.clone(),
+            prologue,
+            body,
+            recurs,
+            n_vals: n,
+            uses_sp,
+        }
+    }
+
+    /// The kernel this tape was compiled from.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Number of instructions executed once per kernel call (hoisted
+    /// iteration-invariant ops).
+    pub fn hoisted_len(&self) -> usize {
+        self.prologue.len()
+    }
+
+    /// Number of instructions executed every SIMD iteration.
+    pub fn loop_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Executes the tape, inferring the iteration count from the first
+    /// plain input stream. Drop-in equivalent of [`crate::execute`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::execute`].
+    pub fn execute(
+        &self,
+        params: &[Scalar],
+        inputs: &[Vec<Scalar>],
+        cfg: &ExecConfig,
+    ) -> Result<Vec<Vec<Scalar>>, IrError> {
+        let opts = ExecOptions {
+            params,
+            sp_init: None,
+            iterations: None,
+        };
+        self.execute_with(&opts, inputs, cfg)
+    }
+
+    /// Executes the tape for an explicit number of SIMD iterations.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::execute_iters`].
+    pub fn execute_iters(
+        &self,
+        params: &[Scalar],
+        inputs: &[Vec<Scalar>],
+        iterations: usize,
+        cfg: &ExecConfig,
+    ) -> Result<Vec<Vec<Scalar>>, IrError> {
+        let opts = ExecOptions {
+            params,
+            sp_init: None,
+            iterations: Some(iterations),
+        };
+        self.execute_with(&opts, inputs, cfg)
+    }
+
+    /// Executes the tape with full [`ExecOptions`]. Drop-in equivalent of
+    /// [`crate::execute_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::execute_with`].
+    pub fn execute_with(
+        &self,
+        opts: &ExecOptions<'_>,
+        inputs: &[Vec<Scalar>],
+        cfg: &ExecConfig,
+    ) -> Result<Vec<Vec<Scalar>>, IrError> {
+        let iterations = match opts.iterations {
+            Some(n) => n,
+            None => infer_iterations_decls(self.kernel.inputs(), inputs, cfg)?,
+        };
+        if inputs.len() != self.kernel.inputs().len() {
+            return Err(IrError::WrongInputCount {
+                expected: self.kernel.inputs().len(),
+                found: inputs.len(),
+            });
+        }
+        if opts.params.len() != self.kernel.param_tys().len() {
+            return Err(IrError::WrongInputCount {
+                expected: self.kernel.param_tys().len(),
+                found: opts.params.len(),
+            });
+        }
+        for (i, (&ty, p)) in self.kernel.param_tys().iter().zip(opts.params).enumerate() {
+            if p.ty() != ty {
+                return Err(IrError::TypeMismatch {
+                    at: ValueId(i as u32),
+                    expected: ty,
+                    found: p.ty(),
+                });
+            }
+        }
+        if cfg.clusters == 0 {
+            // Degenerate no-lane config: let the oracle define behavior.
+            return execute_with_legacy(&self.kernel, opts, inputs, cfg);
+        }
+
+        // Convert inputs to untagged bit lanes. The legacy interpreter
+        // types stream words dynamically; if any word disagrees with its
+        // declaration, it — not the tape — defines the behavior.
+        let mut in_bits: Vec<Vec<u32>> = Vec::with_capacity(inputs.len());
+        for (decl, words) in self.kernel.inputs().iter().zip(inputs) {
+            let mut bits = Vec::with_capacity(words.len());
+            for &w in words {
+                if w.ty() != decl.ty {
+                    return execute_with_legacy(&self.kernel, opts, inputs, cfg);
+                }
+                bits.push(bits_of(w));
+            }
+            in_bits.push(bits);
+        }
+
+        let mut sp: Vec<Option<Scalar>> = if self.uses_sp || opts.sp_init.is_some() {
+            vec![None; cfg.sp_words * cfg.clusters]
+        } else {
+            Vec::new()
+        };
+        if let Some(init) = opts.sp_init {
+            for (addr, &word) in init.iter().enumerate() {
+                if addr >= cfg.sp_words {
+                    return Err(IrError::SpOutOfBounds {
+                        at: ValueId(0),
+                        addr: addr as i32,
+                        capacity: cfg.sp_words,
+                    });
+                }
+                for c in 0..cfg.clusters {
+                    sp[c * cfg.sp_words + addr] = Some(word);
+                }
+            }
+        }
+
+        self.run(iterations, opts.params, &in_bits, &mut sp, cfg)
+    }
+
+    fn run(
+        &self,
+        iterations: usize,
+        params: &[Scalar],
+        in_bits: &[Vec<u32>],
+        sp: &mut [Option<Scalar>],
+        cfg: &ExecConfig,
+    ) -> Result<Vec<Vec<Scalar>>, IrError> {
+        let c = cfg.clusters;
+        let mut vals = vec![0u32; self.n_vals * c];
+        let mut recur = vec![0u32; self.recurs.len() * c];
+        for (slot, r) in self.recurs.iter().enumerate() {
+            recur[slot * c..slot * c + c].fill(r.init_bits);
+        }
+        let mut cond_cursor = vec![0usize; in_bits.len()];
+        let params_bits: Vec<u32> = params.iter().map(|&p| bits_of(p)).collect();
+        let mut out_bits: Vec<Vec<u32>> = self
+            .kernel
+            .outputs()
+            .iter()
+            .map(|d| {
+                let words = iterations * c * d.record_width as usize;
+                if d.conditional {
+                    Vec::with_capacity(words)
+                } else {
+                    vec![0u32; words]
+                }
+            })
+            .collect();
+
+        for ins in &self.prologue {
+            step(
+                ins,
+                0,
+                c,
+                cfg.sp_words,
+                &mut vals,
+                &recur,
+                &params_bits,
+                in_bits,
+                &mut out_bits,
+                sp,
+                &mut cond_cursor,
+            )?;
+        }
+        for iter in 0..iterations {
+            for ins in &self.body {
+                step(
+                    ins,
+                    iter,
+                    c,
+                    cfg.sp_words,
+                    &mut vals,
+                    &recur,
+                    &params_bits,
+                    in_bits,
+                    &mut out_bits,
+                    sp,
+                    &mut cond_cursor,
+                )?;
+            }
+            for (slot, r) in self.recurs.iter().enumerate() {
+                let src = r.next as usize * c;
+                recur[slot * c..slot * c + c].copy_from_slice(&vals[src..src + c]);
+            }
+        }
+
+        Ok(out_bits
+            .iter()
+            .zip(self.kernel.outputs())
+            .map(|(bits, decl)| bits.iter().map(|&b| scalar_of(b, decl.ty)).collect())
+            .collect())
+    }
+}
+
+/// Executes one tape instruction across all `c` lanes.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn step(
+    ins: &Instr,
+    iter: usize,
+    c: usize,
+    sp_words: usize,
+    vals: &mut [u32],
+    recur: &[u32],
+    params: &[u32],
+    in_bits: &[Vec<u32>],
+    out_bits: &mut [Vec<u32>],
+    sp: &mut [Option<Scalar>],
+    cond_cursor: &mut [usize],
+) -> Result<(), IrError> {
+    match *ins {
+        Instr::ConstBits { dst, bits } => fill(vals, c, dst, bits),
+        Instr::Param { dst, idx } => fill(vals, c, dst, params[idx as usize]),
+        Instr::IterIndex { dst } => fill(vals, c, dst, iter as i32 as u32),
+        Instr::ClusterId { dst } => {
+            let d = dst as usize * c;
+            for (lane, v) in vals[d..d + c].iter_mut().enumerate() {
+                *v = lane as i32 as u32;
+            }
+        }
+        Instr::ClusterCount { dst } => fill(vals, c, dst, c as i32 as u32),
+        Instr::LoadRecur { dst, slot } => {
+            let d = dst as usize * c;
+            let s = slot as usize * c;
+            vals[d..d + c].copy_from_slice(&recur[s..s + c]);
+        }
+        Instr::Read {
+            dst,
+            stream,
+            width,
+            offset,
+        } => {
+            let s = &in_bits[stream as usize];
+            let w = width as usize;
+            let first = (iter * c) * w + offset as usize;
+            // Lane indices increase with the cluster id; checking the last
+            // lane hoists the per-lane bounds check.
+            if first + (c - 1) * w >= s.len() {
+                return Err(IrError::StreamExhausted {
+                    stream: StreamId(stream),
+                    iteration: iter,
+                });
+            }
+            let d = dst as usize * c;
+            for (lane, v) in vals[d..d + c].iter_mut().enumerate() {
+                *v = s[first + lane * w];
+            }
+        }
+        Instr::Write {
+            src,
+            stream,
+            width,
+            offset,
+        } => {
+            let out = &mut out_bits[stream as usize];
+            let w = width as usize;
+            let first = (iter * c) * w + offset as usize;
+            let s = src as usize * c;
+            for (lane, &v) in vals[s..s + c].iter().enumerate() {
+                out[first + lane * w] = v;
+            }
+        }
+        Instr::CondRead { dst, pred, stream } => {
+            let s = &in_bits[stream as usize];
+            let cur = &mut cond_cursor[stream as usize];
+            let (dstl, preds) = split2(vals, c, dst, pred);
+            for (d, &p) in dstl.iter_mut().zip(preds) {
+                *d = if p != 0 {
+                    match s.get(*cur) {
+                        Some(&w) => {
+                            *cur += 1;
+                            w
+                        }
+                        None => {
+                            return Err(IrError::StreamExhausted {
+                                stream: StreamId(stream),
+                                iteration: iter,
+                            })
+                        }
+                    }
+                } else {
+                    0
+                };
+            }
+        }
+        Instr::CondWrite { pred, src, stream } => {
+            let out = &mut out_bits[stream as usize];
+            let p = pred as usize * c;
+            let s = src as usize * c;
+            for lane in 0..c {
+                if vals[p + lane] != 0 {
+                    out.push(vals[s + lane]);
+                }
+            }
+        }
+        Instr::SpRead { dst, addr, ty } => {
+            let (dstl, addrs) = split2(vals, c, dst, addr);
+            for (lane, (d, &ab)) in dstl.iter_mut().zip(addrs).enumerate() {
+                let a = ab as i32;
+                if a < 0 || a as usize >= sp_words {
+                    return Err(IrError::SpOutOfBounds {
+                        at: ValueId(dst),
+                        addr: a,
+                        capacity: sp_words,
+                    });
+                }
+                let stored = sp[lane * sp_words + a as usize].unwrap_or(Scalar::zero(ty));
+                if stored.ty() != ty {
+                    return Err(IrError::TypeMismatch {
+                        at: ValueId(dst),
+                        expected: ty,
+                        found: stored.ty(),
+                    });
+                }
+                *d = bits_of(stored);
+            }
+        }
+        Instr::SpWrite { at, addr, src, ty } => {
+            let a0 = addr as usize * c;
+            let s0 = src as usize * c;
+            for lane in 0..c {
+                let a = vals[a0 + lane] as i32;
+                if a < 0 || a as usize >= sp_words {
+                    return Err(IrError::SpOutOfBounds {
+                        at: ValueId(at),
+                        addr: a,
+                        capacity: sp_words,
+                    });
+                }
+                sp[lane * sp_words + a as usize] = Some(scalar_of(vals[s0 + lane], ty));
+            }
+        }
+        Instr::Comm { dst, data, src } => {
+            let (dstl, datas, srcs) = split3(vals, c, dst, data, src);
+            for (d, &sb) in dstl.iter_mut().zip(srcs) {
+                let si = sb as i32;
+                if si < 0 || si as usize >= c {
+                    return Err(IrError::BadCommSource {
+                        at: ValueId(dst),
+                        src: si,
+                        clusters: c,
+                    });
+                }
+                *d = datas[si as usize];
+            }
+        }
+        Instr::AddI { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x.wrapping_add(y)),
+        Instr::AddF { dst, a, b } => bin_f!(vals, c, dst, a, b, |x: f32, y: f32| x + y),
+        Instr::SubI { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x.wrapping_sub(y)),
+        Instr::SubF { dst, a, b } => bin_f!(vals, c, dst, a, b, |x: f32, y: f32| x - y),
+        Instr::MulI { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x.wrapping_mul(y)),
+        Instr::MulF { dst, a, b } => bin_f!(vals, c, dst, a, b, |x: f32, y: f32| x * y),
+        Instr::DivI { dst, a, b } => {
+            let (dstl, xs, ys) = split3(vals, c, dst, a, b);
+            for ((d, &x), &y) in dstl.iter_mut().zip(xs).zip(ys) {
+                let y = y as i32;
+                if y == 0 {
+                    return Err(IrError::DivideByZero(ValueId(dst)));
+                }
+                *d = (x as i32).wrapping_div(y) as u32;
+            }
+        }
+        Instr::DivF { dst, a, b } => bin_f!(vals, c, dst, a, b, |x: f32, y: f32| x / y),
+        Instr::Sqrt { dst, a } => un_f!(vals, c, dst, a, |x: f32| x.sqrt()),
+        Instr::MinI { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x.min(y)),
+        Instr::MinF { dst, a, b } => bin_f!(vals, c, dst, a, b, |x: f32, y: f32| x.min(y)),
+        Instr::MaxI { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x.max(y)),
+        Instr::MaxF { dst, a, b } => bin_f!(vals, c, dst, a, b, |x: f32, y: f32| x.max(y)),
+        Instr::NegI { dst, a } => un_i!(vals, c, dst, a, |x: i32| x.wrapping_neg()),
+        Instr::NegF { dst, a } => un_f!(vals, c, dst, a, |x: f32| -x),
+        Instr::AbsI { dst, a } => un_i!(vals, c, dst, a, |x: i32| x.wrapping_abs()),
+        Instr::AbsF { dst, a } => un_f!(vals, c, dst, a, |x: f32| x.abs()),
+        Instr::Floor { dst, a } => un_f!(vals, c, dst, a, |x: f32| x.floor()),
+        Instr::And { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x & y),
+        Instr::Or { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x | y),
+        Instr::Xor { dst, a, b } => bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x ^ y),
+        Instr::Shl { dst, a, b } => {
+            bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x
+                .wrapping_shl(y as u32))
+        }
+        Instr::Shr { dst, a, b } => {
+            bin_i!(vals, c, dst, a, b, |x: i32, y: i32| x
+                .wrapping_shr(y as u32))
+        }
+        Instr::EqI { dst, a, b } => cmp_i!(vals, c, dst, a, b, |x: i32, y: i32| x == y),
+        Instr::EqF { dst, a, b } => cmp_f!(vals, c, dst, a, b, |x: f32, y: f32| x == y),
+        Instr::NeI { dst, a, b } => cmp_i!(vals, c, dst, a, b, |x: i32, y: i32| x != y),
+        Instr::NeF { dst, a, b } => cmp_f!(vals, c, dst, a, b, |x: f32, y: f32| x != y),
+        Instr::LtI { dst, a, b } => cmp_i!(vals, c, dst, a, b, |x: i32, y: i32| x < y),
+        Instr::LtF { dst, a, b } => cmp_f!(vals, c, dst, a, b, |x: f32, y: f32| x < y),
+        Instr::LeI { dst, a, b } => cmp_i!(vals, c, dst, a, b, |x: i32, y: i32| x <= y),
+        Instr::LeF { dst, a, b } => cmp_f!(vals, c, dst, a, b, |x: f32, y: f32| x <= y),
+        Instr::Select { dst, cond, a, b } => {
+            let (lo, hi) = vals.split_at_mut(dst as usize * c);
+            let conds = &lo[cond as usize * c..cond as usize * c + c];
+            let xs = &lo[a as usize * c..a as usize * c + c];
+            let ys = &lo[b as usize * c..b as usize * c + c];
+            for (((d, &cv), &x), &y) in hi[..c].iter_mut().zip(conds).zip(xs).zip(ys) {
+                *d = if cv != 0 { x } else { y };
+            }
+        }
+        Instr::ItoF { dst, a } => {
+            let (dstl, xs) = split2(vals, c, dst, a);
+            for (d, &x) in dstl.iter_mut().zip(xs) {
+                *d = ((x as i32) as f32).to_bits();
+            }
+        }
+        Instr::FtoI { dst, a } => {
+            let (dstl, xs) = split2(vals, c, dst, a);
+            for (d, &x) in dstl.iter_mut().zip(xs) {
+                *d = (f32::from_bits(x) as i32) as u32;
+            }
+        }
+        Instr::Fault {
+            at,
+            expected,
+            found,
+        } => {
+            return Err(IrError::TypeMismatch {
+                at: ValueId(at),
+                expected,
+                found,
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute_legacy, execute_with, KernelBuilder};
+
+    fn cfg(c: usize) -> ExecConfig {
+        ExecConfig::with_clusters(c)
+    }
+
+    /// A kernel exercising recurrences, COMM, scratchpad, conditional
+    /// streams, and both type families at once.
+    fn busy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("busy");
+        let si = b.in_stream(Ty::I32);
+        let sf = b.in_stream(Ty::F32);
+        let out_f = b.out_stream(Ty::F32);
+        let out_c = b.out_stream(Ty::I32);
+        b.require_sp(8);
+        let p = b.param(Ty::F32);
+        let x = b.read(si);
+        let f = b.read(sf);
+        let acc = b.recurrence(Scalar::I32(0));
+        let sum = b.add(acc, x);
+        b.bind_next(acc, sum);
+        let cid = b.cluster_id();
+        let cc = b.cluster_count();
+        let one = b.const_i(1);
+        let nxt = b.add(cid, one);
+        let m = b.sub(cc, one);
+        let src = b.and(nxt, m); // (cid + 1) & (C - 1): C must be a power of 2
+        let rot = b.comm(x, src);
+        let seven = b.const_i(7);
+        let addr = b.and(x, seven);
+        b.sp_write(addr, f);
+        let g = b.sp_read(addr, Ty::F32);
+        let xf = b.itof(rot);
+        let y = b.mul(xf, p);
+        let z = b.add(y, g);
+        let az = b.abs(z);
+        let r = b.sqrt(az);
+        b.write(out_f, r);
+        let odd = b.and(sum, one);
+        b.cond_write(out_c, odd, sum);
+        b.finish().unwrap()
+    }
+
+    fn busy_inputs(iters: usize, c: usize) -> Vec<Vec<Scalar>> {
+        let n = iters * c;
+        let ints: Vec<Scalar> = (0..n)
+            .map(|i| Scalar::I32((i * 7 % 23) as i32 - 5))
+            .collect();
+        let floats: Vec<Scalar> = (0..n).map(|i| Scalar::F32(i as f32 * 0.25 - 3.0)).collect();
+        vec![ints, floats]
+    }
+
+    #[test]
+    fn tape_matches_legacy_on_busy_kernel() {
+        let k = busy_kernel();
+        let tape = Tape::compile(&k);
+        for c in [1usize, 2, 4, 8] {
+            let inputs = busy_inputs(6, c);
+            let params = [Scalar::F32(1.5)];
+            let want = execute_legacy(&k, &params, &inputs, &cfg(c)).unwrap();
+            let got = tape.execute(&params, &inputs, &cfg(c)).unwrap();
+            assert_eq!(got, want, "C={c}");
+        }
+    }
+
+    #[test]
+    fn execute_routes_through_tape_and_matches_oracle() {
+        let k = busy_kernel();
+        let inputs = busy_inputs(4, 4);
+        let params = [Scalar::F32(-0.75)];
+        let want = execute_legacy(&k, &params, &inputs, &cfg(4)).unwrap();
+        let got = crate::execute(&k, &params, &inputs, &cfg(4)).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn iteration_invariant_ops_are_hoisted() {
+        let k = busy_kernel();
+        let tape = Tape::compile(&k);
+        // Consts, the param, cluster id/count never re-execute per iteration.
+        assert!(tape.hoisted_len() >= 5, "{}", tape.hoisted_len());
+        assert_eq!(tape.hoisted_len() + tape.loop_len(), k.ops().len());
+    }
+
+    #[test]
+    fn errors_match_legacy() {
+        // Integer divide by zero.
+        let mut b = KernelBuilder::new("divz");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        let zero = b.const_i(0);
+        let q = b.div(x, zero);
+        b.write(out, q);
+        let k = b.finish().unwrap();
+        let input: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let want = execute_legacy(&k, &[], std::slice::from_ref(&input), &cfg(8)).unwrap_err();
+        let got = Tape::compile(&k)
+            .execute(&[], &[input], &cfg(8))
+            .unwrap_err();
+        assert_eq!(got, want);
+
+        // Stream exhaustion under an explicit iteration count.
+        let mut b = KernelBuilder::new("exhaust");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        b.write(out, x);
+        let k = b.finish().unwrap();
+        let input: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let tape = Tape::compile(&k);
+        let got = tape
+            .execute_iters(&[], std::slice::from_ref(&input), 3, &cfg(4))
+            .unwrap_err();
+        assert_eq!(
+            got,
+            IrError::StreamExhausted {
+                stream: StreamId(0),
+                iteration: 2
+            }
+        );
+
+        // Scratchpad out of bounds.
+        let mut b = KernelBuilder::new("oob");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        let addr = b.const_i(10_000);
+        b.sp_write(addr, x);
+        let y = b.sp_read(addr, Ty::I32);
+        b.write(out, y);
+        let k = b.finish().unwrap();
+        let input: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let want = execute_legacy(&k, &[], std::slice::from_ref(&input), &cfg(8)).unwrap_err();
+        let got = Tape::compile(&k)
+            .execute(&[], &[input], &cfg(8))
+            .unwrap_err();
+        assert_eq!(got, want);
+
+        // Bad COMM source.
+        let mut b = KernelBuilder::new("badcomm");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        let src = b.const_i(99);
+        let v = b.comm(x, src);
+        b.write(out, v);
+        let k = b.finish().unwrap();
+        let input: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let want = execute_legacy(&k, &[], std::slice::from_ref(&input), &cfg(8)).unwrap_err();
+        let got = Tape::compile(&k)
+            .execute(&[], &[input], &cfg(8))
+            .unwrap_err();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ill_typed_input_words_fall_back_to_the_oracle() {
+        // Declared i32, fed f32: the legacy interpreter's dynamic typing
+        // passes the words through a plain copy kernel untouched.
+        let mut b = KernelBuilder::new("id");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        b.write(out, x);
+        let k = b.finish().unwrap();
+        let input: Vec<Scalar> = (0..8).map(|i| Scalar::F32(i as f32)).collect();
+        let want = execute_legacy(&k, &[], std::slice::from_ref(&input), &cfg(8)).unwrap();
+        let got = Tape::compile(&k).execute(&[], &[input], &cfg(8)).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got[0][3], Scalar::F32(3.0));
+    }
+
+    #[test]
+    fn sp_init_round_trips_through_options() {
+        let mut b = KernelBuilder::new("table");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::F32);
+        b.require_sp(4);
+        let x = b.read(s);
+        let three = b.const_i(3);
+        let addr = b.and(x, three);
+        let v = b.sp_read(addr, Ty::F32);
+        b.write(out, v);
+        let k = b.finish().unwrap();
+        let table = [
+            Scalar::F32(10.0),
+            Scalar::F32(20.0),
+            Scalar::F32(30.0),
+            Scalar::F32(40.0),
+        ];
+        let input: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let opts = ExecOptions {
+            params: &[],
+            sp_init: Some(&table),
+            iterations: None,
+        };
+        let want = execute_with(&k, &opts, std::slice::from_ref(&input), &cfg(4)).unwrap();
+        let got = Tape::compile(&k)
+            .execute_with(&opts, &[input], &cfg(4))
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got[0][2], Scalar::F32(30.0));
+    }
+
+    #[test]
+    fn zero_iterations_yield_empty_outputs() {
+        let k = busy_kernel();
+        let outs = Tape::compile(&k)
+            .execute(&[Scalar::F32(0.0)], &[vec![], vec![]], &cfg(8))
+            .unwrap();
+        assert!(outs.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn negative_zero_and_nan_semantics_match_legacy() {
+        // -0.0 is falsy (bits are nonzero!) and NaN != NaN; both must flow
+        // through Eq/Ne and Select exactly as the tagged interpreter does.
+        let mut b = KernelBuilder::new("ieee");
+        let s = b.in_stream(Ty::F32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        let eq = b.eq(x, x);
+        let zero = b.const_f(0.0);
+        let isz = b.eq(x, zero);
+        let seven = b.const_i(7);
+        let nine = b.const_i(9);
+        let pick = b.select(isz, seven, nine);
+        let r = b.add(eq, pick);
+        b.write(out, r);
+        let k = b.finish().unwrap();
+        let input = vec![
+            Scalar::F32(f32::NAN),
+            Scalar::F32(-0.0),
+            Scalar::F32(0.0),
+            Scalar::F32(1.0),
+        ];
+        let want = execute_legacy(&k, &[], std::slice::from_ref(&input), &cfg(4)).unwrap();
+        let got = Tape::compile(&k).execute(&[], &[input], &cfg(4)).unwrap();
+        assert_eq!(got, want);
+        // NaN: eq=0, not zero -> 9; -0.0: eq=1, == 0.0 -> 7 (i.e. 8).
+        let ints: Vec<i32> = got[0].iter().map(|s| s.as_i32().unwrap()).collect();
+        assert_eq!(ints, vec![9, 8, 8, 10]);
+    }
+}

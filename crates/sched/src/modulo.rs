@@ -121,6 +121,17 @@ fn fu_index(kind: FuKind) -> usize {
 /// proportional to the graph size. Returns `None` if the budget is exhausted
 /// before a legal schedule is found.
 pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSchedule> {
+    schedule_at_ii_memo(ddg, machine, ii, &mut HeightsMemo::new(ddg))
+}
+
+/// [`schedule_at_ii`] with priority heights memoized across successive II
+/// attempts (see [`HeightsMemo`]).
+pub(crate) fn schedule_at_ii_memo(
+    ddg: &Ddg,
+    machine: &Machine,
+    ii: u32,
+    memo: &mut HeightsMemo,
+) -> Option<ModuloSchedule> {
     assert!(ii >= 1);
     let n = ddg.nodes().len();
     if n == 0 {
@@ -130,7 +141,12 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
         });
     }
 
-    let heights = heights(ddg, ii);
+    let heights = memo.get(ddg, ii);
+    let kinds: Vec<usize> = ddg
+        .nodes()
+        .iter()
+        .map(|node| fu_index(node.class.fu_kind()))
+        .collect();
     let avail: [u32; 4] = [
         machine.fu_count(FuKind::Alu),
         machine.fu_count(FuKind::Scratchpad),
@@ -140,9 +156,13 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
 
     let mut time: Vec<Option<u32>> = vec![None; n];
     let mut prev_time: Vec<i64> = vec![-1; n];
+    // The MRT keeps per-slot occupant lists (for victim identity, in
+    // placement order) alongside plain counters; the hot free-slot probe
+    // reads only the counters.
     let mut mrt: Vec<[Vec<usize>; 4]> = (0..ii as usize)
         .map(|_| [Vec::new(), Vec::new(), Vec::new(), Vec::new()])
         .collect();
+    let mut occ: Vec<[u32; 4]> = vec![[0; 4]; ii as usize];
     let mut budget = (n * 24).max(256);
 
     #[allow(clippy::while_let_loop)] // the budget check sits between pick and use
@@ -173,11 +193,11 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
         let estart = estart.max(0) as u32;
 
         // Find a resource-free slot in [estart, estart + ii).
-        let kind = fu_index(ddg.nodes()[u].class.fu_kind());
-        let cap = avail[kind].max(1) as usize;
+        let kind = kinds[u];
+        let cap = avail[kind].max(1);
         let mut placed_at = None;
         for t in estart..estart + ii {
-            if mrt[(t % ii) as usize][kind].len() < cap {
+            if occ[(t % ii) as usize][kind] < cap {
                 placed_at = Some(t);
                 break;
             }
@@ -186,15 +206,16 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
 
         // Place u, evicting a resource conflict if the row is full.
         let slot = (t % ii) as usize;
-        if mrt[slot][kind].len() >= cap {
+        if occ[slot][kind] >= cap {
             // Evict the occupant scheduled longest ago (it will find a new
             // home); ties broken arbitrarily by position.
             let victim = mrt[slot][kind][0];
-            unschedule(victim, &mut time, &mut mrt, ii);
+            unschedule(victim, &mut time, &mut mrt, &mut occ, &kinds, ii);
         }
         time[u] = Some(t);
         prev_time[u] = i64::from(t);
         mrt[slot][kind].push(u);
+        occ[slot][kind] += 1;
 
         // Evict scheduled successors whose dependence is now violated.
         let succ_violations: Vec<usize> = ddg
@@ -208,7 +229,7 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
             })
             .collect();
         for v in succ_violations {
-            unschedule(v, &mut time, &mut mrt, ii);
+            unschedule(v, &mut time, &mut mrt, &mut occ, &kinds, ii);
         }
     }
 
@@ -217,18 +238,32 @@ pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<ModuloSch
         .map(|t| t.expect("all scheduled"))
         .collect();
     let sched = ModuloSchedule { ii, times };
-    debug_assert_eq!(sched.verify(ddg, machine), Ok(()));
-    match sched.verify(ddg, machine) {
+    let verdict = sched.verify(ddg, machine);
+    debug_assert_eq!(verdict, Ok(()));
+    match verdict {
         Ok(()) => Some(sched),
         Err(_) => None,
     }
 }
 
-fn unschedule(v: usize, time: &mut [Option<u32>], mrt: &mut [[Vec<usize>; 4]], ii: u32) {
+/// Removes `v` from the schedule: only its own FU kind's occupant row is
+/// touched (order-preserving, so victim selection is unchanged), and the
+/// occupancy counter is decremented.
+fn unschedule(
+    v: usize,
+    time: &mut [Option<u32>],
+    mrt: &mut [[Vec<usize>; 4]],
+    occ: &mut [[u32; 4]],
+    kinds: &[usize],
+    ii: u32,
+) {
     if let Some(t) = time[v].take() {
         let slot = (t % ii) as usize;
-        for row in mrt[slot].iter_mut() {
-            row.retain(|&x| x != v);
+        let kind = kinds[v];
+        let row = &mut mrt[slot][kind];
+        if let Some(pos) = row.iter().position(|&x| x == v) {
+            row.remove(pos);
+            occ[slot][kind] -= 1;
         }
     }
 }
@@ -238,13 +273,45 @@ fn unschedule(v: usize, time: &mut [Option<u32>], mrt: &mut [[Vec<usize>; 4]], i
 pub fn modulo_schedule(ddg: &Ddg, machine: &Machine) -> Option<(ModuloSchedule, MiiBounds)> {
     let bounds = MiiBounds::compute(ddg, machine);
     let mii = bounds.mii();
+    let mut memo = HeightsMemo::new(ddg);
     // A generous slack: IMS almost always succeeds within a few IIs of MII.
     for ii in mii..=mii.saturating_mul(2) + 32 {
-        if let Some(s) = schedule_at_ii(ddg, machine, ii) {
+        if let Some(s) = schedule_at_ii_memo(ddg, machine, ii, &mut memo) {
             return Some((s, bounds));
         }
     }
     None
+}
+
+/// Memoizes [`heights`] across successive II attempts.
+///
+/// Edge weights are `latency - ii * distance`, so when the DDG has no
+/// loop-carried edge (`distance > 0`) the heights are II-independent and a
+/// single computation serves the whole II search; otherwise the cache still
+/// absorbs repeated attempts at the same II.
+pub(crate) struct HeightsMemo {
+    ii_invariant: bool,
+    cached: Option<(u32, Vec<i64>)>,
+}
+
+impl HeightsMemo {
+    pub(crate) fn new(ddg: &Ddg) -> Self {
+        Self {
+            ii_invariant: ddg.edges().iter().all(|e| e.distance == 0),
+            cached: None,
+        }
+    }
+
+    fn get(&mut self, ddg: &Ddg, ii: u32) -> &[i64] {
+        let hit = match &self.cached {
+            Some((cached_ii, _)) => self.ii_invariant || *cached_ii == ii,
+            None => false,
+        };
+        if !hit {
+            self.cached = Some((ii, heights(ddg, ii)));
+        }
+        &self.cached.as_ref().expect("just filled").1
+    }
 }
 
 /// Priority heights: longest path to any sink under `ii`-adjusted weights.

@@ -2,7 +2,8 @@
 //! (paper Section 5.1: kernels are recompiled per machine; inner-loop
 //! performance is measured by static analysis of the compiled schedule).
 
-use crate::{modulo_schedule, schedule_at_ii, Ddg, MiiBounds, ModuloSchedule};
+use crate::modulo::{schedule_at_ii_memo, HeightsMemo};
+use crate::{Ddg, MiiBounds, ModuloSchedule};
 use std::error::Error;
 use std::fmt;
 use stream_ir::{unroll, Kernel};
@@ -169,7 +170,27 @@ impl CompiledKernel {
                 Err(_) => continue,
             };
             let ddg = Ddg::build(&unrolled, machine);
-            let Some((mut sched, bounds)) = modulo_schedule(&ddg, machine) else {
+            let bounds = MiiBounds::compute(&ddg, machine);
+
+            // ResMII/RecMII prune: elements/cycle is at most `u / MII`, so
+            // a candidate that cannot beat the incumbent even at its II
+            // lower bound is skipped before the (expensive) scheduling.
+            // The margin mirrors the `better` predicate below — a pruned
+            // candidate could never have won either of its branches.
+            if let Some(b) = &best {
+                let upper = f64::from(u) / f64::from(bounds.mii());
+                if upper <= b.elements_per_cycle_per_cluster() * 0.9999 {
+                    continue;
+                }
+            }
+
+            // II search upward from MII, sharing priority heights across
+            // attempts (and with the register-deepening loop below).
+            let mii = bounds.mii();
+            let mut memo = HeightsMemo::new(&ddg);
+            let Some(mut sched) = (mii..=mii.saturating_mul(2) + 32)
+                .find_map(|ii| schedule_at_ii_memo(&ddg, machine, ii, &mut memo))
+            else {
                 continue;
             };
 
@@ -200,7 +221,7 @@ impl CompiledKernel {
                     if next_ii <= sched.ii {
                         break;
                     }
-                    match schedule_at_ii(&ddg, machine, next_ii) {
+                    match schedule_at_ii_memo(&ddg, machine, next_ii, &mut memo) {
                         Some(s) => sched = s,
                         None => break,
                     }

@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use stream_scaling::grid::KernelCache;
 use stream_scaling::ir::{
-    execute, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder, Scalar, Ty, ValueId,
+    execute, execute_legacy, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder,
+    Scalar, Tape, Ty, ValueId,
 };
 use stream_scaling::kernels::fft::{dft_reference, fft_reference, C32};
 use stream_scaling::kernels::split::{gather_words, max_chain, scatter_words, split_plan};
@@ -90,8 +91,88 @@ fn structured_kernel(script: &[u8], clusters: u32) -> Kernel {
     b.finish().expect("structurally valid")
 }
 
+/// A random kernel exercising conditional streams: a data-dependent
+/// predicate gates a conditional input read and a conditional output
+/// write, so output length varies with the data.
+fn condstream_kernel(script: &[u8]) -> Kernel {
+    let mut b = KernelBuilder::new("random_condstream");
+    let s0 = b.in_stream(Ty::I32);
+    let s1 = b.in_stream(Ty::I32);
+    let out = b.out_stream(Ty::I32);
+    let x = b.read(s0);
+    let one = b.const_i(1);
+    let pred = b.and(x, one);
+    let y = b.cond_read(s1, pred);
+    let mut vals: Vec<ValueId> = vec![x, y, pred];
+    for &op in script {
+        let a = vals[(op as usize / 7) % vals.len()];
+        let c = vals[(op as usize / 3) % vals.len()];
+        let v = match op % 6 {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, c),
+            3 => b.xor(a, c),
+            4 => b.min(a, c),
+            _ => b.max(a, c),
+        };
+        vals.push(v);
+    }
+    let last = *vals.last().expect("nonempty");
+    b.cond_write(out, pred, last);
+    b.finish().expect("structurally valid")
+}
+
+/// Collapses interpreter outputs to `(type, bits)` words so comparisons
+/// are exact even for NaN and -0.0.
+fn output_bits(outs: Vec<Vec<Scalar>>) -> Vec<Vec<(Ty, u32)>> {
+    outs.into_iter()
+        .map(|s| {
+            s.into_iter()
+                .map(|w| match w {
+                    Scalar::I32(v) => (Ty::I32, v as u32),
+                    Scalar::F32(v) => (Ty::F32, v.to_bits()),
+                })
+                .collect()
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The compiled execution tape is observationally identical to the
+    /// legacy tree-walk interpreter: same outputs (bit for bit) and same
+    /// errors on random valid kernels, random inputs, and C in {1, 4, 8}.
+    #[test]
+    fn tape_matches_legacy_interpreter(
+        script in proptest::collection::vec(any::<u8>(), 1..32),
+        kind in 0u8..3,
+        clusters in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        let k = match kind {
+            0 => elementwise_kernel(&script),
+            1 => structured_kernel(&script, clusters as u32),
+            _ => condstream_kernel(&script),
+        };
+        let iters = 3usize;
+        let inputs: Vec<Vec<Scalar>> = k
+            .inputs()
+            .iter()
+            .map(|d| {
+                let words = iters * clusters * d.record_width as usize;
+                (0..words)
+                    .map(|i| match d.ty {
+                        Ty::I32 => Scalar::I32((i as i32 * 37) % 101 - 50),
+                        Ty::F32 => Scalar::F32(i as f32 * 0.375 - 4.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = ExecConfig::with_clusters(clusters);
+        let legacy = execute_legacy(&k, &[], &inputs, &cfg).map(output_bits);
+        let tape = Tape::compile(&k).execute(&[], &inputs, &cfg).map(output_bits);
+        prop_assert_eq!(legacy, tape);
+    }
 
     /// Unrolling never changes what an elementwise kernel computes.
     #[test]
