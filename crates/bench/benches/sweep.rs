@@ -1,9 +1,15 @@
 //! Benchmarks for the parallel sweep engine and the shared compiled-kernel
 //! cache: cold vs warm compiles, and a figure-13-shaped grid at different
 //! worker counts.
+//!
+//! Besides the criterion display benches, this harness self-times the
+//! cold-compile and warm-lookup cache paths (the offline criterion shim has
+//! no machine-readable output) and writes `BENCH_sweep.json` at the
+//! repository root so CI can assert the cache actually caches without
+//! scraping bench stdout.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use stream_grid::{Engine, KernelCache};
 use stream_kernels::KernelId;
 use stream_machine::Machine;
@@ -11,7 +17,54 @@ use stream_repro::ExperimentId;
 use stream_sched::CompileOptions;
 use stream_vlsi::Shape;
 
+/// Mean ns/call over enough calls to fill ~200ms, after warmup.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let samples = ((200_000_000 / once) as usize).clamp(10, 20_000);
+    let t0 = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / samples as f64
+}
+
+/// Self-times the cache paths and writes `BENCH_sweep.json` at the repo
+/// root, in the same schema style as `BENCH_interp.json`.
+fn emit_json() {
+    let machine = Machine::baseline();
+    let kernel = KernelId::Fft.build(&machine);
+    let opts = CompileOptions::default();
+
+    // Cold: a fresh cache per call, so every lookup runs the compiler.
+    let cold_ns = time_ns(|| {
+        let cache = KernelCache::new();
+        cache.get_or_compile(&kernel, &machine, &opts).unwrap();
+    });
+    // Warm: the same cache every call, so every lookup is a hit.
+    let warm_cache = KernelCache::new();
+    warm_cache.get_or_compile(&kernel, &machine, &opts).unwrap();
+    let warm_ns = time_ns(|| {
+        warm_cache.get_or_compile(&kernel, &machine, &opts).unwrap();
+    });
+
+    let speedup = cold_ns / warm_ns;
+    println!(
+        "sweep/kernel_cache: cold {cold_ns:.0} ns, warm {warm_ns:.0} ns, speedup {speedup:.1}x"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"unit\": \"ns_per_call\",\n  \"benchmarks\": {{\n    \"cold_compile_fft\": {{\"mean_ns\": {cold_ns:.1}}},\n    \"warm_lookup_fft\": {{\"mean_ns\": {warm_ns:.1}}}\n  }},\n  \"speedup\": {{\n    \"warm_over_cold\": {speedup:.3}\n  }}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    std::fs::write(&path, json).expect("write BENCH_sweep.json");
+    println!("wrote {}", path.display());
+}
+
 fn bench_cache(c: &mut Criterion) {
+    emit_json();
+
     let machine = Machine::baseline();
     let kernel = KernelId::Fft.build(&machine);
     let opts = CompileOptions::default();

@@ -8,11 +8,11 @@
 //! compiler invocation and share its result.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use stream_ir::{to_text, Kernel};
 use stream_machine::{Machine, MachineConfig};
 use stream_sched::{CompileOptions, CompiledKernel, ScheduleError};
+use stream_trace::Counter;
 
 /// Cache key: the kernel's identity (name plus a fingerprint of its exact
 /// IR — kernels are rebuilt per machine, so the name alone is not enough),
@@ -57,8 +57,11 @@ type CacheSlot = Arc<OnceLock<Result<Arc<CompiledKernel>, ScheduleError>>>;
 #[derive(Debug, Default)]
 pub struct KernelCache {
     map: Mutex<HashMap<CacheKey, CacheSlot>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Standalone trace counters: always exact (they are this cache's
+    // statistics, not optional telemetry); the gated `grid.cache.*`
+    // registry counters below mirror them only while tracing is on.
+    hits: Counter,
+    misses: Counter,
 }
 
 /// A snapshot of cache-wide counters.
@@ -109,12 +112,16 @@ impl KernelCache {
         let mut compiled_here = false;
         let result = slot.get_or_init(|| {
             compiled_here = true;
+            let mut compile_span = stream_trace::span("grid", "compile");
+            compile_span.arg("kernel", kernel.name());
             CompiledKernel::compile(kernel, machine, opts).map(Arc::new)
         });
         if compiled_here {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.incr();
+            stream_trace::count("grid.cache.miss", 1);
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
+            stream_trace::count("grid.cache.hit", 1);
         }
         result.clone()
     }
@@ -122,8 +129,8 @@ impl KernelCache {
     /// Current cache-wide counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.map.lock().expect("kernel cache poisoned").len(),
         }
     }
@@ -134,7 +141,7 @@ impl KernelCache {
         CacheScope {
             cache: self,
             seen: Mutex::new(HashSet::new()),
-            lookups: AtomicU64::new(0),
+            lookups: Counter::new(),
         }
     }
 }
@@ -157,7 +164,7 @@ pub fn global_cache() -> &'static KernelCache {
 pub struct CacheScope<'c> {
     cache: &'c KernelCache,
     seen: Mutex<HashSet<CacheKey>>,
-    lookups: AtomicU64,
+    lookups: Counter,
 }
 
 /// Counters for one [`CacheScope`].
@@ -185,7 +192,7 @@ impl CacheScope<'_> {
         opts: &CompileOptions,
     ) -> Result<Arc<CompiledKernel>, ScheduleError> {
         let key = CacheKey::new(kernel, machine, opts);
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lookups.incr();
         self.seen
             .lock()
             .expect("cache scope poisoned")
@@ -208,7 +215,7 @@ impl CacheScope<'_> {
 
     /// This scope's deterministic counters.
     pub fn counters(&self) -> ScopeCounters {
-        let lookups = self.lookups.load(Ordering::Relaxed);
+        let lookups = self.lookups.get();
         let compiles = self.seen.lock().expect("cache scope poisoned").len() as u64;
         ScopeCounters {
             lookups,

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use stream_trace::{Counter, TraceConfig};
 
 /// A boxed sweep job.
 pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
@@ -32,6 +33,7 @@ pub struct Engine {
     workers: usize,
     permits: AtomicUsize,
     cache: &'static KernelCache,
+    trace: TraceConfig,
 }
 
 /// The outcome of one sweep: ordered results plus timing statistics.
@@ -89,7 +91,18 @@ impl Engine {
             workers,
             permits: AtomicUsize::new(workers - 1),
             cache: global_cache(),
+            trace: TraceConfig::default(),
         }
+    }
+
+    /// Sets this engine's trace policy. The global `stream_trace` flag is
+    /// the master switch; this lets one engine opt its own spans/counters
+    /// out even while the process is tracing (benchmarks use it to skip
+    /// thousands of per-job spans).
+    #[must_use]
+    pub fn with_trace_config(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Creates an engine sized to the host's available parallelism.
@@ -129,18 +142,45 @@ impl Engine {
             };
         }
 
-        let extra = self.take_permits(self.workers.min(n) - 1);
+        // Flag reads happen once per run, never per job; job spans are
+        // gated on the bool captured here.
+        let job_spans = self.trace.spans_active();
+        let mut run_span = if job_spans {
+            stream_trace::span("grid", "run")
+        } else {
+            stream_trace::Span::inert()
+        };
+        run_span.arg("jobs", n);
+
+        let want = self.workers.min(n) - 1;
+        let extra = self.take_permits(want);
+        if self.trace.counters_active() {
+            stream_trace::count("grid.jobs", n as u64);
+            stream_trace::count("grid.permit_shortfall", (want - extra) as u64);
+        }
+        run_span.arg("threads", extra + 1);
+
         let results = if extra == 0 {
             let mut out = Vec::with_capacity(n);
             for (i, job) in jobs.into_iter().enumerate() {
+                let mut job_span = if job_spans {
+                    stream_trace::span("grid", "job")
+                } else {
+                    stream_trace::Span::inert()
+                };
+                job_span.arg("index", i);
                 let t = Instant::now();
                 out.push(job());
                 job_micros[i] = t.elapsed().as_micros() as u64;
             }
             out
         } else {
-            let parallel = self.run_stealing(jobs, extra + 1);
+            let steals = Counter::new();
+            let parallel = self.run_stealing(jobs, extra + 1, job_spans, &steals);
             self.give_permits(extra);
+            if self.trace.counters_active() {
+                stream_trace::count("grid.steals", steals.get());
+            }
             let mut out = Vec::with_capacity(n);
             for (i, value, micros) in parallel {
                 job_micros[i] = micros;
@@ -180,6 +220,8 @@ impl Engine {
         &self,
         jobs: Vec<Job<'a, T>>,
         threads: usize,
+        job_spans: bool,
+        steals: &Counter,
     ) -> Vec<(usize, T, u64)> {
         let queues: Vec<TaskQueue<'a, T>> =
             (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -194,10 +236,10 @@ impl Engine {
             let handles: Vec<_> = (1..threads)
                 .map(|me| {
                     let queues = &queues;
-                    s.spawn(move || drain(me, queues))
+                    s.spawn(move || drain(me, queues, job_spans, steals))
                 })
                 .collect();
-            collected.extend(drain(0, &queues));
+            collected.extend(drain(0, &queues, job_spans, steals));
             for h in handles {
                 collected.extend(h.join().expect("sweep worker panicked"));
             }
@@ -236,8 +278,15 @@ impl Engine {
 /// One worker: drain the own deque front-first, then steal from the back of
 /// the busiest-looking neighbor (scan order rotated per worker so thieves
 /// spread out).
-fn drain<'a, T: Send>(me: usize, queues: &[TaskQueue<'a, T>]) -> Vec<(usize, T, u64)> {
+fn drain<'a, T: Send>(
+    me: usize,
+    queues: &[TaskQueue<'a, T>],
+    job_spans: bool,
+    steals: &Counter,
+) -> Vec<(usize, T, u64)> {
     let mut out = Vec::new();
+    // Steals accumulate in a plain local and hit the shared counter once.
+    let mut stolen: u64 = 0;
     loop {
         let next = {
             // Own lock is released before any steal attempt: holding it
@@ -245,11 +294,23 @@ fn drain<'a, T: Send>(me: usize, queues: &[TaskQueue<'a, T>]) -> Vec<(usize, T, 
             let own = queues[me].lock().expect("sweep queue poisoned").pop_front();
             match own {
                 Some(job) => Some(job),
-                None => steal(me, queues),
+                None => {
+                    let theft = steal(me, queues);
+                    if theft.is_some() {
+                        stolen += 1;
+                    }
+                    theft
+                }
             }
         };
         match next {
             Some((index, job)) => {
+                let mut job_span = if job_spans {
+                    stream_trace::span("grid", "job")
+                } else {
+                    stream_trace::Span::inert()
+                };
+                job_span.arg("index", index);
                 let t = Instant::now();
                 let value = job();
                 out.push((index, value, t.elapsed().as_micros() as u64));
@@ -257,6 +318,7 @@ fn drain<'a, T: Send>(me: usize, queues: &[TaskQueue<'a, T>]) -> Vec<(usize, T, 
             None => break,
         }
     }
+    steals.add(stolen);
     out
 }
 

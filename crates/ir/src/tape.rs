@@ -406,6 +406,9 @@ impl Tape {
     /// with [`crate::KernelBuilder`] (any type inconsistency lowers to a
     /// runtime fault instruction, matching the legacy interpreter).
     pub fn compile(kernel: &Kernel) -> Self {
+        let mut compile_span = stream_trace::span("tape", "compile");
+        compile_span.arg("kernel", kernel.name());
+        compile_span.arg("ops", kernel.ops().len());
         let ops = kernel.ops();
         let n = ops.len();
 
@@ -788,6 +791,22 @@ impl Tape {
         inputs: &[Vec<Scalar>],
         cfg: &ExecConfig,
     ) -> Result<Vec<Vec<Scalar>>, IrError> {
+        let mut exec_span = stream_trace::span("tape", "execute");
+        exec_span.arg("kernel", self.kernel.name());
+        let result = self.execute_with_inner(opts, inputs, cfg, &mut exec_span);
+        if let Err(e) = &result {
+            note_runtime_error(e);
+        }
+        result
+    }
+
+    fn execute_with_inner(
+        &self,
+        opts: &ExecOptions<'_>,
+        inputs: &[Vec<Scalar>],
+        cfg: &ExecConfig,
+        exec_span: &mut stream_trace::Span,
+    ) -> Result<Vec<Vec<Scalar>>, IrError> {
         let iterations = match opts.iterations {
             Some(n) => n,
             None => infer_iterations_decls(self.kernel.inputs(), inputs, cfg)?,
@@ -815,6 +834,8 @@ impl Tape {
         }
         if cfg.clusters == 0 {
             // Degenerate no-lane config: let the oracle define behavior.
+            stream_trace::count("tape.fallback", 1);
+            exec_span.arg("fallback", "zero_clusters");
             return execute_with_legacy(&self.kernel, opts, inputs, cfg);
         }
 
@@ -826,6 +847,8 @@ impl Tape {
             let mut bits = Vec::with_capacity(words.len());
             for &w in words {
                 if w.ty() != decl.ty {
+                    stream_trace::count("tape.fallback", 1);
+                    exec_span.arg("fallback", "ill_typed_input");
                     return execute_with_legacy(&self.kernel, opts, inputs, cfg);
                 }
                 bits.push(bits_of(w));
@@ -864,6 +887,9 @@ impl Tape {
         sp: &mut [Option<Scalar>],
         cfg: &ExecConfig,
     ) -> Result<Vec<Vec<Scalar>>, IrError> {
+        let mut run_span = stream_trace::span("tape", "run");
+        run_span.arg("iterations", iterations);
+        run_span.arg("clusters", cfg.clusters);
         let c = cfg.clusters;
         let mut vals = vec![0u32; self.n_vals * c];
         let mut recur = vec![0u32; self.recurs.len() * c];
@@ -929,6 +955,20 @@ impl Tape {
             .map(|(bits, decl)| bits.iter().map(|&b| scalar_of(b, decl.ty)).collect())
             .collect())
     }
+}
+
+/// Classifies an execution error into the trace registry: bounds-style
+/// errors (a stream or scratchpad access outside its extent) vs. faults
+/// (type confusion, bad comm source, division by zero).
+fn note_runtime_error(e: &IrError) {
+    let name = match e {
+        IrError::StreamExhausted { .. } | IrError::SpOutOfBounds { .. } => "tape.bounds_error",
+        IrError::TypeMismatch { .. } | IrError::BadCommSource { .. } | IrError::DivideByZero(_) => {
+            "tape.fault"
+        }
+        _ => return,
+    };
+    stream_trace::count(name, 1);
 }
 
 /// Executes one tape instruction across all `c` lanes.
@@ -1339,6 +1379,61 @@ mod tests {
         let got = Tape::compile(&k).execute(&[], &[input], &cfg(8)).unwrap();
         assert_eq!(got, want);
         assert_eq!(got[0][3], Scalar::F32(3.0));
+    }
+
+    #[test]
+    fn fallback_counter_fires_exactly_once_per_wholesale_fallback() {
+        // Both wholesale-fallback triggers (ill-typed input words, zero
+        // clusters) bump `tape.fallback` exactly once per execute, and the
+        // fallen-back result is the oracle's, bit for bit. One test covers
+        // both triggers: it is the only test in this crate toggling the
+        // process-global trace flag, so it needs no cross-test lock.
+        let mut b = KernelBuilder::new("id");
+        let s = b.in_stream(Ty::I32);
+        let out = b.out_stream(Ty::I32);
+        let x = b.read(s);
+        b.write(out, x);
+        let k = b.finish().unwrap();
+        let tape = Tape::compile(&k);
+        let fallback = stream_trace::counter("tape.fallback");
+
+        stream_trace::enable();
+
+        // Ill-typed input words: declared i32, fed f32.
+        let ill: Vec<Scalar> = (0..8).map(|i| Scalar::F32(i as f32)).collect();
+        let before = fallback.get();
+        let got = tape.execute(&[], std::slice::from_ref(&ill), &cfg(8));
+        assert_eq!(fallback.get(), before + 1, "ill-typed fallback count");
+        assert_eq!(
+            got,
+            execute_legacy(&k, &[], std::slice::from_ref(&ill), &cfg(8))
+        );
+
+        // Zero clusters: the degenerate no-lane config. Iterations must be
+        // explicit — inference already rejects C=0 before the fallback, on
+        // both paths, via the shared helper.
+        let well: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let opts = ExecOptions {
+            params: &[],
+            sp_init: None,
+            iterations: Some(1),
+        };
+        let before = fallback.get();
+        let got = tape.execute_with(&opts, std::slice::from_ref(&well), &cfg(0));
+        assert_eq!(fallback.get(), before + 1, "zero-cluster fallback count");
+        assert_eq!(
+            got,
+            execute_with(&k, &opts, std::slice::from_ref(&well), &cfg(0))
+        );
+
+        // A well-typed run at a sane config takes the tape path: no bump.
+        let before = fallback.get();
+        tape.execute(&[], std::slice::from_ref(&well), &cfg(8))
+            .unwrap();
+        assert_eq!(fallback.get(), before, "tape path must not count");
+
+        stream_trace::disable();
+        let _ = stream_trace::take_events();
     }
 
     #[test]

@@ -3,29 +3,35 @@
 //! Usage:
 //!
 //! ```text
-//! repro all                # every experiment, paper order
-//! repro fig13 table5       # a subset
-//! repro --jobs 4 all       # sweep on 4 worker threads
-//! repro list               # list experiment ids
+//! repro all                      # every experiment, paper order
+//! repro fig13 table5             # a subset
+//! repro --jobs 4 all             # sweep on 4 worker threads
+//! repro --trace out.json fig13   # also write a Chrome trace of the run
+//! repro list                     # list experiment ids
 //! ```
 //!
 //! `--jobs N` (or `-j N`) sets the worker-thread count; the default is the
-//! host's available parallelism and `--jobs 1` is strictly serial. Stdout
-//! is byte-identical for every worker count; per-experiment timings go to
-//! stderr.
+//! host's available parallelism and `--jobs 1` is strictly serial.
+//! `--trace <path>` enables `stream-trace` for the run and writes the
+//! collected spans and counters as Chrome trace-event JSON (loadable in
+//! `chrome://tracing` or Perfetto), plus a text summary on stderr. Stdout
+//! is byte-identical for every worker count, traced or not; per-experiment
+//! timings go to stderr.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use stream_grid::Engine;
 use stream_repro::ExperimentId;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro [--jobs N] <all | list | experiment...>");
+    eprintln!("usage: repro [--jobs N] [--trace FILE] <all | list | experiment...>");
     eprintln!("experiments: {}", stream_repro::EXPERIMENTS.join(" "));
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,6 +49,16 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 jobs = Some(n);
+            }
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace needs an output path");
+                    return usage();
+                };
+                trace_path = Some(path);
+            }
+            other if other.starts_with("--trace=") => {
+                trace_path = Some(other["--trace=".len()..].to_string());
             }
             "help" | "--help" | "-h" => return usage(),
             other => names.push(other.to_string()),
@@ -72,15 +88,41 @@ fn main() -> ExitCode {
         }
         ids
     };
+    if trace_path.is_some() {
+        stream_trace::enable();
+    }
     let engine = match jobs {
         Some(n) => Engine::new(n),
         None => Engine::with_default_parallelism(),
     };
     for report in stream_repro::run_many(&ids, &engine) {
         println!("{report}");
+        // All of an experiment's perf lines go out in one locked, flushed
+        // write, so concurrent stderr writers can never interleave inside
+        // an experiment's block.
+        let mut block = String::new();
         for line in &report.perf {
-            eprintln!("# {}: {}", report.id, line);
+            block.push_str("# ");
+            block.push_str(report.id);
+            block.push_str(": ");
+            block.push_str(line);
+            block.push('\n');
         }
+        let stderr = std::io::stderr();
+        let mut lock = stderr.lock();
+        let _ = lock.write_all(block.as_bytes());
+        let _ = lock.flush();
+    }
+    if let Some(path) = trace_path {
+        stream_trace::disable();
+        let events = stream_trace::take_events();
+        let json = stream_trace::chrome_trace_json(&events);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprint!("{}", stream_trace::summary(&events));
+        eprintln!("trace written to {path} ({} events)", events.len());
     }
     ExitCode::SUCCESS
 }

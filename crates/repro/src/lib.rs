@@ -129,22 +129,6 @@ pub fn run_all(engine: &Engine) -> Vec<Report> {
     run_many(&ExperimentId::ALL, engine)
 }
 
-/// Runs one experiment by id string.
-///
-/// # Panics
-///
-/// Panics on an unknown id.
-#[deprecated(
-    since = "0.1.0",
-    note = "parse the id into an `ExperimentId` and call `run`, or use `try_run`"
-)]
-pub fn run_str(id: &str) -> Report {
-    match try_run(id) {
-        Ok(r) => r,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,12 +181,5 @@ mod tests {
         let err = try_run("fig99").unwrap_err();
         assert_eq!(err.requested, "fig99");
         assert!(err.to_string().contains("unknown experiment"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "unknown experiment")]
-    fn deprecated_string_shim_still_panics_on_unknown_ids() {
-        let _ = run_str("fig99");
     }
 }

@@ -25,6 +25,39 @@ fn four_workers_render_byte_identical_to_one() {
 }
 
 #[test]
+fn tracing_does_not_change_rendered_reports() {
+    // The determinism contract of `stream-trace`: spans and counters go to
+    // the collector (and eventually a file or stderr), never into report
+    // bodies, so a traced run renders byte-identically to an untraced one
+    // at any worker count.
+    //
+    // The traced run goes FIRST and uses fig14 (no other test in this binary
+    // touches it): the kernel cache compiles each key exactly once per
+    // process, so a cache-warm traced run would never reach the scheduler
+    // and the span assertions below would see no "sched" events.
+    let id = ExperimentId::Fig14;
+    stream_trace::enable();
+    let traced = run_with(id, &Engine::new(2)).to_string();
+    let traced_serial = run_with(id, &Engine::new(1)).to_string();
+    stream_trace::disable();
+    let events = stream_trace::take_events();
+    let untraced = run_with(id, &Engine::new(2)).to_string();
+    assert_eq!(untraced, traced, "tracing changed {id} output");
+    assert_eq!(
+        untraced, traced_serial,
+        "tracing+serial changed {id} output"
+    );
+    // The traced run actually recorded something from the layers fig14
+    // exercises: scheduler compiles, tape smoke executions, grid jobs.
+    for cat in ["sched", "tape", "grid"] {
+        assert!(
+            events.iter().any(|e| e.cat == cat),
+            "no {cat} span collected"
+        );
+    }
+}
+
+#[test]
 fn run_many_preserves_request_order_and_serial_output() {
     let serial: Vec<String> = run_many(&SUBSET, &Engine::new(1))
         .iter()

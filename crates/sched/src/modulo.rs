@@ -141,6 +141,14 @@ pub(crate) fn schedule_at_ii_memo(
         });
     }
 
+    // One span + one flag read per II attempt; the placement loop below
+    // stays atomic-free (backtracks accumulate in a plain local).
+    let mut attempt_span = stream_trace::span("sched", "attempt");
+    attempt_span.arg("ii", ii);
+    attempt_span.arg("ops", n);
+    stream_trace::count("sched.attempts", 1);
+    let mut backtracks: u64 = 0;
+
     let heights = memo.get(ddg, ii);
     let kinds: Vec<usize> = ddg
         .nodes()
@@ -176,6 +184,9 @@ pub(crate) fn schedule_at_ii_memo(
             break;
         };
         if budget == 0 {
+            stream_trace::count("sched.backtracks", backtracks);
+            stream_trace::count("sched.budget_exhausted", 1);
+            attempt_span.arg("outcome", "budget_exhausted");
             return None;
         }
         budget -= 1;
@@ -211,6 +222,7 @@ pub(crate) fn schedule_at_ii_memo(
             // home); ties broken arbitrarily by position.
             let victim = mrt[slot][kind][0];
             unschedule(victim, &mut time, &mut mrt, &mut occ, &kinds, ii);
+            backtracks += 1;
         }
         time[u] = Some(t);
         prev_time[u] = i64::from(t);
@@ -230,8 +242,11 @@ pub(crate) fn schedule_at_ii_memo(
             .collect();
         for v in succ_violations {
             unschedule(v, &mut time, &mut mrt, &mut occ, &kinds, ii);
+            backtracks += 1;
         }
     }
+
+    stream_trace::count("sched.backtracks", backtracks);
 
     let times: Vec<u32> = time
         .into_iter()
@@ -240,6 +255,7 @@ pub(crate) fn schedule_at_ii_memo(
     let sched = ModuloSchedule { ii, times };
     let verdict = sched.verify(ddg, machine);
     debug_assert_eq!(verdict, Ok(()));
+    attempt_span.arg("outcome", if verdict.is_ok() { "ok" } else { "invalid" });
     match verdict {
         Ok(()) => Some(sched),
         Err(_) => None,
@@ -273,6 +289,8 @@ fn unschedule(
 pub fn modulo_schedule(ddg: &Ddg, machine: &Machine) -> Option<(ModuloSchedule, MiiBounds)> {
     let bounds = MiiBounds::compute(ddg, machine);
     let mii = bounds.mii();
+    stream_trace::record("sched.res_mii", u64::from(bounds.res_mii));
+    stream_trace::record("sched.rec_mii", u64::from(bounds.rec_mii));
     let mut memo = HeightsMemo::new(ddg);
     // A generous slack: IMS almost always succeeds within a few IIs of MII.
     for ii in mii..=mii.saturating_mul(2) + 32 {

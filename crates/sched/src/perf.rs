@@ -163,6 +163,8 @@ impl CompiledKernel {
         machine: &Machine,
         opts: &CompileOptions,
     ) -> Result<Self, ScheduleError> {
+        let mut compile_span = stream_trace::span("sched", "compile");
+        compile_span.arg("kernel", kernel.name());
         let mut best: Option<CompiledKernel> = None;
         for &u in &opts.unroll_factors {
             let unrolled = match unroll(kernel, u) {
@@ -171,6 +173,8 @@ impl CompiledKernel {
             };
             let ddg = Ddg::build(&unrolled, machine);
             let bounds = MiiBounds::compute(&ddg, machine);
+            stream_trace::record("sched.res_mii", u64::from(bounds.res_mii));
+            stream_trace::record("sched.rec_mii", u64::from(bounds.rec_mii));
 
             // ResMII/RecMII prune: elements/cycle is at most `u / MII`, so
             // a candidate that cannot beat the incumbent even at its II
@@ -271,6 +275,11 @@ impl CompiledKernel {
             if better {
                 best = Some(cand);
             }
+        }
+        if let Some(b) = &best {
+            compile_span.arg("ii", b.schedule.ii);
+            compile_span.arg("unroll", b.unroll);
+            stream_trace::record("sched.ii", u64::from(b.schedule.ii));
         }
         best.ok_or_else(|| ScheduleError {
             kernel: kernel.name().to_string(),

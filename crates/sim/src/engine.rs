@@ -138,6 +138,14 @@ pub fn simulate(
     machine: &Machine,
     system: &SystemParams,
 ) -> Result<SimReport, SimError> {
+    // This engine is analytic (one scoreboard pass over the instruction
+    // list, not a per-cycle loop), so one span covers the whole call; stall
+    // causes accumulate in plain locals and reach the trace registry once,
+    // at the end.
+    let mut sim_span = stream_trace::span("sim", "simulate");
+    sim_span.arg("instrs", program.instrs().len());
+    let mut stalls = [0u64; 4]; // host, data, memory, clusters
+
     let n_streams = program.stream_count();
     // Completion time of each stream's producer, and the producing/last-
     // consuming instruction indices for residency intervals.
@@ -168,6 +176,7 @@ pub fn simulate(
                 ..
             } => {
                 let start = issue_done.max(mem_bw_free);
+                stalls[if start == issue_done { 0 } else { 2 }] += 1;
                 let bw = transfer_cycles(*words, *pattern, system);
                 let end = start + u64::from(system.memory_latency_cycles) + bw;
                 mem_bw_free = start + bw;
@@ -184,6 +193,13 @@ pub fn simulate(
                     .flatten()
                     .ok_or(SimError::UseBeforeDef(*src))?;
                 let start = issue_done.max(data).max(mem_bw_free);
+                stalls[if start == issue_done {
+                    0
+                } else if start == data {
+                    1
+                } else {
+                    2
+                }] += 1;
                 let words = program.size(*src);
                 let bw = transfer_cycles(words, *pattern, system);
                 let end = start + u64::from(system.memory_latency_cycles) + bw;
@@ -208,6 +224,13 @@ pub fn simulate(
                     data_ready = data_ready.max(r);
                 }
                 let start = issue_done.max(data_ready).max(clusters_free);
+                stalls[if start == issue_done {
+                    0
+                } else if start == data_ready {
+                    1
+                } else {
+                    3
+                }] += 1;
                 let dur = kernel.call_cycles(*records);
                 let end = start + dur;
                 clusters_free = end;
@@ -250,8 +273,16 @@ pub fn simulate(
     let peak = peak as u64;
     let capacity = machine.srf_total_words();
     if peak > capacity {
+        sim_span.arg("error", "srf_overflow");
         return Err(SimError::SrfOverflow { peak, capacity });
     }
+
+    sim_span.arg("cycles", cycles);
+    stream_trace::count("sim.stall.host", stalls[0]);
+    stream_trace::count("sim.stall.data", stalls[1]);
+    stream_trace::count("sim.stall.memory", stalls[2]);
+    stream_trace::count("sim.stall.clusters", stalls[3]);
+    stream_trace::record("sim.cycles", cycles);
 
     Ok(SimReport {
         cycles,

@@ -1,0 +1,332 @@
+//! Typed metrics: monotonic `u64` counters and log2-bucket histograms,
+//! usable either standalone (owned by a consumer, always counting — e.g.
+//! the kernel cache's per-instance hit/miss counters) or through the
+//! process-global **registry** (gated on the trace flag, exported by the
+//! summary and Chrome writers).
+
+use crate::enabled;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// A monotonic `u64` counter. Cheap (`Relaxed` fetch-add) and shareable;
+/// standalone counters always count — gating on the trace flag is the
+/// registry helpers' job ([`count`]), not the counter's.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and re-runs).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucket histogram: bucket 0 holds zeros, bucket `k` holds values
+/// in `[2^(k-1), 2^k)`. Lossy but allocation-free, lock-free, and wide
+/// enough for anything from backtrack counts to cycle totals.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every bucket (tests and re-runs).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A frozen [`Histogram`] reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation counts per log2 bucket (`buckets[0]` = zeros,
+    /// `buckets[k]` = values in `[2^(k-1), 2^k)`).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (e.g. 0.5, 0.99):
+    /// a conservative percentile estimate from the log2 distribution.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if idx == 0 { 0 } else { (1u64 << idx) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// The process-global counter named `name`, registered on first use.
+/// Entries are interned for the process lifetime (names are `'static` and
+/// the set of instrumentation sites is finite).
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = registry()
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The process-global histogram named `name`, registered on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Adds `n` to the registry counter `name` — if tracing is enabled,
+/// otherwise a no-op after one relaxed flag load.
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if enabled() && n > 0 {
+        counter(name).add(n);
+    }
+}
+
+/// Records `value` into the registry histogram `name` — if tracing is
+/// enabled, otherwise a no-op after one relaxed flag load.
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if enabled() {
+        histogram(name).record(value);
+    }
+}
+
+/// Snapshot of every registered counter, sorted by name.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    registry()
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&name, c)| (name, c.get()))
+        .collect()
+}
+
+/// Snapshot of every registered histogram, sorted by name.
+pub fn histograms() -> Vec<(&'static str, HistogramSnapshot)> {
+    registry()
+        .histograms
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&name, h)| (name, h.snapshot()))
+        .collect()
+}
+
+/// Zeroes every registered counter and histogram (the registry itself is
+/// kept — handles stay valid).
+pub fn reset_metrics() {
+    for (_, c) in registry()
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        c.reset();
+    }
+    for (_, h) in registry()
+        .histograms
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn standalone_counter_counts_without_tracing() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1023, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[3], 1); // 4
+        assert_eq!(s.buckets[10], 1); // 1023 in [512, 1024)
+        assert_eq!(s.buckets[11], 1); // 1024 in [1024, 2048)
+        assert_eq!(s.sum, 2057);
+        assert!((s.mean() - 2057.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bound_is_monotone_and_conservative() {
+        let h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_bound(0.5);
+        let p99 = s.quantile_bound(0.99);
+        assert!(p50 >= 49, "p50 bound {p50} below true median");
+        assert!(p99 >= p50);
+        assert!(p99 <= 127, "p99 bound {p99} beyond max bucket for <100");
+        assert_eq!(HistogramSnapshot::default_empty().quantile_bound(0.5), 0);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> Self {
+            Histogram::new().snapshot()
+        }
+    }
+
+    #[test]
+    fn registry_interns_and_gates_on_the_flag() {
+        let _g = test_lock::hold();
+        crate::disable();
+        count("metrics.test.gated", 7);
+        assert_eq!(
+            counters()
+                .iter()
+                .find(|(n, _)| *n == "metrics.test.gated")
+                .map(|&(_, v)| v),
+            None
+        );
+        crate::enable();
+        count("metrics.test.gated", 7);
+        record("metrics.test.hist", 8);
+        crate::disable();
+        let c = counters();
+        assert!(c.contains(&("metrics.test.gated", 7)));
+        let h = histograms();
+        let (_, snap) = h
+            .iter()
+            .find(|(n, _)| *n == "metrics.test.hist")
+            .expect("registered");
+        assert_eq!(snap.count(), 1);
+        // Same name returns the same interned counter.
+        assert!(std::ptr::eq(
+            counter("metrics.test.gated"),
+            counter("metrics.test.gated")
+        ));
+        reset_metrics();
+        assert_eq!(counter("metrics.test.gated").get(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Human-readable summary exporter: aggregates spans by category/name and
+//! appends every registered counter and histogram. Output is meant for
+//! stderr or a log file — never stdout, per the determinism contract.
+
+use crate::span::{Phase, SpanEvent};
+use crate::{counters, histograms};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Renders `events` plus the global metrics registry as an aligned text
+/// table: one row per `(category, name)` span aggregate (count, total µs,
+/// max µs), then counters, then histogram stats (count / mean / p99 bound).
+pub fn summary(events: &[SpanEvent]) -> String {
+    let mut spans: BTreeMap<(&'static str, &str), SpanAgg> = BTreeMap::new();
+    let mut instants: BTreeMap<(&'static str, &str), u64> = BTreeMap::new();
+    for e in events {
+        match e.ph {
+            Phase::Complete => {
+                let agg = spans.entry((e.cat, e.name.as_str())).or_default();
+                agg.count += 1;
+                agg.total_us += e.dur_us;
+                agg.max_us = agg.max_us.max(e.dur_us);
+            }
+            Phase::Instant => {
+                *instants.entry((e.cat, e.name.as_str())).or_default() += 1;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("== trace summary ==\n");
+
+    if !spans.is_empty() {
+        out.push_str("spans (cat/name: count, total us, max us)\n");
+        let width = spans
+            .keys()
+            .map(|(c, n)| c.len() + n.len() + 1)
+            .max()
+            .unwrap_or(0);
+        for ((cat, name), agg) in &spans {
+            let label = format!("{cat}/{name}");
+            let _ = writeln!(
+                out,
+                "  {label:<width$}  {:>8}  {:>10}  {:>10}",
+                agg.count, agg.total_us, agg.max_us
+            );
+        }
+    }
+
+    if !instants.is_empty() {
+        out.push_str("instants (cat/name: count)\n");
+        for ((cat, name), n) in &instants {
+            let _ = writeln!(out, "  {cat}/{name}  {n}");
+        }
+    }
+
+    let counter_rows = counters();
+    if !counter_rows.is_empty() {
+        out.push_str("counters\n");
+        let width = counter_rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &counter_rows {
+            let _ = writeln!(out, "  {name:<width$}  {value:>12}");
+        }
+    }
+
+    let hist_rows = histograms();
+    if !hist_rows.is_empty() {
+        out.push_str("histograms (count, mean, p99 bound)\n");
+        let width = hist_rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, snap) in &hist_rows {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {:>8}  {:>12.2}  {:>10}",
+                snap.count(),
+                snap.mean(),
+                snap.quantile_bound(0.99)
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn summary_aggregates_spans_and_lists_metrics() {
+        let _g = test_lock::hold();
+        crate::enable();
+        let _ = crate::take_events();
+        for _ in 0..3 {
+            let _s = crate::span("sum-test", "job");
+        }
+        crate::instant("sum-test", "tick");
+        crate::count("summary.test.counter", 2);
+        crate::record("summary.test.hist", 100);
+        crate::disable();
+        let events = crate::take_events();
+        let text = summary(&events);
+        assert!(text.contains("== trace summary =="), "{text}");
+        assert!(text.contains("sum-test/job"), "{text}");
+        assert!(text.contains("sum-test/tick"), "{text}");
+        assert!(text.contains("summary.test.counter"), "{text}");
+        assert!(text.contains("summary.test.hist"), "{text}");
+        // The span row reports count 3.
+        let row = text
+            .lines()
+            .find(|l| l.contains("sum-test/job"))
+            .expect("span row");
+        assert!(row.split_whitespace().any(|w| w == "3"), "{row}");
+    }
+
+    #[test]
+    fn empty_summary_is_just_the_header() {
+        let text = summary(&[]);
+        assert!(text.starts_with("== trace summary =="));
+    }
+}
