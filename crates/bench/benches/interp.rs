@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
-use stream_ir::{execute_legacy, ExecConfig, Kernel, Scalar, Tape, Ty};
+use stream_ir::{execute_legacy, ExecConfig, Kernel, Scalar, Tape, TapeConfig, Ty};
 use stream_kernels::{convolve, KernelId};
 use stream_machine::Machine;
 
@@ -71,57 +71,95 @@ fn cases() -> Vec<Case> {
     ]
 }
 
-/// Mean ns/call over enough calls to fill ~200ms, after warmup.
-fn time_ns(mut f: impl FnMut()) -> f64 {
-    f();
-    let probe = Instant::now();
-    f();
-    let once = probe.elapsed().as_nanos().max(1);
-    let samples = ((200_000_000 / once) as usize).clamp(10, 20_000);
-    let t0 = Instant::now();
-    for _ in 0..samples {
+/// Per-call ns for each path, as interleaved min-of-k windows: every
+/// round times one short (~3ms) window per path back to back, and each
+/// path keeps its best window mean. Interleaving plus the minimum makes
+/// the *ratios* robust to background load — a noise burst inflates whole
+/// windows, which the minimum then discards, instead of biasing one
+/// path's single long run as a mean would.
+fn time_paths<const N: usize>(mut fs: [&mut dyn FnMut(); N]) -> [f64; N] {
+    let mut per = [0usize; N];
+    for (i, f) in fs.iter_mut().enumerate() {
         f();
+        let probe = Instant::now();
+        f();
+        let once = probe.elapsed().as_nanos().max(1);
+        per[i] = ((3_000_000 / once) as usize).clamp(5, 2_000);
     }
-    t0.elapsed().as_nanos() as f64 / samples as f64
+    let mut best = [f64::INFINITY; N];
+    for _ in 0..24 {
+        for (i, f) in fs.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            for _ in 0..per[i] {
+                f();
+            }
+            best[i] = best[i].min(t0.elapsed().as_nanos() as f64 / per[i] as f64);
+        }
+    }
+    best
 }
 
-/// Self-times both paths and writes `BENCH_interp.json` at the repo root.
+/// Self-times all three paths (legacy tree-walk, PR-3 tape v1 baseline,
+/// tape v2 with fusion and lane specialization) and writes
+/// `BENCH_interp.json` at the repo root. `tape_<case>` is always the
+/// current default tape, so the original `speedup` gate keeps meaning
+/// "tape over legacy"; `speedup_v2_over_v1` isolates this PR's gain.
 fn emit_json(cases: &[Case]) {
     let mut bench_entries = Vec::new();
     let mut speedup_entries = Vec::new();
+    let mut v2_entries = Vec::new();
     for case in cases {
-        let tape = Tape::compile(&case.kernel);
+        let tape_v1 = Tape::compile_with(&case.kernel, TapeConfig::v1_baseline());
+        let tape_v2 = Tape::compile(&case.kernel);
         let expect = execute_legacy(&case.kernel, &case.params, &case.inputs, &case.cfg)
             .expect("legacy path executes");
-        assert_eq!(
-            tape.execute(&case.params, &case.inputs, &case.cfg)
-                .expect("tape path executes"),
-            expect,
-            "tape and legacy outputs diverge on {}",
-            case.name
-        );
+        for (label, tape) in [("v1", &tape_v1), ("v2", &tape_v2)] {
+            assert_eq!(
+                tape.execute(&case.params, &case.inputs, &case.cfg)
+                    .expect("tape path executes"),
+                expect,
+                "tape {} and legacy outputs diverge on {}",
+                label,
+                case.name
+            );
+        }
 
-        let legacy_ns = time_ns(|| {
-            execute_legacy(&case.kernel, &case.params, &case.inputs, &case.cfg).unwrap();
-        });
-        let tape_ns = time_ns(|| {
-            tape.execute(&case.params, &case.inputs, &case.cfg).unwrap();
-        });
-        let speedup = legacy_ns / tape_ns;
+        let [legacy_ns, v1_ns, v2_ns] = time_paths([
+            &mut || {
+                execute_legacy(&case.kernel, &case.params, &case.inputs, &case.cfg).unwrap();
+            },
+            &mut || {
+                tape_v1
+                    .execute(&case.params, &case.inputs, &case.cfg)
+                    .unwrap();
+            },
+            &mut || {
+                tape_v2
+                    .execute(&case.params, &case.inputs, &case.cfg)
+                    .unwrap();
+            },
+        ]);
+        let speedup = legacy_ns / v2_ns;
+        let v2_over_v1 = v1_ns / v2_ns;
         println!(
-            "interp/{}: legacy {:.0} ns, tape {:.0} ns, speedup {:.2}x",
-            case.name, legacy_ns, tape_ns, speedup
+            "interp/{}: legacy {:.0} ns, tape v1 {:.0} ns, tape v2 {:.0} ns, \
+             v2/legacy {:.2}x, v2/v1 {:.2}x",
+            case.name, legacy_ns, v1_ns, v2_ns, speedup, v2_over_v1
         );
         bench_entries.push(format!(
-            "    \"legacy_{}\": {{\"mean_ns\": {:.1}}},\n    \"tape_{}\": {{\"mean_ns\": {:.1}}}",
-            case.name, legacy_ns, case.name, tape_ns
+            "    \"legacy_{0}\": {{\"mean_ns\": {1:.1}}},\n    \
+             \"tape_v1_{0}\": {{\"mean_ns\": {2:.1}}},\n    \
+             \"tape_{0}\": {{\"mean_ns\": {3:.1}}}",
+            case.name, legacy_ns, v1_ns, v2_ns
         ));
         speedup_entries.push(format!("    \"{}\": {:.3}", case.name, speedup));
+        v2_entries.push(format!("    \"{}\": {:.3}", case.name, v2_over_v1));
     }
     let json = format!
-        ("{{\n  \"bench\": \"interp\",\n  \"unit\": \"ns_per_call\",\n  \"benchmarks\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }}\n}}\n",
+        ("{{\n  \"bench\": \"interp\",\n  \"unit\": \"ns_per_call\",\n  \"benchmarks\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }},\n  \"speedup_v2_over_v1\": {{\n{}\n  }}\n}}\n",
         bench_entries.join(",\n"),
-        speedup_entries.join(",\n")
+        speedup_entries.join(",\n"),
+        v2_entries.join(",\n")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
     std::fs::write(&path, json).expect("write BENCH_interp.json");

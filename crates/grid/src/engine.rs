@@ -8,9 +8,9 @@
 
 use crate::cache::{global_cache, CacheScope, KernelCache};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use stream_pool::PermitPool;
 use stream_trace::{Counter, TraceConfig};
 
 /// A boxed sweep job.
@@ -31,7 +31,7 @@ type TaskQueue<'a, T> = Mutex<VecDeque<(usize, Job<'a, T>)>>;
 #[derive(Debug)]
 pub struct Engine {
     workers: usize,
-    permits: AtomicUsize,
+    permits: PermitPool,
     cache: &'static KernelCache,
     trace: TraceConfig,
 }
@@ -89,7 +89,7 @@ impl Engine {
         let workers = workers.max(1);
         Self {
             workers,
-            permits: AtomicUsize::new(workers - 1),
+            permits: PermitPool::new(workers - 1),
             cache: global_cache(),
             trace: TraceConfig::default(),
         }
@@ -249,29 +249,11 @@ impl Engine {
     }
 
     fn take_permits(&self, want: usize) -> usize {
-        if want == 0 {
-            return 0;
-        }
-        let mut current = self.permits.load(Ordering::Relaxed);
-        loop {
-            let take = current.min(want);
-            if take == 0 {
-                return 0;
-            }
-            match self.permits.compare_exchange(
-                current,
-                current - take,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return take,
-                Err(now) => current = now,
-            }
-        }
+        self.permits.take(want)
     }
 
     fn give_permits(&self, n: usize) {
-        self.permits.fetch_add(n, Ordering::Relaxed);
+        self.permits.give(n);
     }
 }
 
@@ -339,15 +321,13 @@ fn steal<'a, T: Send>(me: usize, queues: &[TaskQueue<'a, T>]) -> Option<(usize, 
 
 /// The host's available parallelism (1 if it cannot be determined).
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    stream_pool::default_parallelism()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn results_come_back_in_submission_order() {
@@ -401,7 +381,7 @@ mod tests {
         // jobs over <=3 threads, at most 3 threads run inner jobs at once.
         assert!(peak.load(Ordering::SeqCst) <= 3, "peak {peak:?}");
         // All permits returned.
-        assert_eq!(engine.permits.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.permits.available(), 2);
     }
 
     #[test]

@@ -63,6 +63,6 @@ pub use interp::{
 pub use kernel::{Kernel, KernelBuilder, KernelStats, StreamDecl};
 pub use op::{Op, Opcode, StreamDir, StreamId, ValueId};
 pub use scalar::{Scalar, Ty};
-pub use tape::Tape;
+pub use tape::{LaneMode, StripMode, Tape, TapeConfig};
 pub use text::{parse_kernel, to_text, ParseError};
 pub use transform::unroll;

@@ -91,6 +91,10 @@ fn main() -> ExitCode {
     if trace_path.is_some() {
         stream_trace::enable();
     }
+    // The tape's strip-parallel executor draws from the process-global
+    // permit pool; size it to the same worker budget as the sweep engine
+    // so `--jobs 1` keeps the whole run strictly serial.
+    stream_pool::configure_global(jobs.unwrap_or_else(stream_pool::default_parallelism));
     let engine = match jobs {
         Some(n) => Engine::new(n),
         None => Engine::with_default_parallelism(),

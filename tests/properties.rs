@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use stream_scaling::grid::KernelCache;
 use stream_scaling::ir::{
-    execute, execute_legacy, parse_kernel, to_text, unroll, ExecConfig, Kernel, KernelBuilder,
-    Scalar, Tape, Ty, ValueId,
+    execute, execute_with_legacy, parse_kernel, to_text, unroll, ExecConfig, ExecOptions, Kernel,
+    KernelBuilder, Scalar, StripMode, Tape, TapeConfig, Ty, ValueId,
 };
 use stream_scaling::kernels::fft::{dft_reference, fft_reference, C32};
 use stream_scaling::kernels::split::{gather_words, max_chain, scatter_words, split_plan};
@@ -141,13 +141,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The compiled execution tape is observationally identical to the
-    /// legacy tree-walk interpreter: same outputs (bit for bit) and same
-    /// errors on random valid kernels, random inputs, and C in {1, 4, 8}.
+    /// legacy tree-walk interpreter on every execution path — the v1
+    /// baseline (no fusion, generic lanes, serial), the default v2
+    /// configuration (fused superinstructions plus lane-specialized
+    /// dispatch), and forced strip-parallel execution — for random valid
+    /// kernels (with and without recurrences and conditional streams),
+    /// random inputs, and C in {1, 3, 4, 8, 16}: same outputs (bit for
+    /// bit) and identical `IrError` values when the inputs are truncated.
     #[test]
     fn tape_matches_legacy_interpreter(
         script in proptest::collection::vec(any::<u8>(), 1..32),
         kind in 0u8..3,
-        clusters in prop_oneof![Just(1usize), Just(4), Just(8)],
+        clusters in prop_oneof![Just(1usize), Just(3), Just(4), Just(8), Just(16)],
+        starve in any::<bool>(),
     ) {
         let k = match kind {
             0 => elementwise_kernel(&script),
@@ -169,9 +175,35 @@ proptest! {
             })
             .collect();
         let cfg = ExecConfig::with_clusters(clusters);
-        let legacy = execute_legacy(&k, &[], &inputs, &cfg).map(output_bits);
-        let tape = Tape::compile(&k).execute(&[], &inputs, &cfg).map(output_bits);
-        prop_assert_eq!(legacy, tape);
+        // `starve` demands more iterations than the inputs supply, so every
+        // path must fail with the same StreamExhausted error; otherwise the
+        // iteration count is inferred and every path must succeed.
+        let opts = ExecOptions {
+            iterations: starve.then_some(iters + 2),
+            ..ExecOptions::default()
+        };
+        let legacy = execute_with_legacy(&k, &opts, &inputs, &cfg).map(output_bits);
+        let v1 = Tape::compile_with(&k, TapeConfig::v1_baseline())
+            .execute_with(&opts, &inputs, &cfg)
+            .map(output_bits);
+        let v2 = Tape::compile(&k).execute_with(&opts, &inputs, &cfg).map(output_bits);
+        let stripped = Tape::compile(&k)
+            .with_strip_mode(StripMode::Force)
+            .execute_with(&opts, &inputs, &cfg)
+            .map(output_bits);
+        let planar = Tape::compile_with(
+            &k,
+            TapeConfig {
+                planar: true,
+                ..TapeConfig::default()
+            },
+        )
+        .execute_with(&opts, &inputs, &cfg)
+        .map(output_bits);
+        prop_assert_eq!(&legacy, &v1);
+        prop_assert_eq!(&legacy, &v2);
+        prop_assert_eq!(&legacy, &stripped);
+        prop_assert_eq!(&legacy, &planar);
     }
 
     /// Unrolling never changes what an elementwise kernel computes.
