@@ -1,0 +1,30 @@
+// dropped into crates/ir/tests/ temporarily
+use stream_ir::{execute_legacy, ExecConfig, KernelBuilder, Scalar, Tape, TapeConfig, Ty};
+
+#[test]
+fn mixed_planarity_read2() {
+    let mut b = KernelBuilder::new("mixed");
+    let sa = b.in_stream(Ty::I32);
+    let sb = b.in_stream(Ty::I32);
+    let out = b.out_stream(Ty::I32);
+    let ra = b.read(sa);   // 2 uses -> stays plain Read
+    let rb = b.read(sb);   // 2 uses -> stays plain Read
+    let rb2 = b.read(sb);  // single use -> fused into BinRL(sb)
+    let t = b.add(ra, ra);
+    let u = b.add(rb, rb);
+    let v = b.add(rb2, t);
+    let w1 = b.add(u, v);
+    b.write(out, w1);
+    let k = b.finish().unwrap();
+
+    let n = 8usize;
+    let a_in: Vec<Scalar> = (0..n as i32).map(Scalar::I32).collect();
+    let b_in: Vec<Scalar> = (0..n as i32).map(|i| Scalar::I32(i * 10)).collect();
+    let inputs = vec![a_in, b_in];
+    let cfg = ExecConfig::with_clusters(4);
+    let want = execute_legacy(&k, &[], &inputs, &cfg).unwrap();
+
+    let planar = Tape::compile_with(&k, TapeConfig { planar: true, ..TapeConfig::default() });
+    let got = planar.execute(&[], &inputs, &cfg);
+    assert_eq!(got, Ok(want));
+}
