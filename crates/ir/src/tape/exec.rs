@@ -66,29 +66,80 @@ const fn lanes<const C: usize>(c: usize) -> usize {
     }
 }
 
+/// A parsed `STREAM_TAPE_STRIPS` value: a pinned mode or an exact count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StripOverride {
+    Mode(StripMode),
+    Count(usize),
+}
+
 /// `STREAM_TAPE_STRIPS` override, read once per process: `on`/`force` pin
-/// Force, `off`/`serial` pin Serial. Only consulted by tapes left in Auto —
-/// an explicit per-tape [`StripMode`] always wins.
-fn env_strip_mode() -> Option<StripMode> {
-    static MODE: OnceLock<Option<StripMode>> = OnceLock::new();
-    *MODE.get_or_init(|| match std::env::var("STREAM_TAPE_STRIPS") {
-        Ok(v) if v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("force") => {
-            Some(StripMode::Force)
+/// Force, `off`/`serial` pin Serial, and a number pins an exact strip
+/// count (bypassing the work threshold and permit pool, like Force). Only
+/// consulted by tapes left in Auto — an explicit per-tape [`StripMode`]
+/// always wins.
+///
+/// Out-of-range counts — zero, or more strips than the calling thread
+/// plus every permit the global pool could grant — are a configuration
+/// error: the override is ignored with a one-time debug-build diagnostic,
+/// never silently clamped to something runnable.
+fn env_strip_override() -> Option<StripOverride> {
+    static MODE: OnceLock<Option<StripOverride>> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        let v = match std::env::var("STREAM_TAPE_STRIPS") {
+            Ok(v) => v,
+            Err(_) => return None,
+        };
+        if v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("force") {
+            return Some(StripOverride::Mode(StripMode::Force));
         }
-        Ok(v) if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("serial") => {
-            Some(StripMode::Serial)
+        if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("serial") {
+            return Some(StripOverride::Mode(StripMode::Serial));
         }
-        _ => None,
+        if let Ok(n) = v.parse::<usize>() {
+            let max = stream_pool::global().available() + 1;
+            if n >= 1 && n <= max {
+                return Some(StripOverride::Count(n));
+            }
+            if cfg!(debug_assertions) {
+                eprintln!(
+                    "note[stream-ir]: STREAM_TAPE_STRIPS={v} is out of range \
+                     (this host supports 1..={max}); override ignored"
+                );
+            }
+            return None;
+        }
+        if cfg!(debug_assertions) {
+            eprintln!(
+                "note[stream-ir]: unrecognized STREAM_TAPE_STRIPS={v:?} \
+                 (want on/force, off/serial, or a strip count); override ignored"
+            );
+        }
+        None
     })
 }
 
 /// Decides the strip count for this call: `(strips, permits_taken)`.
 fn plan_strips(tape: &Tape, iterations: usize, c: usize) -> (usize, usize) {
-    let mode = match tape.config.strips {
-        StripMode::Auto => env_strip_mode().unwrap_or(StripMode::Auto),
-        m => m,
+    let overridden = match tape.config.strips {
+        StripMode::Auto => env_strip_override(),
+        m => Some(StripOverride::Mode(m)),
     };
-    if mode == StripMode::Serial || iterations < 2 {
+    if iterations < 2 {
+        return (1, 0);
+    }
+    if let Some(StripOverride::Count(n)) = overridden {
+        if !tape.strip_eligible {
+            stream_trace::count("tape.strip_fallback", 1);
+            return (1, 0);
+        }
+        return (iterations.min(n), 0);
+    }
+    let mode = match overridden {
+        Some(StripOverride::Mode(m)) => m,
+        _ => StripMode::Auto,
+    };
+    if mode == StripMode::Serial {
         return (1, 0);
     }
     if !tape.strip_eligible {
@@ -113,6 +164,19 @@ fn plan_strips(tape: &Tape, iterations: usize, c: usize) -> (usize, usize) {
         return (1, 0);
     }
     (granted + 1, granted)
+}
+
+/// Test-only probe of the strip planner: the strip count a run of
+/// `iterations` over `c` clusters would use, with any borrowed permits
+/// returned immediately. Exists so the `STREAM_TAPE_STRIPS` handling can
+/// be asserted from an own-process integration test without executing.
+#[doc(hidden)]
+pub fn probe_planned_strips(tape: &Tape, iterations: usize, c: usize) -> usize {
+    let (strips, permits) = plan_strips(tape, iterations, c);
+    if permits > 0 {
+        stream_pool::global().give(permits);
+    }
+    strips
 }
 
 /// Runs a compiled tape: plans strips, executes (parallel or serial), and

@@ -30,7 +30,7 @@
 use super::instr::{BinOp, Instr, RecurSlot};
 
 /// What a body instruction defines, if anything.
-fn def_of(ins: &Instr) -> Option<u32> {
+pub(crate) fn def_of(ins: &Instr) -> Option<u32> {
     use Instr::*;
     match *ins {
         ConstBits { dst, .. }
@@ -103,7 +103,7 @@ fn def_of(ins: &Instr) -> Option<u32> {
 }
 
 /// Calls `f` for every value slot this instruction reads.
-fn for_each_operand(ins: &Instr, mut f: impl FnMut(u32)) {
+pub(crate) fn for_each_operand(ins: &Instr, mut f: impl FnMut(u32)) {
     use Instr::*;
     match *ins {
         ConstBits { .. }
@@ -216,6 +216,85 @@ fn for_each_operand(ins: &Instr, mut f: impl FnMut(u32)) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shared soundness predicates.
+//
+// The fusion/hoist passes *apply* these rules and the translation
+// validator (`super::check`) independently *re-checks* them; both sides
+// call the same pure functions, so a drift between "what the optimizer
+// does" and "what validation accepts" shows up as a test failure here,
+// not as a latent miscompile. None of these mutate anything.
+
+/// Prefix counts of fallible instructions: `out[k]` is the number of
+/// fallible instructions among `body[..k]` (so `out.len() == body.len()+1`).
+pub(crate) fn fallible_prefix(body: &[Instr]) -> Vec<u32> {
+    let mut fal = vec![0u32; body.len() + 1];
+    for (i, ins) in body.iter().enumerate() {
+        fal[i + 1] = fal[i] + u32::from(ins.fallible());
+    }
+    fal
+}
+
+/// Whether a fallible *read* defined at `def_at` may legally move to its
+/// consumer at `use_at` (`def_at < use_at`): the read's bounds check
+/// travels with it, so nothing fallible may sit strictly between the two
+/// sites — otherwise a run that fails both ways could report the wrong
+/// error first. `fal` is the [`fallible_prefix`] of the same body.
+pub(crate) fn read_move_legal(fal: &[u32], def_at: usize, use_at: usize) -> bool {
+    fal[use_at] - fal[def_at + 1] == 0
+}
+
+/// Whether `ins` may sink into the once-per-call prologue: pure,
+/// infallible, and not per-iteration state. Hoisting a fallible
+/// instruction would surface its error even on zero-iteration runs, which
+/// the legacy interpreter never does.
+pub(crate) fn hoistable(ins: &Instr) -> bool {
+    !ins.fallible() && !matches!(ins, Instr::IterIndex { .. } | Instr::LoadRecur { .. })
+}
+
+/// Whether `ins` couples consecutive iterations through shared mutable
+/// state (conditional-stream cursors, the scratchpad), making the tape
+/// ineligible for strip-parallel execution.
+pub(crate) fn strip_coupler(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::CondRead { .. } | Instr::CondWrite { .. } | Instr::SpWrite { .. }
+    )
+}
+
+/// Whether `ins` observes the lane topology (cluster index/count, the
+/// iteration number, inter-cluster comm, scratchpad addressing) — exactly
+/// what macro-batching changes when it widens the lane vector.
+pub(crate) fn lane_topology_sensitive(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::ClusterId { .. }
+            | Instr::ClusterCount { .. }
+            | Instr::IterIndex { .. }
+            | Instr::Comm { .. }
+            | Instr::SpRead { .. }
+            | Instr::SpWrite { .. }
+    )
+}
+
+/// Strip eligibility derived from the final instruction stream: no
+/// recurrences and no iteration-coupling instructions anywhere in the
+/// body.
+pub(crate) fn derive_strip_eligible(body: &[Instr], n_recurs: usize) -> bool {
+    n_recurs == 0 && !body.iter().any(strip_coupler)
+}
+
+/// Batch eligibility derived from the final instruction stream (given
+/// strip eligibility from [`derive_strip_eligible`]): additionally, no
+/// instruction anywhere may observe the lane topology.
+pub(crate) fn derive_batchable(prologue: &[Instr], body: &[Instr], strip_eligible: bool) -> bool {
+    strip_eligible
+        && !prologue
+            .iter()
+            .chain(body.iter())
+            .any(lane_topology_sensitive)
+}
+
 /// Sinks iteration-invariant body instructions into the prologue: any
 /// pure, infallible instruction whose operands are all defined by the
 /// prologue (constants, params, cluster ids — or an already-sunk
@@ -236,9 +315,8 @@ pub(super) fn hoist_invariants(
     }
     let mut moved = 0usize;
     body.retain(|ins| {
-        let per_iteration = matches!(ins, Instr::IterIndex { .. } | Instr::LoadRecur { .. });
         let Some(dst) = def_of(ins) else { return true };
-        if ins.fallible() || per_iteration {
+        if !hoistable(ins) {
             return true;
         }
         let mut all_invariant = true;
@@ -316,10 +394,7 @@ pub(super) fn fuse(
     }
     // Prefix count of fallible instructions, for the read-move legality
     // check: `fal[k]` = fallible instructions among body[0..k].
-    let mut fal = vec![0u32; n + 1];
-    for (i, ins) in body.iter().enumerate() {
-        fal[i + 1] = fal[i] + u32::from(ins.fallible());
-    }
+    let fal = fallible_prefix(body);
 
     let mut cur: Vec<Option<Instr>> = body.iter().copied().map(Some).collect();
     let mut fused = 0usize;
@@ -352,9 +427,9 @@ pub(super) fn fuse(
                     && last_use[dst as usize]
                         .is_some_and(|u| matches!(body[u], Instr::Write { .. }));
                 let ra = (producer!(a, Instr::Read { stream, width, offset, .. } => (stream, width, offset)))
-                    .filter(|&(i, _)| fal[j] - fal[i + 1] == 0);
+                    .filter(|&(i, _)| read_move_legal(&fal, i, j));
                 let rb = (producer!(b, Instr::Read { stream, width, offset, .. } => (stream, width, offset)))
-                    .filter(|&(i, _)| fal[j] - fal[i + 1] == 0);
+                    .filter(|&(i, _)| read_move_legal(&fal, i, j));
                 if feeds_write {
                     // claimed by BinW later
                 } else if let Some((i, (stream, width, offset))) = ra {

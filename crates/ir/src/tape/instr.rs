@@ -13,18 +13,18 @@ use crate::{Scalar, Ty};
 
 /// One loop-carried recurrence, pre-resolved at compile time.
 #[derive(Debug, Clone, Copy)]
-pub(super) struct RecurSlot {
+pub(crate) struct RecurSlot {
     /// First-iteration value, as raw bits.
-    pub(super) init_bits: u32,
+    pub(crate) init_bits: u32,
     /// Value whose lanes feed the next iteration.
-    pub(super) next: u32,
+    pub(crate) next: u32,
 }
 
 /// Binary opcode carried by the generic fused forms (`BinKR`, `BinW`, …).
 /// Only infallible binaries appear here: integer division keeps its
 /// dedicated fallible instruction and is never fused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(super) enum BinOp {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum BinOp {
     AddI,
     AddF,
     SubI,
@@ -85,13 +85,13 @@ macro_rules! for_binop {
         }
     };
 }
-pub(super) use for_binop;
+pub(crate) use for_binop;
 
 /// A tape instruction: operand `ValueId`s resolved to dense value slots,
 /// opcodes specialized by the kernel's static types, stream accesses
 /// carrying their record width and word offset inline.
 #[derive(Debug, Clone, Copy)]
-pub(super) enum Instr {
+pub(crate) enum Instr {
     ConstBits {
         dst: u32,
         bits: u32,
@@ -524,7 +524,7 @@ pub(super) enum Instr {
 impl Instr {
     /// Whether this instruction can raise a runtime error. Fused read forms
     /// count: they carry a moved bounds check.
-    pub(super) fn fallible(&self) -> bool {
+    pub(crate) fn fallible(&self) -> bool {
         matches!(
             self,
             Instr::Read { .. }
@@ -544,7 +544,7 @@ impl Instr {
 }
 
 #[inline(always)]
-pub(super) fn bits_of(s: Scalar) -> u32 {
+pub(crate) fn bits_of(s: Scalar) -> u32 {
     match s {
         Scalar::I32(v) => v as u32,
         Scalar::F32(v) => v.to_bits(),
@@ -552,7 +552,7 @@ pub(super) fn bits_of(s: Scalar) -> u32 {
 }
 
 #[inline(always)]
-pub(super) fn scalar_of(bits: u32, ty: Ty) -> Scalar {
+pub(crate) fn scalar_of(bits: u32, ty: Ty) -> Scalar {
     match ty {
         Ty::I32 => Scalar::I32(bits as i32),
         Ty::F32 => Scalar::F32(f32::from_bits(bits)),
@@ -562,14 +562,14 @@ pub(super) fn scalar_of(bits: u32, ty: Ty) -> Scalar {
 /// Splits the value lattice into the `dst` lane row and the (strictly
 /// earlier, by SSA) operand rows.
 #[inline(always)]
-pub(super) fn split2(vals: &mut [u32], c: usize, dst: u32, a: u32) -> (&mut [u32], &[u32]) {
+pub(crate) fn split2(vals: &mut [u32], c: usize, dst: u32, a: u32) -> (&mut [u32], &[u32]) {
     let (lo, hi) = vals.split_at_mut(dst as usize * c);
     (&mut hi[..c], &lo[a as usize * c..a as usize * c + c])
 }
 
 #[inline(always)]
 #[allow(clippy::type_complexity)]
-pub(super) fn split3(
+pub(crate) fn split3(
     vals: &mut [u32],
     c: usize,
     dst: u32,
@@ -587,7 +587,7 @@ pub(super) fn split3(
 /// Splits off the `dst` row, returning it plus the whole earlier region so
 /// callers can slice any number of operand rows out of `lo` via [`row`].
 #[inline(always)]
-pub(super) fn split_dst(vals: &mut [u32], c: usize, dst: u32) -> (&mut [u32], &[u32]) {
+pub(crate) fn split_dst(vals: &mut [u32], c: usize, dst: u32) -> (&mut [u32], &[u32]) {
     let (lo, hi) = vals.split_at_mut(dst as usize * c);
     (&mut hi[..c], lo)
 }
@@ -597,7 +597,7 @@ pub(super) fn split_dst(vals: &mut [u32], c: usize, dst: u32) -> (&mut [u32], &[
 /// by SSA holds every operand row of a pair-fused instruction.
 #[inline(always)]
 #[allow(clippy::type_complexity)]
-pub(super) fn split_dst2(
+pub(crate) fn split_dst2(
     vals: &mut [u32],
     c: usize,
     da: u32,
@@ -616,12 +616,12 @@ pub(super) fn split_dst2(
 }
 
 #[inline(always)]
-pub(super) fn row(lo: &[u32], c: usize, v: u32) -> &[u32] {
+pub(crate) fn row(lo: &[u32], c: usize, v: u32) -> &[u32] {
     &lo[v as usize * c..v as usize * c + c]
 }
 
 #[inline(always)]
-pub(super) fn fill(vals: &mut [u32], c: usize, dst: u32, bits: u32) {
+pub(crate) fn fill(vals: &mut [u32], c: usize, dst: u32, bits: u32) {
     let d = dst as usize * c;
     vals[d..d + c].fill(bits);
 }

@@ -38,6 +38,7 @@
 //! stream declaration, the tape falls back to the oracle wholesale rather
 //! than guess.
 
+mod check;
 mod exec;
 mod fuse;
 mod instr;
@@ -47,6 +48,37 @@ use crate::interp::{execute_with_legacy, infer_iterations_decls, ExecConfig, Exe
 use crate::{IrError, Kernel, Opcode, Scalar, Ty, ValueId};
 use instr::{bits_of, Instr, RecurSlot};
 use scratch::Scratchpad;
+
+pub use check::{TapeCheckKind, TapeFinding};
+
+#[doc(hidden)]
+pub use check::TapeMutation;
+#[doc(hidden)]
+pub use exec::probe_planned_strips;
+
+/// Whether every [`Tape::compile`] should be translation-validated, with
+/// error-severity findings turned into a panic. Defaults to on in debug
+/// builds and off in release; the `STREAM_TAPE_VALIDATE` environment
+/// variable (`on`/`1`/`true` or `off`/`0`/`false`) overrides either way.
+fn validate_on_compile() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("STREAM_TAPE_VALIDATE") {
+        Ok(v) => match v.as_str() {
+            "on" | "1" | "true" => true,
+            "off" | "0" | "false" => false,
+            other => {
+                if cfg!(debug_assertions) {
+                    eprintln!(
+                        "stream-ir: unrecognized STREAM_TAPE_VALIDATE value {other:?} \
+                         (expected on/1/true or off/0/false); using the default"
+                    );
+                }
+                cfg!(debug_assertions)
+            }
+        },
+        Err(_) => cfg!(debug_assertions),
+    })
+}
 
 /// How the executor's per-lane loops are instantiated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -508,31 +540,15 @@ impl Tape {
             0
         };
         stream_trace::count("tape.fused_ops", fused as u64);
-        let strip_eligible = recurs.is_empty()
-            && !body.iter().any(|ins| {
-                matches!(
-                    ins,
-                    Instr::CondRead { .. } | Instr::CondWrite { .. } | Instr::SpWrite { .. }
-                )
-            });
-        // Macro-batching eligibility: the serial executor may run BATCH
-        // consecutive iterations as one dispatch over `BATCH * c` lanes
-        // only if no instruction can tell the lane topology apart —
-        // cluster index/count and comm shuffles see lane positions, the
-        // iteration index sees loop structure, and scratchpad addressing
-        // is scaled by the cluster count.
-        let batchable = config.batch
-            && strip_eligible
-            && !uses_sp
-            && !prologue.iter().chain(body.iter()).any(|ins| {
-                matches!(
-                    ins,
-                    Instr::ClusterId { .. }
-                        | Instr::ClusterCount { .. }
-                        | Instr::IterIndex { .. }
-                        | Instr::Comm { .. }
-                )
-            });
+        // Eligibility flags come from the shared soundness predicates in
+        // `fuse` — the same functions the translation validator re-runs,
+        // so an overclaimed flag is a validation error, not a silent
+        // miscompile. Macro-batching additionally requires the config bit:
+        // the serial executor may run BATCH consecutive iterations as one
+        // dispatch over `BATCH * c` lanes only if no instruction can tell
+        // the lane topology apart.
+        let strip_eligible = fuse::derive_strip_eligible(&body, recurs.len());
+        let batchable = config.batch && fuse::derive_batchable(&prologue, &body, strip_eligible);
         // Planar layout rewrite. Input streams touched only by plain reads
         // get transposed at call entry into per-(stream, offset) planes
         // indexed `iter * c + lane`, so their reads become contiguous row
@@ -566,90 +582,123 @@ impl Tape {
                     n_out_planes += d.record_width;
                 }
             }
-            for ins in &mut body {
-                match *ins {
+            let mut planar_body = Vec::with_capacity(body.len());
+            for ins in body.drain(..) {
+                match ins {
                     Instr::Read {
                         dst,
                         stream,
                         offset,
                         ..
                     } if in_plane_base[stream as usize] != u32::MAX => {
-                        *ins = Instr::PRead {
+                        planar_body.push(Instr::PRead {
                             dst,
                             stream,
                             plane: in_plane_base[stream as usize] + offset,
-                        };
+                        });
                     }
                     Instr::Read2 {
                         da,
                         sa,
+                        wa,
                         oa,
                         db,
                         sb,
+                        wb,
                         ob,
-                        ..
                     } if in_plane_base[sa as usize] != u32::MAX
-                        && in_plane_base[sb as usize] != u32::MAX =>
+                        || in_plane_base[sb as usize] != u32::MAX =>
                     {
-                        *ins = Instr::PRead2 {
-                            da,
-                            sa,
-                            pa: in_plane_base[sa as usize] + oa,
-                            db,
-                            sb,
-                            pb: in_plane_base[sb as usize] + ob,
-                        };
+                        if in_plane_base[sa as usize] != u32::MAX
+                            && in_plane_base[sb as usize] != u32::MAX
+                        {
+                            planar_body.push(Instr::PRead2 {
+                                da,
+                                sa,
+                                pa: in_plane_base[sa as usize] + oa,
+                                db,
+                                sb,
+                                pb: in_plane_base[sb as usize] + ob,
+                            });
+                        } else {
+                            // Mixed planarity: one half's stream was
+                            // planarized (its raw buffer is empty at run
+                            // time), the other stayed raw. Split the pair
+                            // back into its two program-order reads so each
+                            // half addresses its own layout; both bounds
+                            // checks keep their original order.
+                            for (dst, stream, width, offset) in [(da, sa, wa, oa), (db, sb, wb, ob)]
+                            {
+                                let base = in_plane_base[stream as usize];
+                                planar_body.push(if base != u32::MAX {
+                                    Instr::PRead {
+                                        dst,
+                                        stream,
+                                        plane: base + offset,
+                                    }
+                                } else {
+                                    Instr::Read {
+                                        dst,
+                                        stream,
+                                        width,
+                                        offset,
+                                    }
+                                });
+                            }
+                        }
                     }
                     Instr::Write {
                         src,
                         stream,
+                        width: _,
                         offset,
-                        ..
                     } => {
-                        *ins = Instr::PWrite {
+                        planar_body.push(Instr::PWrite {
                             src,
                             plane: out_plane_base[stream as usize] + offset,
-                        };
+                        });
                     }
                     Instr::BinW {
                         op,
                         a,
                         b,
                         stream,
+                        width: _,
                         offset,
-                        ..
                     } => {
-                        *ins = Instr::PBinW {
+                        planar_body.push(Instr::PBinW {
                             op,
                             a,
                             b,
                             plane: out_plane_base[stream as usize] + offset,
-                        };
+                        });
                     }
                     Instr::BflyWF {
                         a,
                         b,
                         add_stream,
+                        add_width: _,
                         add_offset,
                         sub_stream,
+                        sub_width: _,
                         sub_offset,
-                        ..
                     } => {
-                        *ins = Instr::PBflyWF {
+                        planar_body.push(Instr::PBflyWF {
                             a,
                             b,
                             add_plane: out_plane_base[add_stream as usize] + add_offset,
                             sub_plane: out_plane_base[sub_stream as usize] + sub_offset,
-                        };
+                        });
                     }
-                    _ => {}
+                    other => planar_body.push(other),
                 }
             }
+            body = planar_body;
         }
         compile_span.arg("fused", fused);
         compile_span.arg("strip_eligible", strip_eligible);
 
-        Self {
+        let tape = Self {
             kernel: kernel.clone(),
             prologue,
             body,
@@ -664,7 +713,45 @@ impl Tape {
             n_in_planes,
             out_plane_base,
             config,
+        };
+        if validate_on_compile() {
+            let errors: Vec<_> = tape
+                .validate()
+                .into_iter()
+                .filter(|f| f.kind.is_error())
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "tape translation validation failed for kernel `{}`:\n{}",
+                kernel.name(),
+                errors
+                    .iter()
+                    .map(|f| format!("  {f}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
         }
+        tape
+    }
+
+    /// Translation-validates this tape against its kernel and runs the
+    /// value-range analysis, returning every finding (errors sort before
+    /// warnings). An empty vector is a proof of per-iteration equivalence
+    /// with the legacy interpreter, up to the one wrapping-integer-add
+    /// canonicalization the fuser exploits.
+    ///
+    /// Runs automatically on every debug-mode compile (see the
+    /// `STREAM_TAPE_VALIDATE` environment variable); call it directly to
+    /// validate release-mode compiles or to inspect warnings.
+    pub fn validate(&self) -> Vec<TapeFinding> {
+        let mut span = stream_trace::span("tape", "validate");
+        span.arg("kernel", self.kernel.name());
+        let findings = check::check_tape(self);
+        let errors = findings.iter().filter(|f| f.kind.is_error()).count();
+        stream_trace::count("tape.validated", 1);
+        stream_trace::count("tape.check_failures", errors as u64);
+        span.arg("findings", findings.len());
+        findings
     }
 
     /// Returns the tape with its strip policy replaced.

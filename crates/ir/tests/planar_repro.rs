@@ -1,4 +1,7 @@
-// dropped into crates/ir/tests/ temporarily
+//! Regression cases for the planar tape layout: kernels whose mixed
+//! single-use/multi-use reads once miscompiled under `planar: true`,
+//! each checked bit-exact against the legacy interpreter.
+
 use stream_ir::{execute_legacy, ExecConfig, KernelBuilder, Scalar, Tape, TapeConfig, Ty};
 
 #[test]
@@ -7,9 +10,9 @@ fn mixed_planarity_read2() {
     let sa = b.in_stream(Ty::I32);
     let sb = b.in_stream(Ty::I32);
     let out = b.out_stream(Ty::I32);
-    let ra = b.read(sa);   // 2 uses -> stays plain Read
-    let rb = b.read(sb);   // 2 uses -> stays plain Read
-    let rb2 = b.read(sb);  // single use -> fused into BinRL(sb)
+    let ra = b.read(sa); // 2 uses -> stays plain Read
+    let rb = b.read(sb); // 2 uses -> stays plain Read
+    let rb2 = b.read(sb); // single use -> fused into BinRL(sb)
     let t = b.add(ra, ra);
     let u = b.add(rb, rb);
     let v = b.add(rb2, t);
@@ -19,12 +22,20 @@ fn mixed_planarity_read2() {
 
     let n = 8usize;
     let a_in: Vec<Scalar> = (0..n as i32).map(Scalar::I32).collect();
-    let b_in: Vec<Scalar> = (0..n as i32).map(|i| Scalar::I32(i * 10)).collect();
+    // sb is read twice per iteration (record width 2), so it needs
+    // 2 * n words for the same iteration count as sa.
+    let b_in: Vec<Scalar> = (0..2 * n as i32).map(|i| Scalar::I32(i * 10)).collect();
     let inputs = vec![a_in, b_in];
     let cfg = ExecConfig::with_clusters(4);
     let want = execute_legacy(&k, &[], &inputs, &cfg).unwrap();
 
-    let planar = Tape::compile_with(&k, TapeConfig { planar: true, ..TapeConfig::default() });
+    let planar = Tape::compile_with(
+        &k,
+        TapeConfig {
+            planar: true,
+            ..TapeConfig::default()
+        },
+    );
     let got = planar.execute(&[], &inputs, &cfg);
     assert_eq!(got, Ok(want));
 }

@@ -13,6 +13,13 @@
 //! returns however many permits (possibly zero) are free right now. Callers
 //! run serial on a zero grant.
 
+// Under the `model` feature the pool's atomic comes from `loom-shim`, whose
+// operations are scheduler yield points inside a `loom_shim::model` run (and
+// identical std atomics otherwise). This lets `tests/model.rs` exhaustively
+// check every interleaving of the *real* take/give code, not a copy of it.
+#[cfg(feature = "model")]
+use loom_shim::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(feature = "model"))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 

@@ -1,0 +1,107 @@
+//! Exhaustive interleaving checks for the permit pool, run under the
+//! loom-shim model: every schedule of the real `take`/`give` code across
+//! the modeled threads is explored, so the invariants below are proved for
+//! the small configurations modeled here, not just sampled.
+//!
+//! Requires the `model` feature (`cargo test -p stream-pool --features
+//! model`), which swaps the pool's atomic onto the shim. The same tests
+//! also run from the workspace root suite via the root crate's
+//! dev-dependency, so tier-1 `cargo test` includes them.
+#![cfg(feature = "model")]
+
+use loom_shim::thread;
+use std::sync::Arc;
+use stream_pool::PermitPool;
+
+/// Two takers racing for a pool of two: no interleaving may overdraw, and
+/// returning every grant must restore the pool exactly.
+#[test]
+fn concurrent_acquire_never_overdraws() {
+    let executions = loom_shim::model(|| {
+        let pool = Arc::new(PermitPool::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || pool.take(2))
+            })
+            .collect();
+        let grants: Vec<usize> = handles.into_iter().map(|h| h.join()).collect();
+        let total: usize = grants.iter().sum();
+        assert!(total <= 2, "overdraw: grants {grants:?}");
+        pool.give(total);
+        assert_eq!(pool.available(), 2, "permits not conserved");
+    });
+    assert!(executions > 1, "more than one interleaving must exist");
+}
+
+/// Release racing acquire: a taker that loses the CAS race against a
+/// concurrent `give` retries and may steal the freshly returned permit.
+/// In every interleaving the pool ends balanced and no grant exceeds what
+/// was ever free.
+#[test]
+fn release_racing_acquire_stays_balanced() {
+    loom_shim::model(|| {
+        let pool = Arc::new(PermitPool::new(1));
+        let holder = Arc::clone(&pool);
+        let giver = thread::spawn(move || holder.give(1));
+        let taker = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.take(2))
+        };
+        giver.join();
+        let got = taker.join();
+        assert!(got <= 2);
+        pool.give(got);
+        assert_eq!(pool.available(), 2);
+    });
+}
+
+/// The work-stealing shape: two strip runners contend for one permit while
+/// a third thread (a finished sweep) returns its own. Exactly the permits
+/// that exist are ever granted, in every schedule.
+#[test]
+fn steal_interleavings_conserve_permits() {
+    loom_shim::model(|| {
+        let pool = Arc::new(PermitPool::new(1));
+        let a = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.take(1))
+        };
+        let b = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.take(1))
+        };
+        let returner = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.give(1))
+        };
+        let (ga, gb) = (a.join(), b.join());
+        returner.join();
+        // Capacity 1 plus the returned permit: at most 2 grants total, and
+        // if both takers won they must have won *different* permits.
+        assert!(ga + gb <= 2, "granted {ga}+{gb} from 2 permits");
+        pool.give(ga + gb);
+        assert_eq!(pool.available(), 2);
+    });
+}
+
+/// Zero-want takers are inert in every interleaving: they never perturb
+/// the counter even mid-race.
+#[test]
+fn zero_want_is_inert_under_contention() {
+    loom_shim::model(|| {
+        let pool = Arc::new(PermitPool::new(1));
+        let z = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.take(0))
+        };
+        let t = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.take(1))
+        };
+        assert_eq!(z.join(), 0);
+        let got = t.join();
+        pool.give(got);
+        assert_eq!(pool.available(), 1);
+    });
+}

@@ -1,19 +1,39 @@
 //! The `verify` experiment: sweep the full Figure 13 x Figure 14
 //! configuration grid, run every compiled kernel schedule through the
-//! independent verifier in `stream-verify`, and lint every kernel's IR.
+//! independent verifier in `stream-verify`, lint every kernel's IR, and
+//! translation-validate every kernel's execution tape under each tape
+//! compiler configuration (`stream-tapecheck`).
 //!
 //! A clean run is the evidence that the scheduler's output is legal by an
 //! implementation that shares none of its code — the paper's results rest
-//! on these schedules being real.
+//! on these schedules being real — and that the tape compiler's fused,
+//! batched, and planarized code is provably equivalent to the kernel IR it
+//! was compiled from.
 
 use crate::kernel_figs::{FIG13_NS, FIG14_CS};
 use crate::sweep::Ctx;
 use crate::{ExperimentId, Report};
+use stream_ir::{Tape, TapeConfig};
 use stream_kernels::KernelId;
 use stream_machine::Machine;
 use stream_sched::check_schedule;
+use stream_tapecheck::validate_tape;
 use stream_verify::lint_kernel;
 use stream_vlsi::Shape;
+
+/// The tape compiler configurations every kernel is validated under: the
+/// current default (fused), the v1 baseline (unfused, unbatched), and the
+/// planarized layout — the three codegen strategies `repro` measures.
+fn tape_configs() -> [TapeConfig; 3] {
+    [
+        TapeConfig::default(),
+        TapeConfig::v1_baseline(),
+        TapeConfig {
+            planar: true,
+            ..TapeConfig::default()
+        },
+    ]
+}
 
 /// Verifies every suite kernel's schedule and IR across the full
 /// `(C, N)` grid of Figures 13 and 14.
@@ -34,6 +54,8 @@ pub(crate) fn verify_impl(ctx: &Ctx) -> Report {
         "sched warnings",
         "lint errors",
         "lint warnings",
+        "tape errors",
+        "tape warnings",
     ]);
     // One job per (kernel, C, N) config; schedules come from the shared
     // cache, so a `repro all` run verifies the very schedules the figures
@@ -55,22 +77,38 @@ pub(crate) fn verify_impl(ctx: &Ctx) -> Report {
             .compile_default(&kernel, &machine)
             .expect("suite kernels schedule on all paper machines");
         let report = check_schedule(compiled.ddg(), compiled.schedule(), &machine);
+        let mut tape_report = stream_verify::Report::new();
+        for config in tape_configs() {
+            tape_report.merge(validate_tape(&Tape::compile_with(&kernel, config)));
+        }
         (
             lint.error_count(),
             lint.warning_count(),
             report.error_count(),
             report.warning_count(),
+            tape_report.error_count(),
+            tape_report.warning_count(),
         )
     });
     let configs_per_kernel = FIG14_CS.len() * FIG13_NS.len();
     let mut total_errors = 0usize;
     for (ki, id) in KernelId::ALL.iter().enumerate() {
-        let mut sums = (0usize, 0usize, 0usize, 0usize);
-        for (le, lw, se, sw) in &checks[ki * configs_per_kernel..(ki + 1) * configs_per_kernel] {
-            sums = (sums.0 + le, sums.1 + lw, sums.2 + se, sums.3 + sw);
+        let mut sums = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
+        for (le, lw, se, sw, te, tw) in
+            &checks[ki * configs_per_kernel..(ki + 1) * configs_per_kernel]
+        {
+            sums = (
+                sums.0 + le,
+                sums.1 + lw,
+                sums.2 + se,
+                sums.3 + sw,
+                sums.4 + te,
+                sums.5 + tw,
+            );
         }
-        let (lint_errors, lint_warnings, sched_errors, sched_warnings) = sums;
-        total_errors += sched_errors + lint_errors;
+        let (lint_errors, lint_warnings, sched_errors, sched_warnings, tape_errors, tape_warnings) =
+            sums;
+        total_errors += sched_errors + lint_errors + tape_errors;
         r.row([
             id.name().to_string(),
             configs_per_kernel.to_string(),
@@ -78,10 +116,14 @@ pub(crate) fn verify_impl(ctx: &Ctx) -> Report {
             sched_warnings.to_string(),
             lint_errors.to_string(),
             lint_warnings.to_string(),
+            tape_errors.to_string(),
+            tape_warnings.to_string(),
         ]);
     }
     r.note(format!(
-        "verifier re-derives slot usage, dependences, ResMII/RecMII, and register pressure; {total_errors} error(s) total"
+        "verifier re-derives slot usage, dependences, ResMII/RecMII, and register pressure; \
+         tapes are translation-validated under {} compiler configs each; {total_errors} error(s) total",
+        tape_configs().len()
     ));
     r.note("diagnostic codes are cataloged in docs/lint_codes.md");
     r
@@ -102,6 +144,7 @@ mod tests {
         for row in &r.rows {
             assert_eq!(row[2], "0", "schedule errors for {}", row[0]);
             assert_eq!(row[4], "0", "lint errors for {}", row[0]);
+            assert_eq!(row[6], "0", "tape validation errors for {}", row[0]);
         }
     }
 }

@@ -23,7 +23,9 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `E0xx` are IR lint errors, `W0xx` IR lint
 /// warnings, `E1xx` schedule-verification errors, `W1xx` schedule
-/// warnings. Codes never change meaning; see `docs/lint_codes.md`.
+/// warnings, `E2xx` tape translation-validation errors, `W2xx` tape
+/// value-range/eligibility warnings. Codes never change meaning; see
+/// `docs/lint_codes.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// E001: an operand names a value not defined before its use.
@@ -75,11 +77,50 @@ pub enum Code {
     /// W101: the schedule's steady-state MaxLive exceeds the cluster's LRF
     /// register capacity.
     RegisterPressure,
+    /// E201: a tape output word's expression differs from the kernel
+    /// reference (e.g. swapped non-commutative float operands).
+    TapeWriteMismatch,
+    /// E202: the tape writes a different set of output words than the
+    /// kernel (missing, extra, or duplicated).
+    TapeWriteCoverage,
+    /// E203: the tape's ordered potential-fault sites diverge from program
+    /// order, so some input would report a different first error.
+    TapeErrorOrder,
+    /// E204: a tape recurrence slot's initial bits or feed expression
+    /// differ from the kernel's binding.
+    TapeRecurrence,
+    /// E205: the tape violates the SSA slot layout (operand at or above
+    /// its destination, redefined slot, malformed pair).
+    TapeOperandOrder,
+    /// E206: a tape instruction reads a never-defined slot.
+    TapeUndefinedSlot,
+    /// E207: a fallible or per-iteration instruction was hoisted into the
+    /// once-per-call prologue.
+    TapeHoistedEffect,
+    /// E208: a strip/batch eligibility flag claims more than the shared
+    /// soundness predicates re-derive.
+    TapeFlagOverclaim,
+    /// E209: a conditional stream's (predicate, source) sequence diverges
+    /// from the kernel.
+    TapeCondStream,
+    /// E210: a planar-layout access is inconsistent with the tape's plane
+    /// mapping.
+    TapePlanarMap,
+    /// E211: a stream access disagrees with the stream declaration
+    /// (index, record width, offset, conditionality).
+    TapeAccessShape,
+    /// W201: the tape forgoes a strip/batch eligibility the predicates
+    /// re-derive.
+    TapeMissedEligibility,
+    /// W202: a tape bounds check is provably dead (always in range).
+    TapeDeadCheck,
+    /// W203: a tape access provably faults on every input reaching it.
+    TapeStaticFault,
 }
 
 impl Code {
     /// All codes, in catalog order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 34] = [
         Code::UndefinedValue,
         Code::TypeMismatch,
         Code::UnknownOpcode,
@@ -100,6 +141,20 @@ impl Code {
         Code::ZeroIi,
         Code::LatencyDrift,
         Code::RegisterPressure,
+        Code::TapeWriteMismatch,
+        Code::TapeWriteCoverage,
+        Code::TapeErrorOrder,
+        Code::TapeRecurrence,
+        Code::TapeOperandOrder,
+        Code::TapeUndefinedSlot,
+        Code::TapeHoistedEffect,
+        Code::TapeFlagOverclaim,
+        Code::TapeCondStream,
+        Code::TapePlanarMap,
+        Code::TapeAccessShape,
+        Code::TapeMissedEligibility,
+        Code::TapeDeadCheck,
+        Code::TapeStaticFault,
     ];
 
     /// The stable code string, e.g. `"E102"`.
@@ -125,6 +180,20 @@ impl Code {
             Code::ZeroIi => "E105",
             Code::LatencyDrift => "E106",
             Code::RegisterPressure => "W101",
+            Code::TapeWriteMismatch => "E201",
+            Code::TapeWriteCoverage => "E202",
+            Code::TapeErrorOrder => "E203",
+            Code::TapeRecurrence => "E204",
+            Code::TapeOperandOrder => "E205",
+            Code::TapeUndefinedSlot => "E206",
+            Code::TapeHoistedEffect => "E207",
+            Code::TapeFlagOverclaim => "E208",
+            Code::TapeCondStream => "E209",
+            Code::TapePlanarMap => "E210",
+            Code::TapeAccessShape => "E211",
+            Code::TapeMissedEligibility => "W201",
+            Code::TapeDeadCheck => "W202",
+            Code::TapeStaticFault => "W203",
         }
     }
 
@@ -159,6 +228,20 @@ impl Code {
             Code::ZeroIi => "initiation interval is zero",
             Code::LatencyDrift => "latency disagrees with the verifier's independent table",
             Code::RegisterPressure => "steady-state MaxLive exceeds LRF register capacity",
+            Code::TapeWriteMismatch => "tape output expression differs from the kernel reference",
+            Code::TapeWriteCoverage => "tape writes a different set of output words",
+            Code::TapeErrorOrder => "tape potential-fault sites diverge from program order",
+            Code::TapeRecurrence => "tape recurrence init or feed differs from the kernel",
+            Code::TapeOperandOrder => "tape violates the SSA slot layout",
+            Code::TapeUndefinedSlot => "tape instruction reads a never-defined slot",
+            Code::TapeHoistedEffect => "fallible or per-iteration instruction hoisted to prologue",
+            Code::TapeFlagOverclaim => "eligibility flag claims more than the predicates derive",
+            Code::TapeCondStream => "conditional stream sequence diverges from the kernel",
+            Code::TapePlanarMap => "planar-layout access inconsistent with the plane mapping",
+            Code::TapeAccessShape => "stream access disagrees with the stream declaration",
+            Code::TapeMissedEligibility => "tape forgoes a provable strip/batch eligibility",
+            Code::TapeDeadCheck => "bounds check is provably dead (always in range)",
+            Code::TapeStaticFault => "access provably faults on every input reaching it",
         }
     }
 }

@@ -19,6 +19,7 @@
 //! * [`sim`] — the stream-program timing simulator,
 //! * [`apps`] — RENDER, DEPTH, CONV, QRD, FFT1K, FFT4K,
 //! * [`verify`] — independent schedule verification and IR lints,
+//! * [`tapecheck`] — translation validation for compiled execution tapes,
 //! * [`repro`] — per-table/figure reproduction reports.
 //!
 //! # Examples
@@ -42,5 +43,6 @@ pub use stream_machine as machine;
 pub use stream_repro as repro;
 pub use stream_sched as sched;
 pub use stream_sim as sim;
+pub use stream_tapecheck as tapecheck;
 pub use stream_verify as verify;
 pub use stream_vlsi as vlsi;

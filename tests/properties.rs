@@ -206,6 +206,58 @@ proptest! {
         prop_assert_eq!(&legacy, &planar);
     }
 
+    /// The translation validator accepts every tape the compiler produces
+    /// for random valid kernels — under the v1 baseline, the fused default,
+    /// and the planar layout — and every validator-accepted tape is
+    /// observationally bit-exact against the legacy tree-walk interpreter.
+    /// This is the soundness contract from the other side: acceptance is
+    /// not vacuous (trunk tapes pass) and acceptance implies equivalence
+    /// on real inputs, not just symbolically.
+    #[test]
+    fn validated_tapes_are_bit_exact(
+        script in proptest::collection::vec(any::<u8>(), 1..32),
+        kind in 0u8..3,
+        clusters in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        use stream_scaling::tapecheck::validate_tape;
+        let k = match kind {
+            0 => elementwise_kernel(&script),
+            1 => structured_kernel(&script, clusters as u32),
+            _ => condstream_kernel(&script),
+        };
+        let iters = 4usize;
+        let inputs: Vec<Vec<Scalar>> = k
+            .inputs()
+            .iter()
+            .map(|d| {
+                let words = iters * clusters * d.record_width as usize;
+                (0..words)
+                    .map(|i| match d.ty {
+                        Ty::I32 => Scalar::I32((i as i32 * 13) % 97 - 48),
+                        Ty::F32 => Scalar::F32(i as f32 * 0.5 - 6.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = ExecConfig::with_clusters(clusters);
+        let opts = ExecOptions::default();
+        let legacy = execute_with_legacy(&k, &opts, &inputs, &cfg).map(output_bits);
+        for config in [
+            TapeConfig::v1_baseline(),
+            TapeConfig::default(),
+            TapeConfig { planar: true, ..TapeConfig::default() },
+        ] {
+            let tape = Tape::compile_with(&k, config);
+            let report = validate_tape(&tape);
+            prop_assert!(
+                !report.has_errors(),
+                "validator rejected a trunk compile:\n{report}"
+            );
+            let got = tape.execute_with(&opts, &inputs, &cfg).map(output_bits);
+            prop_assert_eq!(&legacy, &got);
+        }
+    }
+
     /// Unrolling never changes what an elementwise kernel computes.
     #[test]
     fn unroll_preserves_elementwise_semantics(
