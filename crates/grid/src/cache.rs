@@ -6,12 +6,24 @@
 //! guarantees each distinct schedule is compiled **exactly once per
 //! process**: concurrent requests for the same key block on the first
 //! compiler invocation and share its result.
+//!
+//! An optional **disk tier** ([`DiskTier`], attached with
+//! [`KernelCache::attach_disk`]) makes warm lookups survive restarts: on a
+//! memory miss the cache first tries to *rehydrate* a persisted
+//! [`ScheduleRecipe`](stream_sched::ScheduleRecipe) and only runs the
+//! scheduler when the disk misses too. Rehydration is validating
+//! (`CompiledKernel::rehydrate` checks schedule legality against a fresh
+//! dependence graph), so a corrupted, stale, or truncated entry degrades to
+//! a recompute — never to a wrong schedule or a crash.
 
 use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 use stream_ir::{to_text, Kernel};
 use stream_machine::{Machine, MachineConfig};
-use stream_sched::{CompileOptions, CompiledKernel, ScheduleError};
+use stream_sched::{CompileOptions, CompiledKernel, ScheduleError, ScheduleRecipe};
+use stream_store::{DiskStore, Key};
 use stream_trace::Counter;
 
 /// Cache key: the kernel's identity (name plus a fingerprint of its exact
@@ -45,6 +57,113 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Version of the on-disk schedule payload. Bump whenever the key blob or
+/// payload layout below changes; old entries land in a differently named
+/// directory and are simply never read.
+const SCHEDULE_FORMAT_VERSION: u32 = 1;
+
+impl CacheKey {
+    /// A stable byte serialization of the full key. Doubles as the payload
+    /// prefix so a 128-bit hash collision reads back as a blob mismatch
+    /// (⇒ miss), never as the wrong schedule.
+    fn blob(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.kernel.len());
+        let bytes = |out: &mut Vec<u8>, b: &[u8]| {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        };
+        bytes(&mut out, self.kernel.as_bytes());
+        out.extend_from_slice(&self.kernel_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.machine.shape.clusters.to_le_bytes());
+        out.extend_from_slice(&self.machine.shape.alus_per_cluster.to_le_bytes());
+        out.extend_from_slice(&self.machine.params_fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.opts.unroll_factors.len() as u32).to_le_bytes());
+        for &u in &self.opts.unroll_factors {
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        out.push(u8::from(self.opts.respect_registers));
+        out.extend_from_slice(&self.opts.max_length.to_le_bytes());
+        out.push(u8::from(self.opts.software_pipelining));
+        out.push(u8::from(self.opts.verify));
+        out
+    }
+}
+
+/// The persistent tier under a [`KernelCache`]: compiled schedules, stored
+/// as validated [`ScheduleRecipe`]s in a [`DiskStore`] so they survive
+/// process restarts.
+#[derive(Debug)]
+pub struct DiskTier {
+    store: DiskStore,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) the schedule tier under `root`. Entries
+    /// live in `root/schedules.v<N>/`; `N` is the payload format version,
+    /// so incompatible layouts never share a directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: &Path) -> io::Result<Self> {
+        Ok(Self {
+            store: DiskStore::open(root, "schedules", SCHEDULE_FORMAT_VERSION)?,
+        })
+    }
+
+    /// Caps the number of resident entries; oldest entries are evicted on
+    /// `put` past the cap (counted as `cache.disk_evict`).
+    #[must_use]
+    pub fn with_max_entries(self, max: usize) -> Self {
+        Self {
+            store: self.store.with_max_entries(max),
+        }
+    }
+
+    /// The directory entries are stored in.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// Looks up `key` and rehydrates the stored recipe, validating it
+    /// against a freshly built dependence graph for `(kernel, machine)`.
+    /// Any failure — absent file, bad frame, blob mismatch, undecodable or
+    /// illegal recipe — is a `None` (⇒ the caller compiles).
+    fn load(
+        &self,
+        key: &CacheKey,
+        kernel: &Kernel,
+        machine: &Machine,
+        opts: &CompileOptions,
+    ) -> Option<CompiledKernel> {
+        let blob = key.blob();
+        let payload = self.store.get(Key::of(&blob))?;
+        let blob_len = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+        let rest = payload.get(4..)?;
+        if rest.len() < blob_len || rest[..blob_len] != blob[..] {
+            return None;
+        }
+        let recipe = ScheduleRecipe::decode(&rest[blob_len..])?;
+        CompiledKernel::rehydrate(kernel, machine, opts, &recipe)
+    }
+
+    /// Persists the recipe for `compiled` under `key` (write-through after
+    /// a compile). Best-effort: an I/O error only costs future warm starts.
+    fn save(&self, key: &CacheKey, compiled: &CompiledKernel) {
+        let blob = key.blob();
+        let recipe = compiled.recipe().encode();
+        let mut payload = Vec::with_capacity(4 + blob.len() + recipe.len());
+        payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&blob);
+        payload.extend_from_slice(&recipe);
+        if let Ok(evicted) = self.store.put(Key::of(&blob), &payload) {
+            if evicted > 0 {
+                stream_trace::count("cache.disk_evict", evicted as u64);
+            }
+        }
+    }
+}
+
 type CacheSlot = Arc<OnceLock<Result<Arc<CompiledKernel>, ScheduleError>>>;
 
 /// A thread-safe compiled-kernel cache.
@@ -57,11 +176,15 @@ type CacheSlot = Arc<OnceLock<Result<Arc<CompiledKernel>, ScheduleError>>>;
 #[derive(Debug, Default)]
 pub struct KernelCache {
     map: Mutex<HashMap<CacheKey, CacheSlot>>,
+    disk: OnceLock<DiskTier>,
     // Standalone trace counters: always exact (they are this cache's
-    // statistics, not optional telemetry); the gated `grid.cache.*`
-    // registry counters below mirror them only while tracing is on.
+    // statistics, not optional telemetry); the gated `grid.cache.*` and
+    // `cache.disk_*` registry counters mirror them only while tracing is on.
     hits: Counter,
     misses: Counter,
+    compiles: Counter,
+    disk_hits: Counter,
+    disk_misses: Counter,
 }
 
 /// A snapshot of cache-wide counters.
@@ -69,9 +192,18 @@ pub struct KernelCache {
 pub struct CacheStats {
     /// Lookups served from an already-compiled entry.
     pub hits: u64,
-    /// Lookups that ran the compiler (= distinct keys seen).
+    /// Lookups that missed the memory tier (= distinct keys seen).
     pub misses: u64,
-    /// Entries currently resident.
+    /// Memory misses that actually ran the scheduler (a miss served by the
+    /// disk tier is not a compile; without a disk tier, `compiles ==
+    /// misses`).
+    pub compiles: u64,
+    /// Memory misses rehydrated from the disk tier.
+    pub disk_hits: u64,
+    /// Memory misses the disk tier could not serve (absent, corrupt, or
+    /// failed-to-rehydrate entries — all fall through to the compiler).
+    pub disk_misses: u64,
+    /// Entries currently resident in memory.
     pub entries: usize,
 }
 
@@ -107,16 +239,36 @@ impl KernelCache {
     ) -> Result<Arc<CompiledKernel>, ScheduleError> {
         let slot: CacheSlot = {
             let mut map = self.map.lock().expect("kernel cache poisoned");
-            Arc::clone(map.entry(key).or_default())
+            Arc::clone(map.entry(key.clone()).or_default())
         };
-        let mut compiled_here = false;
+        let mut missed_here = false;
         let result = slot.get_or_init(|| {
-            compiled_here = true;
-            let mut compile_span = stream_trace::span("grid", "compile");
-            compile_span.arg("kernel", kernel.name());
-            CompiledKernel::compile(kernel, machine, opts).map(Arc::new)
+            missed_here = true;
+            let mut cache_span = stream_trace::span("cache", "fill");
+            cache_span.arg("kernel", kernel.name());
+            if let Some(tier) = self.disk.get() {
+                if let Some(warm) = tier.load(&key, kernel, machine, opts) {
+                    self.disk_hits.incr();
+                    stream_trace::count("cache.disk_hit", 1);
+                    cache_span.arg("tier", "disk");
+                    return Ok(Arc::new(warm));
+                }
+                self.disk_misses.incr();
+                stream_trace::count("cache.disk_miss", 1);
+            }
+            self.compiles.incr();
+            cache_span.arg("tier", "compile");
+            let compiled = {
+                let mut compile_span = stream_trace::span("grid", "compile");
+                compile_span.arg("kernel", kernel.name());
+                CompiledKernel::compile(kernel, machine, opts)
+            };
+            if let (Some(tier), Ok(c)) = (self.disk.get(), &compiled) {
+                tier.save(&key, c);
+            }
+            compiled.map(Arc::new)
         });
-        if compiled_here {
+        if missed_here {
             self.misses.incr();
             stream_trace::count("grid.cache.miss", 1);
         } else {
@@ -126,11 +278,28 @@ impl KernelCache {
         result.clone()
     }
 
+    /// Attaches a persistent tier: memory misses first try to rehydrate a
+    /// stored recipe and only fall back to the scheduler when the disk
+    /// misses too; fresh compiles are written through. At most one tier can
+    /// be attached per cache — returns `false` (dropping `tier`) if one
+    /// already is.
+    pub fn attach_disk(&self, tier: DiskTier) -> bool {
+        self.disk.set(tier).is_ok()
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<&DiskTier> {
+        self.disk.get()
+    }
+
     /// Current cache-wide counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
+            compiles: self.compiles.get(),
+            disk_hits: self.disk_hits.get(),
+            disk_misses: self.disk_misses.get(),
             entries: self.map.lock().expect("kernel cache poisoned").len(),
         }
     }
@@ -152,6 +321,17 @@ impl KernelCache {
 pub fn global_cache() -> &'static KernelCache {
     static GLOBAL: OnceLock<KernelCache> = OnceLock::new();
     GLOBAL.get_or_init(KernelCache::new)
+}
+
+/// Attaches a persistent tier rooted at `root` to the process-wide cache
+/// (see [`KernelCache::attach_disk`]). Returns `false` if a tier was
+/// already attached; `root` is created if absent.
+///
+/// # Errors
+///
+/// Propagates directory-creation failures.
+pub fn attach_global_disk(root: &Path) -> io::Result<bool> {
+    Ok(global_cache().attach_disk(DiskTier::open(root)?))
 }
 
 /// A consumer-local view of a [`KernelCache`] whose hit/miss counters are
@@ -327,5 +507,159 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    /// A unique scratch directory (fresh per call, removed afterwards via
+    /// the returned guard's drop).
+    fn scratch(tag: &str) -> (std::path::PathBuf, impl Drop) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "stream-grid-cache-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+        (dir.clone(), Cleanup(dir))
+    }
+
+    fn disk_cache(root: &Path) -> KernelCache {
+        let cache = KernelCache::new();
+        assert!(cache.attach_disk(DiskTier::open(root).unwrap()));
+        cache
+    }
+
+    #[test]
+    fn warm_restart_skips_the_scheduler() {
+        let (root, _guard) = scratch("warm");
+        let machine = Machine::paper(Shape::new(8, 5));
+        let k = toy_kernel("warm", 6);
+        let opts = CompileOptions::new();
+
+        // "Process one": cold — compiles and writes through.
+        let cold = disk_cache(&root);
+        let fresh = cold.get_or_compile(&k, &machine, &opts).unwrap();
+        let s = cold.stats();
+        assert_eq!((s.compiles, s.disk_hits, s.disk_misses), (1, 0, 1));
+
+        // "Process two": a brand-new cache over the same directory
+        // rehydrates — zero scheduler runs, identical schedule.
+        let warm = disk_cache(&root);
+        let rehydrated = warm.get_or_compile(&k, &machine, &opts).unwrap();
+        let s = warm.stats();
+        assert_eq!((s.compiles, s.disk_hits, s.disk_misses), (0, 1, 0));
+        assert_eq!(rehydrated.listing(), fresh.listing());
+        assert_eq!(rehydrated.ii(), fresh.ii());
+        assert_eq!(rehydrated.unroll_factor(), fresh.unroll_factor());
+    }
+
+    #[test]
+    fn disk_keys_distinguish_machine_and_options() {
+        let (root, _guard) = scratch("keys");
+        let k = toy_kernel("keys", 4);
+        let opts = CompileOptions::new();
+        let cold = disk_cache(&root);
+        cold.get_or_compile(&k, &Machine::baseline(), &opts)
+            .unwrap();
+
+        // Different machine and different options must not rehydrate from
+        // the baseline entry.
+        let warm = disk_cache(&root);
+        warm.get_or_compile(&k, &Machine::paper(Shape::new(16, 5)), &opts)
+            .unwrap();
+        warm.get_or_compile(
+            &k,
+            &Machine::baseline(),
+            &opts.clone().without_software_pipelining(),
+        )
+        .unwrap();
+        assert_eq!(warm.stats().disk_hits, 0);
+        assert_eq!(warm.stats().compiles, 2);
+    }
+
+    #[test]
+    fn corrupted_disk_entries_recompute_silently() {
+        let (root, _guard) = scratch("corrupt");
+        let machine = Machine::baseline();
+        let k = toy_kernel("corrupt", 5);
+        let opts = CompileOptions::new();
+        let fresh = disk_cache(&root)
+            .get_or_compile(&k, &machine, &opts)
+            .unwrap();
+
+        let tier_dir = DiskTier::open(&root).unwrap().dir().to_path_buf();
+        let entry = std::fs::read_dir(&tier_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "entry"))
+            .expect("write-through created an entry");
+
+        // Flip a payload byte: the frame checksum catches it, the lookup
+        // degrades to a recompute, and the healed entry serves the next
+        // restart warm.
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        let recovered = disk_cache(&root);
+        let recompiled = recovered.get_or_compile(&k, &machine, &opts).unwrap();
+        let s = recovered.stats();
+        assert_eq!((s.compiles, s.disk_hits, s.disk_misses), (1, 0, 1));
+        assert_eq!(recompiled.listing(), fresh.listing());
+
+        let healed = disk_cache(&root);
+        healed.get_or_compile(&k, &machine, &opts).unwrap();
+        assert_eq!(healed.stats().disk_hits, 1);
+
+        // Truncation is likewise a silent miss.
+        let entry = std::fs::read_dir(&tier_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "entry"))
+            .unwrap();
+        let bytes = std::fs::read(&entry).unwrap();
+        std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+        let truncated = disk_cache(&root);
+        truncated.get_or_compile(&k, &machine, &opts).unwrap();
+        assert_eq!(truncated.stats().compiles, 1);
+    }
+
+    #[test]
+    fn valid_frame_with_illegal_recipe_recomputes() {
+        let (root, _guard) = scratch("illegal");
+        let machine = Machine::baseline();
+        let k = toy_kernel("illegal", 5);
+        let opts = CompileOptions::new();
+        let cold = disk_cache(&root);
+        cold.get_or_compile(&k, &machine, &opts).unwrap();
+
+        // Forge a well-framed entry whose recipe schedules every op at
+        // cycle 0 — structurally decodable, semantically illegal. The
+        // validating rehydration must reject it and recompile.
+        let key = CacheKey::new(&k, &machine, &opts);
+        let blob = key.blob();
+        let bogus = ScheduleRecipe {
+            unroll: 1,
+            ii: 1,
+            times: vec![0; 64],
+        };
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&blob);
+        payload.extend_from_slice(&bogus.encode());
+        let store = DiskStore::open(&root, "schedules", SCHEDULE_FORMAT_VERSION).unwrap();
+        store.put(Key::of(&blob), &payload).unwrap();
+
+        let poisoned = disk_cache(&root);
+        poisoned.get_or_compile(&k, &machine, &opts).unwrap();
+        let s = poisoned.stats();
+        assert_eq!((s.compiles, s.disk_hits, s.disk_misses), (1, 0, 1));
     }
 }

@@ -54,5 +54,7 @@
 mod cache;
 mod engine;
 
-pub use cache::{global_cache, CacheScope, CacheStats, KernelCache, ScopeCounters};
+pub use cache::{
+    attach_global_disk, global_cache, CacheScope, CacheStats, DiskTier, KernelCache, ScopeCounters,
+};
 pub use engine::{Engine, Sweep, SweepStats};

@@ -33,7 +33,7 @@ pub(crate) fn fig15_impl(ctx: &Ctx) -> Report {
         "fig15",
         "Application Performance (speedup over C=8 N=5; GOPS in parentheses)",
     )
-    .headers([
+    .with_headers([
         "app",
         "C=8",
         "C=16",
@@ -145,7 +145,7 @@ pub(crate) fn headline_impl(ctx: &Ctx) -> Report {
         .fold(0.0f64, f64::max);
 
     let mut r = Report::new("headline", "Abstract claims vs reproduction")
-        .headers(["claim", "paper", "measured"]);
+        .with_headers(["claim", "paper", "measured"]);
     r.row([
         "640-ALU area per ALU vs 40-ALU".to_string(),
         "+2%".to_string(),

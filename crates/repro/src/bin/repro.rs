@@ -7,6 +7,7 @@
 //! repro fig13 table5             # a subset
 //! repro --jobs 4 all             # sweep on 4 worker threads
 //! repro --trace out.json fig13   # also write a Chrome trace of the run
+//! repro --cache-dir .cache all   # persist compiled schedules across runs
 //! repro list                     # list experiment ids
 //! ```
 //!
@@ -14,17 +15,26 @@
 //! host's available parallelism and `--jobs 1` is strictly serial.
 //! `--trace <path>` enables `stream-trace` for the run and writes the
 //! collected spans and counters as Chrome trace-event JSON (loadable in
-//! `chrome://tracing` or Perfetto), plus a text summary on stderr. Stdout
-//! is byte-identical for every worker count, traced or not; per-experiment
-//! timings go to stderr.
+//! `chrome://tracing` or Perfetto), plus a text summary on stderr.
+//! `--cache-dir <dir>` (or the `STREAM_CACHE_DIR` environment variable)
+//! attaches a persistent schedule cache: a second run against a populated
+//! directory rehydrates every schedule instead of compiling (the stderr
+//! `# cache:` line reports `compiles=0`). Stdout is byte-identical for
+//! every worker count, traced or not, cache warm or cold; per-experiment
+//! timings and cache statistics go to stderr.
+//!
+//! The binary is a thin shim: it parses argv into a
+//! [`stream_repro::Query`] and prints what the query returns, so the CLI
+//! can never drift from the library or the `stream-serve` daemon.
 
 use std::io::Write as _;
 use std::process::ExitCode;
-use stream_grid::Engine;
-use stream_repro::ExperimentId;
+use stream_repro::{ExperimentId, Query};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro [--jobs N] [--trace FILE] <all | list | experiment...>");
+    eprintln!(
+        "usage: repro [--jobs N] [--trace FILE] [--cache-dir DIR] <all | list | experiment...>"
+    );
     eprintln!("experiments: {}", stream_repro::EXPERIMENTS.join(" "));
     ExitCode::from(2)
 }
@@ -32,6 +42,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut trace_path: Option<String> = None;
+    let mut cache_dir: Option<String> = std::env::var("STREAM_CACHE_DIR").ok();
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +71,16 @@ fn main() -> ExitCode {
             other if other.starts_with("--trace=") => {
                 trace_path = Some(other["--trace=".len()..].to_string());
             }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--cache-dir needs a directory path");
+                    return usage();
+                };
+                cache_dir = Some(dir);
+            }
+            other if other.starts_with("--cache-dir=") => {
+                cache_dir = Some(other["--cache-dir=".len()..].to_string());
+            }
             "help" | "--help" | "-h" => return usage(),
             other => names.push(other.to_string()),
         }
@@ -73,12 +94,12 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let ids: Vec<ExperimentId> = if names[0] == "all" {
-        ExperimentId::ALL.to_vec()
+    let mut query = if names[0] == "all" {
+        Query::all()
     } else {
         let mut ids = Vec::with_capacity(names.len());
         for name in &names {
-            match name.parse() {
+            match name.parse::<ExperimentId>() {
                 Ok(id) => ids.push(id),
                 Err(e) => {
                     eprintln!("{e}");
@@ -86,28 +107,34 @@ fn main() -> ExitCode {
                 }
             }
         }
-        ids
+        Query::new().experiments(ids)
     };
+    if let Some(n) = jobs {
+        query = query.jobs(n);
+    }
     if trace_path.is_some() {
         stream_trace::enable();
+    }
+    if let Some(dir) = &cache_dir {
+        if let Err(e) = stream_grid::attach_global_disk(std::path::Path::new(dir)) {
+            eprintln!("failed to open schedule cache at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     // The tape's strip-parallel executor draws from the process-global
     // permit pool; size it to the same worker budget as the sweep engine
     // so `--jobs 1` keeps the whole run strictly serial.
     stream_pool::configure_global(jobs.unwrap_or_else(stream_pool::default_parallelism));
-    let engine = match jobs {
-        Some(n) => Engine::new(n),
-        None => Engine::with_default_parallelism(),
-    };
-    for report in stream_repro::run_many(&ids, &engine) {
+    let engine = query.engine();
+    for report in query.run_on(&engine) {
         println!("{report}");
         // All of an experiment's perf lines go out in one locked, flushed
         // write, so concurrent stderr writers can never interleave inside
         // an experiment's block.
         let mut block = String::new();
-        for line in &report.perf {
+        for line in report.perf_lines() {
             block.push_str("# ");
-            block.push_str(report.id);
+            block.push_str(report.id());
             block.push_str(": ");
             block.push_str(line);
             block.push('\n');
@@ -116,6 +143,16 @@ fn main() -> ExitCode {
         let mut lock = stderr.lock();
         let _ = lock.write_all(block.as_bytes());
         let _ = lock.flush();
+    }
+    if cache_dir.is_some() {
+        // Warm-start accounting (stderr, never stdout): `compiles=0` on a
+        // populated cache directory is the "zero schedule compiles" check
+        // CI asserts.
+        let s = stream_grid::global_cache().stats();
+        eprintln!(
+            "# cache: compiles={} disk_hits={} disk_misses={}",
+            s.compiles, s.disk_hits, s.disk_misses
+        );
     }
     if let Some(path) = trace_path {
         stream_trace::disable();

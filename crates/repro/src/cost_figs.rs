@@ -15,8 +15,11 @@ fn f(v: f64) -> String {
 /// drift from the paper is visible).
 pub fn table1() -> Report {
     let p = TechParams::paper();
-    let mut r =
-        Report::new("table1", "Summary of Parameters").headers(["param", "value", "description"]);
+    let mut r = Report::new("table1", "Summary of Parameters").with_headers([
+        "param",
+        "value",
+        "description",
+    ]);
     let rows: Vec<(&str, String, &str)> = vec![
         (
             "A_SRAM",
@@ -105,7 +108,7 @@ pub fn table3() -> Report {
         "table3",
         "Stream Processor VLSI Costs (model evaluated; areas in Mgrids, energies in ME_w/cycle)",
     )
-    .headers([
+    .with_headers([
         "shape", "A_SRF*C", "A_UC", "A_CLST*C", "A_COMM", "E_SRF*C", "E_UC", "E_CLST*C", "E_inter",
         "t_intra", "t_inter",
     ]);
@@ -140,7 +143,7 @@ pub fn table3() -> Report {
 pub fn calibration() -> Report {
     let model = CostModel::paper();
     let mut r = Report::new("calibration", "Section 4 prose anchors vs model")
-        .headers(["anchor", "paper", "measured", "band", "pass"]);
+        .with_headers(["anchor", "paper", "measured", "band", "pass"]);
     for a in calibration_anchors(&model) {
         r.row([
             a.id.to_string(),
@@ -159,7 +162,7 @@ fn sweep_report(
     sweep: &stream_vlsi::Sweep,
     label: impl Fn(Shape) -> String,
 ) -> Report {
-    let mut r = Report::new(id, title).headers([
+    let mut r = Report::new(id, title).with_headers([
         "config",
         "SRF",
         "microcontroller",
@@ -211,7 +214,7 @@ pub fn fig7() -> Report {
 /// Figure 8: switch delays under intracluster scaling.
 pub fn fig8() -> Report {
     let model = CostModel::paper();
-    let mut r = Report::new("fig8", "Delay of Intracluster Scaling (FO4, C=8)").headers([
+    let mut r = Report::new("fig8", "Delay of Intracluster Scaling (FO4, C=8)").with_headers([
         "config",
         "intracluster",
         "intercluster",
@@ -262,7 +265,7 @@ pub fn fig10() -> Report {
 /// Figure 11: switch delays under intercluster scaling.
 pub fn fig11() -> Report {
     let model = CostModel::paper();
-    let mut r = Report::new("fig11", "Delay of Intercluster Scaling (FO4, N=5)").headers([
+    let mut r = Report::new("fig11", "Delay of Intercluster Scaling (FO4, N=5)").with_headers([
         "config",
         "intracluster",
         "intercluster",
@@ -288,7 +291,7 @@ pub fn fig12() -> Report {
         "fig12",
         "Area of Combined Scaling (per ALU, normalized to C=32 N=5)",
     )
-    .headers(["total ALUs", "N=2", "N=5", "N=16"]);
+    .with_headers(["total ALUs", "N=2", "N=5", "N=16"]);
     for (i, &c) in INTERCLUSTER_CS.iter().enumerate() {
         r.row([
             format!("C={c}"),

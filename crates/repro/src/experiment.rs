@@ -149,15 +149,33 @@ impl fmt::Display for ExperimentId {
 }
 
 /// Error for an experiment id string that names no experiment.
+///
+/// Carries the offending input and, when some experiment name is close
+/// enough (edit distance ≤ 3), a typed nearest-name suggestion:
+///
+/// ```
+/// use stream_repro::ExperimentId;
+///
+/// let err = "fgi13".parse::<ExperimentId>().unwrap_err();
+/// assert_eq!(err.input, "fgi13");
+/// assert_eq!(err.suggestion, Some(ExperimentId::Fig13));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct UnknownExperiment {
     /// The id that failed to parse.
-    pub requested: String,
+    pub input: String,
+    /// The closest known experiment, if any name is plausibly a typo of it.
+    pub suggestion: Option<ExperimentId>,
 }
 
 impl fmt::Display for UnknownExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown experiment `{}`; known:", self.requested)?;
+        write!(f, "unknown experiment `{}`", self.input)?;
+        if let Some(s) = self.suggestion {
+            write!(f, " (did you mean `{s}`?)")?;
+        }
+        write!(f, "; known:")?;
         for id in ExperimentId::ALL {
             write!(f, " {id}")?;
         }
@@ -167,6 +185,38 @@ impl fmt::Display for UnknownExperiment {
 
 impl std::error::Error for UnknownExperiment {}
 
+/// Levenshtein edit distance, for the nearest-name suggestion. Inputs are
+/// experiment-id sized (≤ ~16 bytes), so the quadratic DP is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+impl UnknownExperiment {
+    fn for_input(s: &str) -> Self {
+        let lowered = s.to_ascii_lowercase();
+        let suggestion = ExperimentId::ALL
+            .into_iter()
+            .map(|id| (edit_distance(&lowered, id.name()), id))
+            .min_by_key(|&(d, id)| (d, id))
+            .filter(|&(d, _)| d <= 3)
+            .map(|(_, id)| id);
+        Self {
+            input: s.to_string(),
+            suggestion,
+        }
+    }
+}
+
 impl FromStr for ExperimentId {
     type Err = UnknownExperiment;
 
@@ -174,9 +224,7 @@ impl FromStr for ExperimentId {
         ExperimentId::ALL
             .into_iter()
             .find(|id| id.name() == s)
-            .ok_or_else(|| UnknownExperiment {
-                requested: s.to_string(),
-            })
+            .ok_or_else(|| UnknownExperiment::for_input(s))
     }
 }
 
@@ -197,6 +245,36 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("unknown experiment `fig99`"), "{msg}");
         assert!(msg.contains("table1") && msg.contains("verify"), "{msg}");
+    }
+
+    #[test]
+    fn near_misses_get_a_suggestion() {
+        for (typo, want) in [
+            ("fgi13", ExperimentId::Fig13),
+            ("tabel5", ExperimentId::Table5),
+            ("fig99", ExperimentId::Fig9),
+            ("headlines", ExperimentId::Headline),
+            ("ablation-swp", ExperimentId::AblationSwp),
+            ("VERIFY", ExperimentId::Verify),
+        ] {
+            let err = typo.parse::<ExperimentId>().unwrap_err();
+            assert_eq!(err.suggestion, Some(want), "{typo}");
+            assert!(err.to_string().contains("did you mean"), "{typo}");
+        }
+        // Nothing is a plausible typo of gibberish.
+        let err = "zzzzzzzzzzzz".parse::<ExperimentId>().unwrap_err();
+        assert_eq!(err.suggestion, None);
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_sane() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("fig13", "fig13"), 0);
+        assert_eq!(edit_distance("fig13", "fig14"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("sitting", "kitten"), 3);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub fn bandwidth() -> Report {
         "bandwidth",
         "Data bandwidth hierarchy (GB/s at 1 GHz; memory : SRF : LRF)",
     )
-    .headers([
+    .with_headers([
         "machine",
         "memory",
         "SRF",
@@ -63,7 +63,7 @@ pub fn full_custom() -> Report {
         "full_custom",
         "Standard-cell (45 FO4) vs full-custom (20 FO4) methodology",
     )
-    .headers(["metric", "std-cell", "full-custom"]);
+    .with_headers(["metric", "std-cell", "full-custom"]);
     let ratio = |model: &CostModel, f: &dyn Fn(&CostModel, Shape) -> f64| -> f64 {
         f(model, Shape::HEADLINE_640) / f(model, Shape::BASELINE)
     };
@@ -106,7 +106,7 @@ pub fn ablation_switch() -> Report {
         "ablation_switch",
         "Sparse crossbar ablation (C=128 N=10; relative to full crossbar)",
     )
-    .headers(["density", "area/ALU", "energy/op", "switch area share"]);
+    .with_headers(["density", "area/ALU", "energy/op", "switch area share"]);
     let shape = Shape::HEADLINE_1280;
     let full = CostModel::paper().evaluate(shape);
     for density in [1.0f64, 0.75, 0.5, 0.25] {
@@ -134,7 +134,7 @@ pub(crate) fn ablation_swp_impl(ctx: &Ctx) -> Report {
         "ablation_swp",
         "Software pipelining ablation (C=8 N=5; elements/cycle/cluster)",
     )
-    .headers(["kernel", "with SWP", "without SWP", "SWP gain"]);
+    .with_headers(["kernel", "with SWP", "without SWP", "SWP gain"]);
     let no_swp = CompileOptions::new().without_software_pipelining();
     // One job per kernel; both compiles go through the shared cache (the
     // SWP build is the same schedule Figures 13/14 measure).
@@ -176,7 +176,7 @@ pub(crate) fn scaled_datasets_impl(ctx: &Ctx) -> Report {
         "scaled_datasets",
         "Fixed vs machine-scaled datasets (speedup over C=8 N=5)",
     )
-    .headers([
+    .with_headers([
         "machine",
         "DEPTH fixed",
         "DEPTH scaled",
@@ -265,7 +265,7 @@ pub(crate) fn short_streams_impl(ctx: &Ctx) -> Report {
         "short_streams",
         "Kernel call efficiency vs stream length (FFT kernel)",
     )
-    .headers(["records", "C=8 N=5", "C=32 N=5", "C=128 N=5", "C=128 N=10"]);
+    .with_headers(["records", "C=8 N=5", "C=32 N=5", "C=128 N=5", "C=128 N=10"]);
     // One job per machine: compile the FFT kernel through the shared cache.
     let compiled = ctx.map(
         vec![(8u32, 5u32), (32, 5), (128, 5), (128, 10)],
@@ -303,7 +303,7 @@ pub(crate) fn fft_exchange_impl(ctx: &Ctx) -> Report {
         "fft_exchange",
         "FFT stage formulations: local gather vs intercluster exchange",
     )
-    .headers([
+    .with_headers([
         "machine",
         "COMM latency",
         "local: pts/cycle/cluster",
@@ -357,7 +357,7 @@ pub fn register_org() -> Report {
         "register_org",
         "Unified register file vs stream register organization",
     )
-    .headers([
+    .with_headers([
         "shape",
         "RF area ratio",
         "RF energy ratio",
@@ -390,7 +390,7 @@ pub fn projection() -> Report {
         "projection",
         "Process-node projection (Table 1 model de-normalized)",
     )
-    .headers([
+    .with_headers([
         "machine",
         "node",
         "clock",
@@ -428,7 +428,7 @@ pub(crate) fn ablation_memory_impl(ctx: &Ctx) -> Report {
         "ablation_memory",
         "DRAM access-pattern sensitivity (one trailing-matrix sweep worth of traffic)",
     )
-    .headers(["pattern", "cycles", "vs sequential"]);
+    .with_headers(["pattern", "cycles", "vs sequential"]);
     let machine = Machine::baseline();
     let sys = SystemParams::paper_2007();
     // A strip-sweep-shaped program: 32 strip loads + compute + stores.
@@ -486,7 +486,7 @@ pub(crate) fn multiproc_impl(ctx: &Ctx) -> Report {
         "multiproc",
         "One big processor vs M smaller ones (640 ALUs total, N=5)",
     )
-    .headers([
+    .with_headers([
         "config",
         "area/ALU",
         "energy/op",

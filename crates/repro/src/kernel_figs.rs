@@ -95,7 +95,7 @@ pub fn table2() -> Report {
         "table2",
         "Kernel Inner Loop Characteristics (ours vs paper)",
     )
-    .headers([
+    .with_headers([
         "kernel",
         "ALU ops",
         "SRF (per op)",
@@ -135,7 +135,8 @@ pub fn table2() -> Report {
 
 /// Table 4: the kernel and application inventory.
 pub fn table4() -> Report {
-    let mut r = Report::new("table4", "Kernels and Applications").headers(["name", "description"]);
+    let mut r =
+        Report::new("table4", "Kernels and Applications").with_headers(["name", "description"]);
     for id in KernelId::ALL {
         r.row([id.name().to_string(), id.description().to_string()]);
     }
@@ -206,7 +207,7 @@ pub(crate) fn fig13_impl(ctx: &Ctx) -> Report {
         "fig13",
         "Intracluster Kernel Speedup (C=8, over N=5; per-cluster elements/cycle ratio)",
     )
-    .headers(["kernel", "N=2", "N=5", "N=10", "N=14"]);
+    .with_headers(["kernel", "N=2", "N=5", "N=10", "N=14"]);
     r.rows = kernel_speedup_grid(ctx, &FIG13_NS, 5, |ctx, id, n| {
         compiled(ctx, id, Shape::new(8, n)).elements_per_cycle_per_cluster()
     });
@@ -226,7 +227,7 @@ pub(crate) fn fig14_impl(ctx: &Ctx) -> Report {
         "fig14",
         "Intercluster Kernel Speedup (N=5, over C=8; machine elements/cycle ratio)",
     )
-    .headers(["kernel", "C=8", "C=16", "C=32", "C=64", "C=128"]);
+    .with_headers(["kernel", "C=8", "C=16", "C=32", "C=64", "C=128"]);
     r.rows = kernel_speedup_grid(ctx, &FIG14_CS, 8, |ctx, id, c| {
         compiled(ctx, id, Shape::new(c, 5)).elements_per_cycle()
     });
@@ -243,7 +244,7 @@ pub fn fig14() -> Report {
 /// an area of exactly N ALUs sustaining N ops/cycle scores 1.0).
 pub(crate) fn table5_impl(ctx: &Ctx) -> Report {
     let mut r = Report::new("table5", "Kernel performance per unit area (harmonic mean)")
-        .headers(["N \\ C", "8", "16", "32", "64", "128"]);
+        .with_headers(["N \\ C", "8", "16", "32", "64", "128"]);
     let paper: [(u32, [f64; 5]); 4] = [
         (2, [0.138, 0.135, 0.136, 0.132, 0.133]),
         (5, [0.133, 0.134, 0.135, 0.132, 0.126]),

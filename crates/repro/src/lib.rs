@@ -19,11 +19,13 @@
 //! Library use:
 //!
 //! ```
-//! use stream_repro::{run, try_run, ExperimentId};
+//! use stream_repro::{run, ExperimentId, Query};
 //!
 //! let report = run(ExperimentId::Table4);
-//! assert_eq!(report.id, "table4");
-//! assert!(try_run("fig99").is_err());
+//! assert_eq!(report.id(), "table4");
+//! assert!("fig99".parse::<ExperimentId>().is_err());
+//! let reports = Query::new().experiment(ExperimentId::Table1).jobs(1).run();
+//! assert_eq!(reports[0].id(), "table1");
 //! ```
 
 mod app_figs;
@@ -31,6 +33,7 @@ mod cost_figs;
 mod experiment;
 mod extras;
 mod kernel_figs;
+mod query;
 mod report;
 mod sweep;
 mod verify_figs;
@@ -43,6 +46,7 @@ pub use extras::{
     multiproc, projection, register_org, scaled_datasets, short_streams,
 };
 pub use kernel_figs::{fig13, fig14, table2, table4, table5, FIG13_NS, FIG14_CS};
+pub use query::{Constraint, Metric, Query, SpaceAnswer, SpaceQuery, UnknownMetric};
 pub use report::Report;
 pub use verify_figs::verify;
 
@@ -111,6 +115,11 @@ pub fn run(id: ExperimentId) -> Report {
 /// # Errors
 ///
 /// Returns [`UnknownExperiment`] if `id` names no experiment.
+#[deprecated(
+    since = "0.1.0",
+    note = "parse the id with `str::parse::<ExperimentId>()` and call `run`, \
+            or describe the work with `Query`"
+)]
 pub fn try_run(id: &str) -> Result<Report, UnknownExperiment> {
     id.parse().map(run)
 }
@@ -177,9 +186,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn unknown_experiment_errors() {
         let err = try_run("fig99").unwrap_err();
-        assert_eq!(err.requested, "fig99");
+        assert_eq!(err.input, "fig99");
+        assert_eq!(err.suggestion, Some(ExperimentId::Fig9));
         assert!(err.to_string().contains("unknown experiment"));
     }
 }

@@ -3,7 +3,14 @@
 use std::fmt;
 
 /// One regenerated table or figure.
+///
+/// `#[non_exhaustive]`: construct with [`Report::new`] and read through the
+/// accessors, so fields can be added without breaking callers. The stable
+/// wire form is [`Report::to_json`] (schema `stream-scaling.report.v1`,
+/// documented in `docs/serve_api.md`) — the same rendering the
+/// `stream-serve` daemon returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Report {
     /// Paper artifact id, e.g. `"fig6"` or `"table5"`.
     pub id: &'static str,
@@ -35,8 +42,8 @@ impl Report {
         }
     }
 
-    /// Sets the headers.
-    pub fn headers<I, S>(mut self, headers: I) -> Self
+    /// Sets the headers (builder-style).
+    pub fn with_headers<I, S>(mut self, headers: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
@@ -58,6 +65,93 @@ impl Report {
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
     }
+
+    /// Paper artifact id, e.g. `"fig6"` or `"table5"`.
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// Human title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows (already formatted).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Free-form notes: paper anchors, deviations, substitutions.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Out-of-band performance lines; see the field doc.
+    pub fn perf_lines(&self) -> &[String] {
+        &self.perf
+    }
+
+    /// The report's stable serialized form — schema
+    /// `stream-scaling.report.v1`, the payload the `stream-serve` daemon
+    /// returns. Deterministic: key order is fixed, `perf` lines (which vary
+    /// run to run) are excluded, and the same report always renders to the
+    /// same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"stream-scaling.report.v1\"");
+        out.push_str(",\"id\":");
+        json_string(&mut out, self.id);
+        out.push_str(",\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        json_strings(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_strings(&mut out, row);
+        }
+        out.push_str("],\"notes\":");
+        json_strings(&mut out, &self.notes);
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_strings(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, s);
+    }
+    out.push(']');
 }
 
 impl fmt::Display for Report {
@@ -110,7 +204,7 @@ mod tests {
 
     #[test]
     fn renders_aligned_columns() {
-        let mut r = Report::new("t", "demo").headers(["name", "value"]);
+        let mut r = Report::new("t", "demo").with_headers(["name", "value"]);
         r.row(["alpha", "1"]);
         r.row(["b", "12345"]);
         r.note("hello");
@@ -120,5 +214,35 @@ mod tests {
         assert!(s.contains("note: hello"));
         // Aligned: "value" column width fits 12345.
         assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn accessors_mirror_the_fields() {
+        let mut r = Report::new("t", "demo").with_headers(["h"]);
+        r.row(["v"]);
+        r.note("n");
+        r.perf.push("3 jobs".to_string());
+        assert_eq!(r.id(), "t");
+        assert_eq!(r.title(), "demo");
+        assert_eq!(r.headers(), ["h".to_string()]);
+        assert_eq!(r.rows(), [vec!["v".to_string()]]);
+        assert_eq!(r.notes(), ["n".to_string()]);
+        assert_eq!(r.perf_lines(), ["3 jobs".to_string()]);
+    }
+
+    #[test]
+    fn json_form_is_stable_and_escaped() {
+        let mut r = Report::new("t", "quo\"te — déjà\n").with_headers(["a", "b"]);
+        r.row(["1", "2"]);
+        r.note("back\\slash");
+        r.perf.push("never serialized".to_string());
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"stream-scaling.report.v1\",\"id\":\"t\",\
+             \"title\":\"quo\\\"te — déjà\\n\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"2\"]],\"notes\":[\"back\\\\slash\"]}"
+        );
+        assert!(!json.contains("never serialized"));
     }
 }

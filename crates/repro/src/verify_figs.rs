@@ -47,7 +47,7 @@ pub(crate) fn verify_impl(ctx: &Ctx) -> Report {
         "verify",
         "Independent schedule verification across the (C, N) grid",
     )
-    .headers([
+    .with_headers([
         "kernel",
         "configs",
         "sched errors",

@@ -296,6 +296,84 @@ impl CompiledKernel {
         Self::compile(kernel, machine, &CompileOptions::default())
     }
 
+    /// The persistable essence of this compilation: unroll factor, II, and
+    /// node start times (see [`crate::ScheduleRecipe`]). Everything else is
+    /// re-derived deterministically at [`CompiledKernel::rehydrate`] time.
+    pub fn recipe(&self) -> crate::ScheduleRecipe {
+        crate::ScheduleRecipe {
+            unroll: self.unroll,
+            ii: self.schedule.ii,
+            times: self.schedule.times.clone(),
+        }
+    }
+
+    /// Reconstructs a compiled kernel from a previously persisted recipe
+    /// **without running the scheduler**, validating the recipe against a
+    /// freshly built dependence graph first.
+    ///
+    /// Returns `None` — "recompile, please" — if the recipe does not fit
+    /// this `(kernel, machine, opts)` triple: wrong node count, an illegal
+    /// schedule (dependence or resource violation), a register estimate
+    /// over capacity while `opts.respect_registers`, a schedule longer than
+    /// `opts.max_length`, overlapped iterations while software pipelining
+    /// is disabled, or a verifier rejection while `opts.verify`. A recipe
+    /// accepted here yields a `CompiledKernel` indistinguishable from the
+    /// one `compile` would have produced for the same inputs, because every
+    /// derived field is a deterministic function of the validated parts.
+    pub fn rehydrate(
+        kernel: &Kernel,
+        machine: &Machine,
+        opts: &CompileOptions,
+        recipe: &crate::ScheduleRecipe,
+    ) -> Option<Self> {
+        let mut span = stream_trace::span("sched", "rehydrate");
+        span.arg("kernel", kernel.name());
+        if recipe.ii == 0 || !opts.unroll_factors.contains(&recipe.unroll) {
+            return None;
+        }
+        let unrolled = unroll(kernel, recipe.unroll).ok()?;
+        let ddg = Ddg::build(&unrolled, machine);
+        if recipe.times.len() != ddg.nodes().len() {
+            return None;
+        }
+        let sched = ModuloSchedule {
+            ii: recipe.ii,
+            times: recipe.times.clone(),
+        };
+        sched.verify(&ddg, machine).ok()?;
+        let length = sched.length(&ddg);
+        if length > opts.max_length {
+            return None;
+        }
+        if !opts.software_pipelining && sched.stages() != 1 {
+            return None;
+        }
+        let registers = sched.register_estimate(&ddg);
+        if opts.respect_registers && registers > machine.register_capacity() {
+            return None;
+        }
+        if opts.verify {
+            let report = crate::check_schedule(&ddg, &sched, machine);
+            if report.has_errors() {
+                return None;
+            }
+        }
+        let bounds = MiiBounds::compute(&ddg, machine);
+        span.arg("ii", sched.ii);
+        Some(Self {
+            name: kernel.name().to_string(),
+            unroll: recipe.unroll,
+            registers,
+            schedule_length: length,
+            schedule: sched,
+            ddg,
+            bounds,
+            base_alu_ops: kernel.stats().alu_ops,
+            clusters: machine.clusters(),
+            pipeline_fill: machine.pipeline_fill_cycles(),
+        })
+    }
+
     /// Kernel name.
     pub fn name(&self) -> &str {
         &self.name
@@ -457,6 +535,7 @@ impl fmt::Display for CompiledKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ScheduleRecipe;
     use stream_ir::{KernelBuilder, Scalar, Ty};
     use stream_vlsi::Shape;
 
@@ -621,5 +700,64 @@ mod tests {
         let m = Machine::baseline();
         let c = CompiledKernel::compile_default(&k, &m).unwrap();
         assert!(c.to_string().contains("II="));
+    }
+
+    #[test]
+    fn rehydrate_reproduces_the_fresh_compile() {
+        let k = mul_add_kernel(7);
+        let m = Machine::paper(Shape::new(8, 5));
+        let opts = CompileOptions::new().verify(true);
+        let fresh = CompiledKernel::compile(&k, &m, &opts).unwrap();
+        let recipe = fresh.recipe();
+        let warm = CompiledKernel::rehydrate(&k, &m, &opts, &recipe)
+            .expect("recipe from a fresh compile must rehydrate");
+        assert_eq!(warm.ii(), fresh.ii());
+        assert_eq!(warm.unroll_factor(), fresh.unroll_factor());
+        assert_eq!(warm.registers(), fresh.registers());
+        assert_eq!(warm.schedule_length(), fresh.schedule_length());
+        assert_eq!(warm.listing(), fresh.listing());
+        // And the codec roundtrip survives the disk-byte boundary.
+        let decoded = crate::ScheduleRecipe::decode(&recipe.encode()).unwrap();
+        assert!(CompiledKernel::rehydrate(&k, &m, &opts, &decoded).is_some());
+    }
+
+    #[test]
+    fn rehydrate_rejects_bogus_recipes() {
+        let k = mul_add_kernel(7);
+        let m = Machine::baseline();
+        let opts = CompileOptions::new().verify(true);
+        let good = CompiledKernel::compile(&k, &m, &opts).unwrap().recipe();
+
+        // Wrong node count (recipe for a different unroll of the kernel).
+        let mut short = good.clone();
+        short.times.pop();
+        assert!(CompiledKernel::rehydrate(&k, &m, &opts, &short).is_none());
+
+        // Dependence-violating times: every op at cycle 0 cannot be legal
+        // for a kernel with multiply feeding add.
+        let flat = ScheduleRecipe {
+            unroll: good.unroll,
+            ii: good.ii,
+            times: vec![0; good.times.len()],
+        };
+        assert!(CompiledKernel::rehydrate(&k, &m, &opts, &flat).is_none());
+
+        // Zero II and unlisted unroll factors are structurally invalid.
+        let zero = ScheduleRecipe {
+            ii: 0,
+            ..good.clone()
+        };
+        assert!(CompiledKernel::rehydrate(&k, &m, &opts, &zero).is_none());
+        let alien = ScheduleRecipe {
+            unroll: 1000,
+            ..good.clone()
+        };
+        assert!(CompiledKernel::rehydrate(&k, &m, &opts, &alien).is_none());
+
+        // A recipe for one machine must not rehydrate on a machine where it
+        // is illegal (fewer ALUs -> resource conflicts), and the options'
+        // length budget is enforced.
+        let tight = CompileOptions::new().max_length(1);
+        assert!(CompiledKernel::rehydrate(&k, &m, &tight, &good).is_none());
     }
 }

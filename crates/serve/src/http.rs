@@ -1,0 +1,302 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`]: enough
+//! to parse one request (line + headers + `Content-Length` body) and write
+//! one response, with hard limits on every dimension so a misbehaving
+//! client cannot wedge a worker. Connections are `Connection: close` — one
+//! request per connection keeps the daemon's concurrency model identical to
+//! its permit accounting.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request line + headers, bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body, bytes.
+const MAX_BODY: usize = 1024 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Decoded path, query string stripped (`/v1/run/fig13`).
+    pub path: String,
+    /// Raw query string after `?`, empty if absent.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+impl Request {
+    /// The value of `key` in the query string (`?format=text&x=1`),
+    /// percent-decoding not applied (the daemon's values are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be served as HTTP.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket-level failure; no response is possible.
+    Io(io::Error),
+    /// Malformed or over-limit request; respond with this status.
+    Bad {
+        /// HTTP status code to answer with.
+        status: u16,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// [`RequestError::Bad`] for malformed/over-limit requests (the caller
+/// should answer with the carried status), [`RequestError::Io`] when the
+/// socket itself failed.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(RequestError::Bad {
+                status: 400,
+                reason: "truncated request",
+            });
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD {
+            return Err(RequestError::Bad {
+                status: 431,
+                reason: "request head too large",
+            });
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Bad {
+            status: 400,
+            reason: "malformed request line",
+        });
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad {
+            status: 505,
+            reason: "unsupported HTTP version",
+        });
+    }
+
+    let mut content_length = 0usize;
+    for header in lines {
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| RequestError::Bad {
+                status: 400,
+                reason: "bad content-length",
+            })?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(RequestError::Bad {
+            status: 413,
+            reason: "request body too large",
+        });
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    reader.read_exact(&mut body_bytes)?;
+    let body = String::from_utf8(body_bytes).map_err(|_| RequestError::Bad {
+        status: 400,
+        reason: "request body is not UTF-8",
+    })?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// One response to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes `response` and flushes; the connection is then closed by drop.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn roundtrip(raw: &str) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.flush().unwrap();
+            s // keep alive until the reader is done
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        drop(writer.join().unwrap());
+        req
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = roundtrip("GET /v1/run/fig13?format=text&x=1 HTTP/1.1\r\nhost: h\r\n\r\n")
+            .expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/run/fig13");
+        assert_eq!(req.query_param("format"), Some("text"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("absent"), None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body() {
+        let body = "{\"a\":1}";
+        let raw = format!(
+            "POST /v1/query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = roundtrip(&raw).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(
+            roundtrip("NOT-HTTP\r\n\r\n"),
+            Err(RequestError::Bad { status: 400, .. })
+        ));
+        assert!(matches!(
+            roundtrip("GET / HTTP/2.0\r\n\r\n"),
+            Err(RequestError::Bad { status: 505, .. })
+        ));
+        let huge = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "y".repeat(MAX_HEAD));
+        assert!(matches!(
+            roundtrip(&huge),
+            Err(RequestError::Bad { status: 431, .. })
+        ));
+        assert!(matches!(
+            roundtrip("POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n"),
+            Err(RequestError::Bad { status: 413, .. })
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            buf
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        write_response(&mut conn, &Response::json(200, "{\"ok\":true}".to_string())).unwrap();
+        drop(conn);
+        let wire = reader.join().unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"), "{wire}");
+        assert!(wire.contains("content-type: application/json\r\n"));
+        assert!(wire.contains("content-length: 11\r\n"));
+        assert!(wire.ends_with("{\"ok\":true}"));
+    }
+}

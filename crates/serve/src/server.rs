@@ -1,0 +1,424 @@
+//! The daemon: a TCP accept loop, permit-bounded dispatch, and the route
+//! table mapping HTTP requests onto the [`Planner`] and the typed query
+//! API.
+//!
+//! Worker accounting rides the process-global [`stream_pool`] permit pool —
+//! the same pool the sweep engine and the tape executor draw from — so
+//! total daemon parallelism is bounded no matter how many clients connect.
+//! A connection that cannot get a permit is handled *inline on the accept
+//! thread*: further accepts queue in the listen backlog until it finishes,
+//! which is the daemon's rate limiting (clients see latency, never dropped
+//! connections or unbounded threads).
+
+use crate::http::{read_request, write_response, Request, RequestError, Response};
+use crate::json::{object, parse, Value};
+use crate::planner::Planner;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use stream_repro::{ExperimentId, Metric, SpaceQuery};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Bind address; `None` means loopback on an OS-assigned port.
+    pub addr: Option<String>,
+    /// Worker budget for the shared engine and permit pool; `None` means
+    /// host parallelism.
+    pub workers: Option<usize>,
+    /// Cache root for the persistent schedule and result tiers; `None`
+    /// serves memory-only.
+    pub cache_root: Option<PathBuf>,
+}
+
+/// A handle to a running daemon.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    planner: Arc<Planner>,
+    accept_thread: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The planner, for out-of-band statistics.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Signals shutdown and waits for the accept loop to exit.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a pending accept.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+    }
+
+    /// Blocks until the daemon shuts down (e.g. via `POST /v1/shutdown`).
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Starts the daemon and returns once the socket is bound and accepting.
+///
+/// # Errors
+///
+/// Propagates bind and cache-directory failures.
+pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let workers = config
+        .workers
+        .unwrap_or_else(stream_pool::default_parallelism)
+        .max(1);
+    stream_pool::configure_global(workers);
+    if let Some(root) = &config.cache_root {
+        // Never fails on an already-attached tier: a second server in the
+        // same process simply shares the first one's schedule cache.
+        stream_grid::attach_global_disk(root)?;
+    }
+    let planner = Arc::new(Planner::new(
+        stream_grid::Engine::new(workers),
+        config.cache_root.as_deref(),
+    )?);
+    let listener = TcpListener::bind(config.addr.as_deref().unwrap_or("127.0.0.1:0"))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept_thread = {
+        let planner = Arc::clone(&planner);
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("stream-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, addr, &planner, &stop))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        planner,
+        accept_thread,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    planner: &Arc<Planner>,
+    stop: &Arc<AtomicBool>,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((conn, _peer)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        stream_trace::count("serve.connection", 1);
+        // Permit-bounded dispatch: with a permit, the connection gets its
+        // own thread; without one the accept thread serves it itself, so
+        // pending clients wait in the listen backlog — backpressure, not
+        // thread growth.
+        if stream_pool::global().take(1) == 1 {
+            let planner = Arc::clone(planner);
+            let stop = Arc::clone(stop);
+            let spawned = thread::Builder::new()
+                .name("stream-serve-worker".to_string())
+                .spawn(move || {
+                    handle_connection(conn, addr, &planner, &stop);
+                    stream_pool::global().give(1);
+                });
+            if spawned.is_err() {
+                stream_pool::global().give(1);
+            }
+        } else {
+            stream_trace::count("serve.inline", 1);
+            handle_connection(conn, addr, planner, stop);
+        }
+    }
+}
+
+fn handle_connection(mut conn: TcpStream, addr: SocketAddr, planner: &Planner, stop: &AtomicBool) {
+    let response = match read_request(&mut conn) {
+        Ok(request) => {
+            let shutting_down = request.method == "POST" && request.path == "/v1/shutdown";
+            let response = route(&request, planner);
+            if shutting_down && response.status == 200 {
+                stop.store(true, Ordering::SeqCst);
+            }
+            response
+        }
+        Err(RequestError::Bad { status, reason }) => error_response(status, reason, None),
+        Err(RequestError::Io(_)) => return, // nothing to answer on
+    };
+    let _ = write_response(&mut conn, &response);
+    drop(conn);
+    if stop.load(Ordering::SeqCst) {
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn error_response(status: u16, message: &str, suggestion: Option<&str>) -> Response {
+    let mut fields = vec![("error", Value::String(message.to_string()))];
+    if let Some(s) = suggestion {
+        fields.push(("suggestion", Value::String(s.to_string())));
+    }
+    Response::json(status, object(fields).render())
+}
+
+/// Maps one request to one response. Pure: no socket I/O, so the whole
+/// route table is unit-testable without a connection.
+pub(crate) fn route(request: &Request, planner: &Planner) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::json(200, object([("ok", Value::Bool(true))]).render()),
+        ("GET", "/v1/experiments") => experiments_response(),
+        ("GET", path) if path.starts_with("/v1/run/") => {
+            run_response(&path["/v1/run/".len()..], request, planner)
+        }
+        ("GET" | "POST", "/v1/sweep") => sweep_response(request, planner),
+        ("POST", "/v1/query") => query_response(request),
+        ("GET", "/v1/stats") => stats_response(planner),
+        ("POST", "/v1/shutdown") => {
+            Response::json(200, object([("ok", Value::Bool(true))]).render())
+        }
+        ("GET" | "POST", _) => error_response(404, "no such endpoint", None),
+        _ => error_response(405, "method not allowed", None),
+    }
+}
+
+fn experiments_response() -> Response {
+    let ids = Value::Array(
+        ExperimentId::ALL
+            .iter()
+            .map(|id| Value::String(id.name().to_string()))
+            .collect(),
+    );
+    Response::json(200, object([("experiments", ids)]).render())
+}
+
+fn parse_experiment(name: &str) -> Result<ExperimentId, Response> {
+    name.parse::<ExperimentId>().map_err(|e| {
+        error_response(
+            404,
+            &format!("unknown experiment `{}`", e.input),
+            e.suggestion.map(|s| s.name()),
+        )
+    })
+}
+
+fn run_response(name: &str, request: &Request, planner: &Planner) -> Response {
+    let id = match parse_experiment(name) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    let cell = planner.cell(id);
+    match request.query_param("format").unwrap_or("json") {
+        "json" => Response::json(200, cell.json.clone()),
+        // Byte-identical to `repro <id>` stdout — what CI diffs against.
+        "text" => Response::text(200, cell.text.clone()),
+        other => error_response(400, &format!("unknown format `{other}`"), None),
+    }
+}
+
+fn requested_experiments(request: &Request) -> Result<Vec<ExperimentId>, Response> {
+    let names: Vec<String> = if request.method == "GET" {
+        match request.query_param("experiments") {
+            Some("all") => return Ok(ExperimentId::ALL.to_vec()),
+            Some(list) => list.split(',').map(str::to_string).collect(),
+            None => {
+                return Err(error_response(
+                    400,
+                    "missing `experiments` query parameter",
+                    None,
+                ))
+            }
+        }
+    } else {
+        let body = parse(&request.body)
+            .map_err(|e| error_response(400, &format!("bad request body: {e}"), None))?;
+        match body.get("experiments") {
+            Some(Value::String(s)) if s == "all" => return Ok(ExperimentId::ALL.to_vec()),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        error_response(400, "`experiments` must be an array of strings", None)
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            _ => {
+                return Err(error_response(
+                    400,
+                    "body needs an `experiments` array (or the string \"all\")",
+                    None,
+                ))
+            }
+        }
+    };
+    if names.is_empty() {
+        return Err(error_response(400, "no experiments requested", None));
+    }
+    names
+        .iter()
+        .map(|n| parse_experiment(n))
+        .collect::<Result<_, _>>()
+}
+
+fn sweep_response(request: &Request, planner: &Planner) -> Response {
+    let ids = match requested_experiments(request) {
+        Ok(ids) => ids,
+        Err(resp) => return resp,
+    };
+    let cells = planner.cells(&ids);
+    let reports = Value::Array(cells.iter().map(|c| Value::Raw(c.json.clone())).collect());
+    Response::json(
+        200,
+        object([
+            (
+                "schema",
+                Value::String("stream-scaling.sweep.v1".to_string()),
+            ),
+            ("reports", reports),
+        ])
+        .render(),
+    )
+}
+
+fn parse_metric(v: &Value) -> Result<Metric, Response> {
+    let name = v
+        .as_str()
+        .ok_or_else(|| error_response(400, "metric must be a string", None))?;
+    name.parse::<Metric>()
+        .map_err(|e| error_response(400, &e.to_string(), None))
+}
+
+fn u32_list(v: &Value, what: &str) -> Result<Vec<u32>, Response> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| error_response(400, &format!("`{what}` must be an array"), None))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_f64()
+                .filter(|n| n.fract() == 0.0 && (1.0..=65536.0).contains(n))
+                .map(|n| n as u32)
+                .ok_or_else(|| {
+                    error_response(
+                        400,
+                        &format!("`{what}` entries must be integers in 1..=65536"),
+                        None,
+                    )
+                })
+        })
+        .collect()
+}
+
+fn query_response(request: &Request) -> Response {
+    let body = match parse(&request.body) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, &format!("bad request body: {e}"), None),
+    };
+    let Some(minimize) = body.get("minimize") else {
+        return error_response(400, "body needs a `minimize` metric", None);
+    };
+    let objective = match parse_metric(minimize) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let mut query = SpaceQuery::minimize(objective);
+    if let Some(cs) = body.get("clusters") {
+        match u32_list(cs, "clusters") {
+            Ok(cs) => query = query.clusters(cs),
+            Err(resp) => return resp,
+        }
+    }
+    if let Some(ns) = body.get("alus_per_cluster") {
+        match u32_list(ns, "alus_per_cluster") {
+            Ok(ns) => query = query.alus_per_cluster(ns),
+            Err(resp) => return resp,
+        }
+    }
+    if let Some(cons) = body.get("constraints") {
+        let Some(items) = cons.as_array() else {
+            return error_response(400, "`constraints` must be an array", None);
+        };
+        for item in items {
+            let metric = match item.get("metric").map(parse_metric) {
+                Some(Ok(m)) => m,
+                Some(Err(resp)) => return resp,
+                None => return error_response(400, "constraint needs a `metric`", None),
+            };
+            let Some(max) = item.get("max").and_then(Value::as_f64) else {
+                return error_response(400, "constraint needs a numeric `max`", None);
+            };
+            query = query.subject_to(metric, max);
+        }
+    }
+    match query.solve() {
+        Some(answer) => Response::json(
+            200,
+            object([
+                (
+                    "schema",
+                    Value::String("stream-scaling.space.v1".to_string()),
+                ),
+                ("minimize", Value::String(objective.name().to_string())),
+                (
+                    "shape",
+                    object([
+                        ("clusters", Value::Number(f64::from(answer.shape.clusters))),
+                        (
+                            "alus_per_cluster",
+                            Value::Number(f64::from(answer.shape.alus_per_cluster)),
+                        ),
+                    ]),
+                ),
+                ("value", Value::Number(answer.value)),
+                ("evaluated", Value::Number(answer.evaluated as f64)),
+                ("feasible", Value::Number(answer.feasible as f64)),
+            ])
+            .render(),
+        ),
+        None => error_response(422, "no shape satisfies the constraints", None),
+    }
+}
+
+fn stats_response(planner: &Planner) -> Response {
+    let p = planner.stats();
+    let k = stream_grid::global_cache().stats();
+    Response::json(
+        200,
+        object([
+            (
+                "planner",
+                object([
+                    ("lookups", Value::Number(p.lookups as f64)),
+                    ("computed", Value::Number(p.computed as f64)),
+                    ("disk_hits", Value::Number(p.disk_hits as f64)),
+                ]),
+            ),
+            (
+                "kernel_cache",
+                object([
+                    ("hits", Value::Number(k.hits as f64)),
+                    ("misses", Value::Number(k.misses as f64)),
+                    ("compiles", Value::Number(k.compiles as f64)),
+                    ("disk_hits", Value::Number(k.disk_hits as f64)),
+                    ("disk_misses", Value::Number(k.disk_misses as f64)),
+                ]),
+            ),
+        ])
+        .render(),
+    )
+}

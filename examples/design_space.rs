@@ -4,6 +4,7 @@
 //! Run with: `cargo run --example design_space`
 
 use stream_scaling::vlsi::{CostModel, Shape};
+use stream_scaling::{Metric, SpaceQuery};
 
 fn main() {
     let model = CostModel::paper();
@@ -19,23 +20,42 @@ fn main() {
         print!("{c:>8}");
     }
     println!();
-    let mut best = (f64::MAX, Shape::BASELINE);
     for &n in &ns {
         print!("{n:>6}");
         for &c in &cs {
             let shape = Shape::new(c, n);
             let r = model.evaluate(shape);
-            let rel = r.area.per_alu() / base_area;
-            if rel < best.0 {
-                best = (rel, shape);
-            }
-            print!("{rel:>8.3}");
+            print!("{:>8.3}", r.area.per_alu() / base_area);
         }
         println!();
     }
+
+    // The typed query API answers "which configuration?" questions directly
+    // (the same solver the `stream-serve` daemon exposes as POST /v1/query).
+    let best = SpaceQuery::minimize(Metric::AreaPerAlu)
+        .clusters(cs)
+        .alus_per_cluster(ns)
+        .solve()
+        .expect("unconstrained query is always feasible");
     println!(
-        "\nmost area-efficient: {} ({:.3}x baseline)",
-        best.1, best.0
+        "\nmost area-efficient: {} ({:.3}x baseline, {} cells evaluated)",
+        best.shape,
+        best.value / base_area,
+        best.evaluated
+    );
+
+    // Constrained form: the cheapest energy/op once area is capped near the
+    // baseline's budget.
+    let frugal = SpaceQuery::minimize(Metric::EnergyPerOp)
+        .clusters(cs)
+        .alus_per_cluster(ns)
+        .subject_to(Metric::AreaPerAlu, base_area * 1.05)
+        .solve()
+        .expect("baseline itself satisfies the cap");
+    println!(
+        "lowest energy/op with area/ALU <= 1.05x baseline: {} ({:.3}x baseline energy)",
+        frugal.shape,
+        frugal.value / base_energy
     );
 
     println!("\nenergy per ALU op (normalized); rows = N, cols = C");

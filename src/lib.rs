@@ -20,7 +20,13 @@
 //! * [`apps`] — RENDER, DEPTH, CONV, QRD, FFT1K, FFT4K,
 //! * [`verify`] — independent schedule verification and IR lints,
 //! * [`tapecheck`] — translation validation for compiled execution tapes,
-//! * [`repro`] — per-table/figure reproduction reports.
+//! * [`repro`] — per-table/figure reproduction reports,
+//! * [`store`] — the corruption-tolerant on-disk key/value store,
+//! * [`serve`] — the `stream-serve` query daemon and its planner.
+//!
+//! The typed query API ([`Query`], [`SpaceQuery`], [`Metric`]) is the one
+//! public way to describe work; the `repro` CLI and the `stream-serve`
+//! daemon are both thin shims over it.
 //!
 //! # Examples
 //!
@@ -42,7 +48,11 @@ pub use stream_kernels as kernels;
 pub use stream_machine as machine;
 pub use stream_repro as repro;
 pub use stream_sched as sched;
+pub use stream_serve as serve;
 pub use stream_sim as sim;
+pub use stream_store as store;
 pub use stream_tapecheck as tapecheck;
 pub use stream_verify as verify;
 pub use stream_vlsi as vlsi;
+
+pub use stream_repro::{Constraint, Metric, Query, SpaceAnswer, SpaceQuery};

@@ -101,12 +101,8 @@ fn cache_publish_is_once_only_in_every_schedule() {
                 let slot = Arc::clone(&slot);
                 let wins = Arc::clone(&wins);
                 thread::spawn(move || {
-                    match slot.compare_exchange(
-                        EMPTY,
-                        compiled,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    ) {
+                    match slot.compare_exchange(EMPTY, compiled, Ordering::SeqCst, Ordering::SeqCst)
+                    {
                         Ok(_) => {
                             wins.fetch_add(1, Ordering::SeqCst);
                             compiled
