@@ -1808,6 +1808,10 @@ impl Tape {
     #[doc(hidden)]
     pub fn corrupted(&self, mutation: TapeMutation) -> Tape {
         let mut t = self.clone();
+        // The clone shares the original's native cell; the mutated body no
+        // longer matches any compiled module, so give the corrupt tape a
+        // fresh, undecided cell of its own.
+        t.native = std::sync::Arc::new(super::native::NativeCell::new());
         let applied = match mutation {
             TapeMutation::SwapSubOperands => t.body.iter_mut().any(|ins| match ins {
                 Instr::SubF { a, b, .. } => {

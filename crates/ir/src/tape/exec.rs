@@ -34,6 +34,7 @@
 use super::instr::{
     bits_of, fill, for_binop, row, scalar_of, split2, split3, split_dst, split_dst2, BinOp, Instr,
 };
+use super::native;
 use super::scratch::Scratchpad;
 use super::{LaneMode, StripMode, Tape};
 use crate::interp::ExecConfig;
@@ -269,29 +270,8 @@ pub(super) fn run(
         run_span.arg("strips", nstrips);
         stream_trace::count("tape.strips", nstrips as u64);
 
-        // Contiguous iteration ranges, remainder spread over the front.
-        let base = iterations / nstrips;
-        let rem = iterations % nstrips;
-        let mut bounds = Vec::with_capacity(nstrips);
-        let mut lo = 0usize;
-        for i in 0..nstrips {
-            let len = base + usize::from(i < rem);
-            bounds.push((lo, lo + len));
-            lo += len;
-        }
-
-        // Slice every output vector into per-strip disjoint windows.
-        let mut strip_plain: Vec<Vec<&mut [u32]>> = (0..nstrips)
-            .map(|_| Vec::with_capacity(plain_store.len()))
-            .collect();
-        for (oi, v) in plain_store.iter_mut().enumerate() {
-            let mut rest = v.as_mut_slice();
-            for (si, &(blo, bhi)) in bounds.iter().enumerate() {
-                let (head, tail) = rest.split_at_mut((bhi - blo) * per_iter[oi]);
-                strip_plain[si].push(head);
-                rest = tail;
-            }
-        }
+        let bounds = strip_bounds(iterations, nstrips);
+        let strip_plain = split_strips(&mut plain_store, &per_iter, &bounds);
 
         let n_outs = outs.len();
         let results: Vec<Result<(), (usize, IrError)>> = std::thread::scope(|scope| {
@@ -451,6 +431,203 @@ fn run_serial(
     dispatch(
         tape, 0, iterations, 0, c, sp_words, params, in_bits, in_planes, plain, cond, sp,
     )
+}
+
+/// Contiguous per-strip iteration ranges, remainder spread over the front.
+fn strip_bounds(iterations: usize, nstrips: usize) -> Vec<(usize, usize)> {
+    let base = iterations / nstrips;
+    let rem = iterations % nstrips;
+    let mut bounds = Vec::with_capacity(nstrips);
+    let mut lo = 0usize;
+    for i in 0..nstrips {
+        let len = base + usize::from(i < rem);
+        bounds.push((lo, lo + len));
+        lo += len;
+    }
+    bounds
+}
+
+/// Slices every output vector into per-strip disjoint windows
+/// (`per_iter[i]` elements per iteration), so the borrow checker proves
+/// worker disjointness before any thread spawns.
+fn split_strips<'a, T>(
+    stores: &'a mut [Vec<T>],
+    per_iter: &[usize],
+    bounds: &[(usize, usize)],
+) -> Vec<Vec<&'a mut [T]>> {
+    let mut strips: Vec<Vec<&mut [T]>> = (0..bounds.len())
+        .map(|_| Vec::with_capacity(stores.len()))
+        .collect();
+    for (oi, v) in stores.iter_mut().enumerate() {
+        let mut rest = v.as_mut_slice();
+        for (si, &(blo, bhi)) in bounds.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut((bhi - blo) * per_iter[oi]);
+            strips[si].push(head);
+            rest = tail;
+        }
+    }
+    strips
+}
+
+/// An all-zero scalar vector via `alloc_zeroed`. `vec![Scalar::I32(0); n]`
+/// is a fill loop (the calloc specialization only covers primitives), but
+/// the zero word is all-zero *bytes* under `Scalar`'s guaranteed repr, so
+/// zeroed pages are already valid scalars — this gets the same free-page
+/// path the interpreter's `vec![0u32; n]` buffers enjoy.
+fn zeroed_scalars(n: usize) -> Vec<Scalar> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let layout = std::alloc::Layout::array::<Scalar>(n).expect("output buffer size overflow");
+    // SAFETY: layout is non-zero-sized; the pointer is checked; length,
+    // capacity, and layout match exactly what Vec's own allocation would
+    // use, and all-zero bytes are a valid `Scalar::I32(0)`.
+    unsafe {
+        let p = std::alloc::alloc_zeroed(layout);
+        if p.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(p.cast::<Scalar>(), n, n)
+    }
+}
+
+/// Runs a compiled tape through its native module. The whole path stays
+/// in the host's tagged [`Scalar`] representation: inputs are passed as
+/// `(tag, payload)` pairs the module reads payloads from, and outputs
+/// come back already tagged — no conversion pass on either side (the
+/// big fixed per-call cost the interpreter tiers pay; see
+/// `Tape::execute_with_inner`, which validates input tags before
+/// dispatching here). The module runs iteration-at-a-time, so its
+/// errors are exact without a serial rerun, and strip partitioning
+/// reuses the same planner and disjoint-window splitting as the
+/// interpreter path for bit-identical scheduling.
+pub(super) fn run_native(
+    tape: &Tape,
+    m: &native::NativeModule,
+    iterations: usize,
+    params: &[Scalar],
+    inputs: &[Vec<Scalar>],
+    sp: &mut Scratchpad,
+    cfg: &ExecConfig,
+) -> Result<Vec<Vec<Scalar>>, IrError> {
+    let mut run_span = stream_trace::span("tape", "run");
+    run_span.arg("iterations", iterations);
+    run_span.arg("clusters", cfg.clusters);
+    run_span.arg("native", true);
+    let c = cfg.clusters;
+    let sp_words = cfg.sp_words;
+    let params_bits: Vec<u32> = params.iter().map(|&p| bits_of(p)).collect();
+    let outs = tape.kernel.outputs();
+
+    // Unconditional outputs are written in place at exact offsets;
+    // conditional outputs are push-only, sized by the FFI shim and
+    // truncated to the module's reported push counts.
+    let mut plain_store: Vec<Vec<Scalar>> = outs
+        .iter()
+        .map(|d| {
+            if d.conditional {
+                Vec::new()
+            } else {
+                zeroed_scalars(iterations * c * d.record_width as usize)
+            }
+        })
+        .collect();
+    let per_iter: Vec<usize> = outs
+        .iter()
+        .map(|d| {
+            if d.conditional {
+                0
+            } else {
+                c * d.record_width as usize
+            }
+        })
+        .collect();
+    let mut cond_store: Vec<Vec<Scalar>> = vec![Vec::new(); outs.len()];
+
+    let (nstrips, permits) = plan_strips(tape, iterations, c);
+    if nstrips <= 1 {
+        let mut plain: Vec<&mut [Scalar]> = plain_store.iter_mut().map(Vec::as_mut_slice).collect();
+        native::call(
+            m,
+            0,
+            iterations,
+            0,
+            c,
+            sp_words,
+            &params_bits,
+            inputs,
+            &mut plain,
+            &mut cond_store,
+            sp,
+        )
+        .map_err(|(_, e)| e)?;
+    } else {
+        run_span.arg("strips", nstrips);
+        stream_trace::count("tape.strips", nstrips as u64);
+
+        let bounds = strip_bounds(iterations, nstrips);
+        let strip_plain = split_strips(&mut plain_store, &per_iter, &bounds);
+
+        let n_outs = outs.len();
+        let results: Vec<Result<(), (usize, IrError)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .zip(strip_plain)
+                .map(|(&(blo, bhi), mut plain)| {
+                    // Strip eligibility guarantees no SP writes, so the
+                    // cloned scratchpad is a read-only snapshot.
+                    let mut strip_sp = sp.clone();
+                    let params_bits = &params_bits;
+                    scope.spawn(move || {
+                        let mut cond: Vec<Vec<Scalar>> = vec![Vec::new(); n_outs];
+                        native::call(
+                            m,
+                            blo,
+                            bhi,
+                            blo,
+                            c,
+                            sp_words,
+                            params_bits,
+                            inputs,
+                            &mut plain,
+                            &mut cond,
+                            &mut strip_sp,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("strip worker panicked"))
+                .collect()
+        });
+        if permits > 0 {
+            stream_pool::global().give(permits);
+        }
+        // Strips cover disjoint iteration ranges, so the minimum failing
+        // iteration is exactly the error the serial schedule hits first.
+        if let Some((_, e)) = results
+            .into_iter()
+            .filter_map(Result::err)
+            .min_by_key(|&(iter, _)| iter)
+        {
+            return Err(e);
+        }
+    }
+
+    // No conversion pass: plain outputs were written tagged in place,
+    // conditional outputs were pushed tagged and truncated by the shim.
+    Ok(outs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if d.conditional {
+                std::mem::take(&mut cond_store[i])
+            } else {
+                std::mem::take(&mut plain_store[i])
+            }
+        })
+        .collect())
 }
 
 /// Constant-stride gather: `dst[lane] = src[first + lane * w]`. The

@@ -42,6 +42,7 @@ mod check;
 mod exec;
 mod fuse;
 mod instr;
+pub(crate) mod native;
 mod scratch;
 
 use crate::interp::{execute_with_legacy, infer_iterations_decls, ExecConfig, ExecOptions};
@@ -105,6 +106,23 @@ pub enum StripMode {
     Force,
 }
 
+/// Whether hot tapes may be compiled to native code (tier 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeMode {
+    /// Compile a tape natively once it has proven hot (enough executes,
+    /// enough work per call) and it passes translation validation; fall
+    /// back to the interpreter otherwise. The default. The
+    /// `STREAM_TAPE_NATIVE` environment variable (`on`/`force` or `off`)
+    /// overrides Auto only, mirroring `STREAM_TAPE_VALIDATE`.
+    Auto,
+    /// Never invoke the native backend.
+    Off,
+    /// Build at first execute, bypassing the warm-up gate (build/load
+    /// failures still fall back, diagnosed once). For determinism and
+    /// benchmark testing.
+    Force,
+}
+
 /// Compile- and run-time knobs for [`Tape::compile_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapeConfig {
@@ -125,6 +143,8 @@ pub struct TapeConfig {
     /// strided gathers they replace (measured ~3.7us loss on fft_1k), so
     /// this only pays for wide-record kernels whose working set spills.
     pub planar: bool,
+    /// Native (tier-3) backend policy.
+    pub native: NativeMode,
 }
 
 impl Default for TapeConfig {
@@ -135,6 +155,7 @@ impl Default for TapeConfig {
             strips: StripMode::Auto,
             batch: true,
             planar: false,
+            native: NativeMode::Auto,
         }
     }
 }
@@ -150,6 +171,7 @@ impl TapeConfig {
             strips: StripMode::Serial,
             batch: false,
             planar: false,
+            native: NativeMode::Off,
         }
     }
 }
@@ -209,6 +231,9 @@ pub struct Tape {
     /// for conditional ones (which use push-only storage).
     out_plane_base: Vec<u32>,
     config: TapeConfig,
+    /// Native-backend state, shared by clones of this compile (warm-up
+    /// counter plus the once-decided module-or-fallback slot).
+    native: std::sync::Arc<native::NativeCell>,
 }
 
 impl Tape {
@@ -713,6 +738,7 @@ impl Tape {
             n_in_planes,
             out_plane_base,
             config,
+            native: std::sync::Arc::new(native::NativeCell::new()),
         };
         if validate_on_compile() {
             let errors: Vec<_> = tape
@@ -754,9 +780,19 @@ impl Tape {
         findings
     }
 
-    /// Returns the tape with its strip policy replaced.
+    /// Returns the tape with its strip policy replaced. The native-backend
+    /// cell is shared with the original: strip policy does not change the
+    /// generated code, so both variants reuse one compiled module.
     pub fn with_strip_mode(mut self, strips: StripMode) -> Self {
         self.config.strips = strips;
+        self
+    }
+
+    /// Returns the tape with its native-backend policy replaced. Keeps the
+    /// shared native cell — the policy gates *whether* the module runs,
+    /// not what code it contains.
+    pub fn with_native_mode(mut self, native: NativeMode) -> Self {
+        self.config.native = native;
         self
     }
 
@@ -887,6 +923,27 @@ impl Tape {
             return execute_with_legacy(&self.kernel, opts, inputs, cfg);
         }
 
+        // Native tier: a compiled module runs straight from the tagged
+        // input buffers (no bit-lane marshalling at all — see the codegen
+        // module docs), so it gets first pick. Input tags are validated
+        // here exactly like the interpreter path below: an ill-typed word
+        // means the legacy oracle defines behavior, never the module.
+        if let Some(m) = native::resolve(self, iterations, cfg.clusters) {
+            let ill_typed = self
+                .kernel
+                .inputs()
+                .iter()
+                .zip(inputs)
+                .any(|(decl, words)| !well_typed(decl.ty, words));
+            if ill_typed {
+                stream_trace::count("tape.fallback", 1);
+                exec_span.arg("fallback", "ill_typed_input");
+                return execute_with_legacy(&self.kernel, opts, inputs, cfg);
+            }
+            let mut sp = self.build_scratchpad(opts, cfg)?;
+            return exec::run_native(self, &m, iterations, opts.params, inputs, &mut sp, cfg);
+        }
+
         // Convert inputs to untagged bit lanes. The legacy interpreter
         // types stream words dynamically; if any word disagrees with its
         // declaration, it — not the tape — defines the behavior. Planar
@@ -901,29 +958,19 @@ impl Tape {
             .zip(inputs)
             .zip(&self.in_plane_base)
         {
-            // One monomorphic validate+convert pass per stream: the
-            // declared type is hoisted out of the word loop.
-            let bits: Option<Vec<u32>> = match decl.ty {
-                Ty::I32 => words
-                    .iter()
-                    .map(|&w| match w {
-                        Scalar::I32(v) => Some(v as u32),
-                        Scalar::F32(_) => None,
-                    })
-                    .collect(),
-                Ty::F32 => words
-                    .iter()
-                    .map(|&w| match w {
-                        Scalar::F32(v) => Some(v.to_bits()),
-                        Scalar::I32(_) => None,
-                    })
-                    .collect(),
-            };
-            let Some(bits) = bits else {
+            // Validate, then convert, as two separate exitless passes
+            // (see [`well_typed`]); the convert pass's per-tag branches
+            // collapse (both variants store their payload bits) into a
+            // strided copy. The fused Option-collect this replaces ran
+            // ~4x slower — per-element early exits defeat vectorization,
+            // and this pair is most of the per-call floor for small
+            // kernels.
+            if !well_typed(decl.ty, words) {
                 stream_trace::count("tape.fallback", 1);
                 exec_span.arg("fallback", "ill_typed_input");
                 return execute_with_legacy(&self.kernel, opts, inputs, cfg);
-            };
+            }
+            let bits: Vec<u32> = words.iter().map(|&w| bits_of(w)).collect();
             if base == u32::MAX {
                 in_bits.push(bits);
                 continue;
@@ -938,6 +985,26 @@ impl Tape {
             in_bits.push(Vec::new());
         }
 
+        let mut sp = self.build_scratchpad(opts, cfg)?;
+
+        exec::run(
+            self,
+            iterations,
+            opts.params,
+            &in_bits,
+            &in_planes,
+            &mut sp,
+            cfg,
+        )
+    }
+
+    /// Allocates (or skips) the scratchpad for one execution and seeds it
+    /// from `sp_init`. Shared by the native and interpreter paths.
+    fn build_scratchpad(
+        &self,
+        opts: &ExecOptions<'_>,
+        cfg: &ExecConfig,
+    ) -> Result<Scratchpad, IrError> {
         let mut sp = if self.uses_sp || opts.sp_init.is_some() {
             Scratchpad::new(cfg.sp_words, cfg.clusters)
         } else {
@@ -955,16 +1022,21 @@ impl Tape {
                 sp.broadcast(addr, cfg.clusters, bits_of(word), word.ty());
             }
         }
+        Ok(sp)
+    }
+}
 
-        exec::run(
-            self,
-            iterations,
-            opts.params,
-            &in_bits,
-            &in_planes,
-            &mut sp,
-            cfg,
-        )
+/// Exitless well-typedness scan of one input stream against its declared
+/// type: reduces with `&` instead of short-circuiting so LLVM can
+/// vectorize the tag scan.
+fn well_typed(ty: Ty, words: &[Scalar]) -> bool {
+    match ty {
+        Ty::I32 => words
+            .iter()
+            .fold(true, |a, w| a & matches!(w, Scalar::I32(_))),
+        Ty::F32 => words
+            .iter()
+            .fold(true, |a, w| a & matches!(w, Scalar::F32(_))),
     }
 }
 

@@ -1,0 +1,229 @@
+//! `rustc` invocation, the process-wide module registry, and the
+//! persistent artifact tier for the native backend.
+//!
+//! A module's identity is its **fingerprint**: codegen version × the
+//! exact `rustc -V` string × the generated source text. The source text
+//! transitively covers everything that shapes the machine code — the
+//! kernel IR, the compile options and `TapeConfig` knobs that changed
+//! lowering (fusion, planar), and the record widths/offsets baked in as
+//! literals — so two tapes with byte-identical source share one build,
+//! and any drift in toolchain or codegen re-keys the artifact.
+//!
+//! Disk entries self-identify: the payload embeds its key material ahead
+//! of the `cdylib` bytes, and a material mismatch is treated as a miss
+//! (the same collision-rejection discipline as the grid's schedule tier).
+
+use super::super::Tape;
+use super::{codegen, ffi, NativeModule};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Modules already loaded in this process, by fingerprint.
+static REGISTRY: Mutex<Option<HashMap<stream_store::Key, Arc<NativeModule>>>> = Mutex::new(None);
+
+/// Uniquifier for scratch build directories (never reused, so a pid +
+/// sequence pair cannot collide within or across processes).
+static BUILD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The `rustc` to invoke: `STREAM_TAPE_RUSTC` overrides the toolchain
+/// default (and doubles as the sabotage hook for fallback tests).
+fn rustc_path() -> String {
+    std::env::var("STREAM_TAPE_RUSTC").unwrap_or_else(|_| "rustc".to_string())
+}
+
+/// Optimization level for generated modules: `STREAM_TAPE_NATIVE_OPT`
+/// (`0`-`3`) overrides the default of 3. Generated code is bit-exact at
+/// every level — Rust never contracts or reassociates float ops — so
+/// differential test harnesses dial this down: LLVM spends seconds on a
+/// large random-kernel body at `-O3` and milliseconds at `-O0`. The
+/// level is part of the artifact fingerprint, so mixed-level runs over
+/// one persistent store never alias.
+fn opt_level() -> &'static str {
+    match std::env::var("STREAM_TAPE_NATIVE_OPT").as_deref() {
+        Ok("0") => "0",
+        Ok("1") => "1",
+        Ok("2") => "2",
+        Ok("3") | Err(_) => "3",
+        Ok(other) => {
+            if cfg!(debug_assertions) {
+                eprintln!(
+                    "stream-ir: unrecognized STREAM_TAPE_NATIVE_OPT value {other:?} \
+                     (expected 0-3); using 3"
+                );
+            }
+            "3"
+        }
+    }
+}
+
+/// Probes `rustc -V`; a failure here is the "rustc unavailable" arm of
+/// the fallback matrix. Not cached: builds are rare and tests repoint
+/// the compiler via the environment.
+fn rustc_version(rustc: &str) -> Result<String, String> {
+    let out = Command::new(rustc)
+        .arg("-V")
+        .output()
+        .map_err(|e| format!("rustc unavailable at `{rustc}`: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "`{rustc} -V` failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+fn scratch_dir() -> PathBuf {
+    let seq = BUILD_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("stream-native-{}-{seq}", std::process::id()))
+}
+
+/// Compiles `source` to a `cdylib` and returns the artifact bytes.
+fn compile_to_bytes(rustc: &str, opt: &str, source: &str) -> Result<Vec<u8>, String> {
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating build dir: {e}"))?;
+    let result = (|| {
+        let src_path = dir.join("kernel.rs");
+        let so_path = dir.join("kernel.so");
+        std::fs::write(&src_path, source).map_err(|e| format!("writing source: {e}"))?;
+        let out = Command::new(rustc)
+            .args([
+                "--edition",
+                "2021",
+                "--crate-type",
+                "cdylib",
+                "--crate-name",
+                "stream_native_kernel",
+            ])
+            .arg(format!("-Copt-level={opt}"))
+            .args(["-C", "debuginfo=0", "-C", "strip=symbols", "-o"])
+            .arg(&so_path)
+            .arg(&src_path)
+            .output()
+            .map_err(|e| format!("spawning `{rustc}`: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "rustc failed ({}): {}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        std::fs::read(&so_path).map_err(|e| format!("reading artifact: {e}"))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// `dlopen`s artifact bytes via a scratch file (unlinked immediately —
+/// the mapping keeps the code alive).
+fn load_bytes(bytes: &[u8], tape: &Tape, cond_mult: Vec<usize>) -> Result<NativeModule, String> {
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating load dir: {e}"))?;
+    let so_path = dir.join("kernel.so");
+    let result = std::fs::write(&so_path, bytes)
+        .map_err(|e| format!("writing artifact: {e}"))
+        .and_then(|()| ffi::load(&so_path, tape, cond_mult));
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Payload layout: `[material_len: u64 LE][material][cdylib bytes]`.
+fn encode_payload(material: &[u8], so: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + material.len() + so.len());
+    p.extend_from_slice(&(material.len() as u64).to_le_bytes());
+    p.extend_from_slice(material);
+    p.extend_from_slice(so);
+    p
+}
+
+/// Splits a payload back into artifact bytes iff its embedded material
+/// matches ours (key collisions and foreign entries read as a miss).
+fn decode_payload<'p>(payload: &'p [u8], material: &[u8]) -> Option<&'p [u8]> {
+    let len = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?) as usize;
+    let stored = payload.get(8..8 + len)?;
+    if stored != material {
+        return None;
+    }
+    payload.get(8 + len..)
+}
+
+/// The full fetch-or-build pipeline: fingerprint, registry, persistent
+/// tier, then `rustc`.
+pub(super) fn build_or_fetch(tape: &Tape) -> Result<Arc<NativeModule>, String> {
+    let source = codegen::generate(tape)?;
+    let rustc = rustc_path();
+    let version = rustc_version(&rustc)?;
+    let opt = opt_level();
+    let material = format!(
+        "stream-native codegen v{} opt{opt}\n{version}\n{}",
+        codegen::CODEGEN_VERSION,
+        source.text
+    );
+    let key = stream_store::Key::of(material.as_bytes());
+
+    {
+        let mut reg = REGISTRY.lock().unwrap();
+        if let Some(m) = reg.get_or_insert_with(HashMap::new).get(&key) {
+            return Ok(Arc::clone(m));
+        }
+    }
+
+    if let Some(store) = super::DISK.get() {
+        if let Some(payload) = store.get(key) {
+            if let Some(so) = decode_payload(&payload, material.as_bytes()) {
+                let module = Arc::new(load_bytes(so, tape, source.cond_mult.clone())?);
+                super::note_disk_hit();
+                register(key, &module);
+                return Ok(module);
+            }
+        }
+    }
+
+    let mut span = stream_trace::span("native", "build");
+    span.arg("kernel", tape.kernel.name());
+    span.arg("source_bytes", source.text.len());
+    let so = compile_to_bytes(&rustc, opt, &source.text)?;
+    span.arg("artifact_bytes", so.len());
+    drop(span);
+    if let Some(store) = super::DISK.get() {
+        // Write-through is best-effort: a full disk must not fail the run.
+        let _ = store.put(key, &encode_payload(material.as_bytes(), &so));
+    }
+    let module = Arc::new(load_bytes(&so, tape, source.cond_mult)?);
+    super::note_compile();
+    register(key, &module);
+    Ok(module)
+}
+
+fn register(key: stream_store::Key, module: &Arc<NativeModule>) {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .get_or_insert_with(HashMap::new)
+        .insert(key, Arc::clone(module));
+}
+
+/// Lets tests check the scratch-dir naming stays collision-free.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_never_repeat() {
+        let a = scratch_dir();
+        let b = scratch_dir();
+        assert_ne!(a, b);
+        assert!(a.starts_with(std::env::temp_dir()));
+    }
+
+    #[test]
+    fn payload_round_trips_and_rejects_foreign_material() {
+        let p = encode_payload(b"mat", b"so-bytes");
+        assert_eq!(decode_payload(&p, b"mat"), Some(&b"so-bytes"[..]));
+        assert_eq!(decode_payload(&p, b"other"), None);
+        assert_eq!(decode_payload(&p[..4], b"mat"), None);
+    }
+}

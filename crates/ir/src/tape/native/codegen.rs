@@ -1,0 +1,1495 @@
+//! Rust source emission for the native tape backend.
+//!
+//! [`generate`] turns a validated [`Tape`] into a standalone `cdylib`
+//! crate with every value slot, stream index, record width and word
+//! offset baked in as a literal. The body is monomorphized over a
+//! const-generic `C` (instantiated for the common cluster counts, with
+//! a runtime-width fallback), exactly mirroring `exec::run_range`.
+//!
+//! The key advantage over the interpreter is **segment fusion**: maximal
+//! runs of lane-local, infallible-per-lane instructions are emitted as a
+//! *single* `for l in 0..c` loop whose SSA slots are scalar locals, so
+//! intermediates stay in registers instead of round-tripping through the
+//! `vals` lattice after every instruction (the interpreter's unavoidable
+//! cost), and LLVM can vectorize whole dataflow chains across lanes.
+//! Cross-lane or per-lane-fallible instructions — `Comm`, conditional
+//! streams, scratchpad traffic, `DivI`, `Fault` — are segment barriers,
+//! emitted instruction-major exactly like `exec::step` so fault ordering
+//! is preserved; values crossing a barrier spill to `vals`, which stays
+//! the source of truth at every boundary. Stream bounds checks depend
+//! only on the iteration (never on lane data), so hoisting them to the
+//! segment head in program order fires the same fault the interpreter
+//! would: within a segment they are the *only* fault sites, and `vals`,
+//! output and conditional buffers are all discarded by the host on
+//! error, making partially-executed segments unobservable.
+//!
+//! The emitted code must be **bit-exact** against the interpreter:
+//!
+//! - every float superinstruction keeps its two-rounding shape (plain
+//!   `*`/`+` expressions — Rust never contracts to FMA);
+//! - every bounds check and fault site fires in original program order
+//!   and reports the same error payload (encoded through the C ABI as a
+//!   `code/a/b/c/iter` tuple, decoded back to [`crate::IrError`] by the
+//!   host shim in [`super::ffi`]);
+//! - conditional-stream cursors, scratchpad init/type masks, and
+//!   recurrence copy-back follow the interpreter's semantics statement
+//!   for statement.
+//!
+//! # Tagged stream I/O
+//!
+//! Stream buffers cross the ABI in the host's `Scalar` representation:
+//! `(tag, payload)` `u32` pairs (`#[repr(u32)]`, so the layout is a
+//! language guarantee). Word index `e` of a stream lives at pair index
+//! `e * 2` (tag) / `e * 2 + 1` (payload); `NSlice::len` counts `u32`s,
+//! so the word count is `len / 2`. Reads fetch only the payload (the
+//! host validates tags before dispatching — an ill-typed input falls
+//! back to the legacy oracle without ever reaching the module); writes
+//! store the destination stream's declared-type tag next to the payload.
+//! This lets the host pass input `Vec<Scalar>`s and receive output
+//! `Vec<Scalar>`s with *zero* conversion passes, which is most of the
+//! per-call floor the interpreter tiers pay on small kernels.
+//!
+//! Planar tapes are ineligible (their layout rewrite trades per-call
+//! transposes for contiguity the native tier gets anyway); the caller
+//! falls back to tape v2 with a diagnosed reason.
+
+use super::super::instr::{BinOp, Instr};
+use super::super::Tape;
+use crate::Ty;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Bumped whenever the emitted source shape or the C ABI changes, so
+/// cached artifacts from older codegen versions can never be loaded.
+/// v2: stream buffers cross the ABI as tagged `(tag, payload)` pairs
+/// (the host's `#[repr(u32)] Scalar` layout) instead of untagged words.
+pub(super) const CODEGEN_VERSION: u32 = 2;
+
+/// ABI version baked into every module and checked at load time.
+pub(super) const ABI_VERSION: u32 = 2;
+
+/// Const-generic lane widths instantiated in every module; other cluster
+/// counts take the runtime-width `C = 0` instantiation. The native path
+/// never macro-batches, so the batched widths (32/64) are not needed.
+const LANE_WIDTHS: [usize; 4] = [1, 4, 8, 16];
+
+/// A generated module: the source text plus the host-side metadata the
+/// FFI shim needs to size buffers (nothing is serialized — metadata is
+/// recomputed from the tape on every load).
+pub(super) struct Source {
+    pub(super) text: String,
+    /// Per output stream: conditional pushes per iteration per lane
+    /// (the count of `CondWrite`s targeting it), 0 for plain outputs.
+    pub(super) cond_mult: Vec<usize>,
+}
+
+/// Emits the native source for `tape`, or the reason it is ineligible.
+pub(super) fn generate(tape: &Tape) -> Result<Source, String> {
+    if tape.planar {
+        return Err("planar layout is not supported by the native backend".into());
+    }
+    let mut cond_mult = vec![0usize; tape.kernel.outputs().len()];
+    for ins in &tape.body {
+        if let Instr::CondWrite { stream, .. } = ins {
+            cond_mult[*stream as usize] += 1;
+        }
+    }
+
+    let mut s = String::with_capacity(16 * 1024);
+    header(&mut s, tape);
+
+    // The monomorphic kernel body. `NV`/`NR` are the value-lattice and
+    // recurrence sizes for lane width `C` (`n_vals * C` / `n_recurs * C`),
+    // passed as separate const parameters because stable Rust cannot
+    // write `[u32; {n} * C]` — they let the specialized instantiations
+    // keep both lattices on the stack instead of paying a heap
+    // allocation per call; only the runtime-width fallback (`C == 0`)
+    // allocates.
+    writeln!(
+        s,
+        "fn body<const C: usize, const NV: usize, const NR: usize>(\n    rc: usize,\n    \
+         lo: usize,\n    hi: usize,\n    \
+         out_base: usize,\n    sp_words: usize,\n    params: &[u32],\n    ins: &[&[u32]],\n    \
+         outs: &mut [&mut [u32]],\n    conds: &mut [&mut [u32]],\n    cond_len: &mut [usize],\n    \
+         sp_bits: &mut [u32],\n    sp_init: &mut [u64],\n    sp_f32: &mut [u64],\n\
+         ) -> Result<(), Fail> {{"
+    )
+    .unwrap();
+    writeln!(s, "    let c = if C == 0 {{ rc }} else {{ C }};").unwrap();
+    writeln!(
+        s,
+        "    let mut vals_arr = [0u32; NV];\n    \
+         let mut vals_heap = Vec::new();\n    \
+         if C == 0 {{ vals_heap = vec![0u32; {nv} * c]; }}\n    \
+         let vals: &mut [u32] = if C == 0 {{ &mut vals_heap }} else {{ &mut vals_arr }};\n    \
+         let mut recur_arr = [0u32; NR];\n    \
+         let mut recur_heap = Vec::new();\n    \
+         if C == 0 {{ recur_heap = vec![0u32; {nr} * c]; }}\n    \
+         let recur: &mut [u32] = if C == 0 {{ &mut recur_heap }} else {{ &mut recur_arr }};",
+        nv = tape.n_vals,
+        nr = tape.recurs.len()
+    )
+    .unwrap();
+    for (slot, r) in tape.recurs.iter().enumerate() {
+        writeln!(
+            s,
+            "    recur[{slot} * c..{slot} * c + c].fill(0x{:08x}u32);",
+            r.init_bits
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "    let mut cur = [0usize; {}];",
+        tape.kernel.inputs().len()
+    )
+    .unwrap();
+
+    // Prologue: iteration-invariant instructions. No `iter` binding is in
+    // scope here on purpose — the hoist pass only moves pure, infallible
+    // instructions, so nothing emitted below may reference the iteration;
+    // if a future pass breaks that invariant the generated module fails
+    // to compile and the tape falls back to the interpreter.
+    for ins in &tape.prologue {
+        emit(&mut s, tape, ins)?;
+    }
+
+    writeln!(s, "    for iter in lo..hi {{").unwrap();
+    // Slots the fused segments must spill back to `vals`: anything a
+    // barrier instruction or another segment reads, plus the recurrence
+    // copy-back sources below.
+    let recur_next: Vec<u32> = tape.recurs.iter().map(|r| r.next).collect();
+    let mut i = 0;
+    while i < tape.body.len() {
+        if !fusible(&tape.body[i]) {
+            emit(&mut s, tape, &tape.body[i])?;
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < tape.body.len() && fusible(&tape.body[j]) {
+            j += 1;
+        }
+        emit_segment(&mut s, tape, i, j, &recur_next);
+        i = j;
+    }
+    for (slot, r) in tape.recurs.iter().enumerate() {
+        writeln!(
+            s,
+            "    {{ let src = {next} * c; recur[{slot} * c..{slot} * c + c]\
+             .copy_from_slice(&vals[src..src + c]); }}",
+            next = r.next
+        )
+        .unwrap();
+    }
+    writeln!(s, "    }}").unwrap();
+    writeln!(s, "    Ok(())").unwrap();
+    writeln!(s, "}}").unwrap();
+
+    entry(&mut s, tape);
+    Ok(Source { text: s, cond_mult })
+}
+
+/// Crate preamble: ABI structs, helper functions, error constructors.
+fn header(s: &mut String, tape: &Tape) {
+    writeln!(
+        s,
+        "//! Generated by stream-ir's native tape backend (codegen v{CODEGEN_VERSION}) for \
+         kernel `{}`. Do not edit.",
+        tape.kernel.name()
+    )
+    .unwrap();
+    s.push_str(
+        r#"#![allow(unused_variables, unused_mut, unused_parens, unreachable_code, dead_code, clippy::all)]
+
+#[repr(C)]
+pub struct NSlice {
+    pub ptr: *const u32,
+    pub len: usize,
+}
+
+#[repr(C)]
+pub struct NSliceMut {
+    pub ptr: *mut u32,
+    pub len: usize,
+}
+
+#[repr(C)]
+pub struct NErr {
+    pub code: u32,
+    pub a: u32,
+    pub b: i64,
+    pub c: u32,
+    pub iter: u64,
+}
+
+struct Fail {
+    code: u32,
+    a: u32,
+    b: i64,
+    c: u32,
+    iter: u64,
+}
+
+#[inline(always)]
+fn f(x: u32) -> f32 {
+    f32::from_bits(x)
+}
+#[inline(always)]
+fn fb(x: f32) -> u32 {
+    x.to_bits()
+}
+#[inline(always)]
+fn i(x: u32) -> i32 {
+    x as i32
+}
+#[inline(always)]
+fn ib(x: i32) -> u32 {
+    x as u32
+}
+
+#[cold]
+fn ex(stream: u32, iter: usize) -> Fail {
+    Fail { code: 1, a: stream, b: 0, c: 0, iter: iter as u64 }
+}
+#[cold]
+fn sp_oob(at: u32, addr: i32, iter: usize) -> Fail {
+    Fail { code: 2, a: at, b: addr as i64, c: 0, iter: iter as u64 }
+}
+#[cold]
+fn tym(at: u32, expected: u32, found: u32, iter: usize) -> Fail {
+    Fail { code: 3, a: at, b: expected as i64, c: found, iter: iter as u64 }
+}
+#[cold]
+fn badcomm(at: u32, src: i32, iter: usize) -> Fail {
+    Fail { code: 4, a: at, b: src as i64, c: 0, iter: iter as u64 }
+}
+#[cold]
+fn divz(at: u32, iter: usize) -> Fail {
+    Fail { code: 5, a: at, b: 0, c: 0, iter: iter as u64 }
+}
+
+/// Unchecked payload load. Safety: callers index under the segment-head
+/// bounds guard, which proves every lane's pair index in-bounds.
+#[inline(always)]
+unsafe fn ld(s: &[u32], i: usize) -> u32 {
+    *s.get_unchecked(i)
+}
+/// Unchecked `(tag, payload)` pair store. Safety: the entry point
+/// validates every plain output buffer against the exact length the
+/// write indices cover before dispatching.
+#[inline(always)]
+unsafe fn st(o: &mut [u32], i: usize, tag: u32, payload: u32) {
+    *o.get_unchecked_mut(i) = tag;
+    *o.get_unchecked_mut(i + 1) = payload;
+}
+
+"#,
+    );
+    writeln!(
+        s,
+        "#[no_mangle]\npub extern \"C\" fn stream_native_abi() -> u32 {{\n    {ABI_VERSION}\n}}\n"
+    )
+    .unwrap();
+}
+
+/// The exported entry point: rebuilds slices from the C ABI and picks the
+/// lane-specialized instantiation, mirroring `exec::dispatch`. Stream and
+/// conditional counts are codegen-time constants, so every per-call
+/// container is a stack array (the host still passes counts; they are
+/// asserted against the baked-in values as a cheap ABI cross-check).
+fn entry(s: &mut String, tape: &Tape) {
+    let n_ins = tape.kernel.inputs().len();
+    let n_outs = tape.kernel.outputs().len();
+    s.push_str(
+        r#"
+/// # Safety
+/// Every pointer/len pair must describe a valid, live, disjoint buffer;
+/// the host shim in stream-ir upholds this.
+#[no_mangle]
+pub unsafe extern "C" fn stream_native_run(
+    c: usize,
+    lo: usize,
+    hi: usize,
+    out_base: usize,
+    sp_words: usize,
+    params: *const u32,
+    n_params: usize,
+    ins_p: *const NSlice,
+    n_ins: usize,
+    outs_p: *const NSliceMut,
+    n_outs: usize,
+    conds_p: *const NSliceMut,
+    cond_lens: *mut usize,
+    n_conds: usize,
+    sp_bits_p: *mut u32,
+    sp_len: usize,
+    sp_init_p: *mut u64,
+    sp_f32_p: *mut u64,
+    sp_mask_len: usize,
+    err: *mut NErr,
+) -> u32 {
+"#,
+    );
+    writeln!(
+        s,
+        "    if n_ins != {n_ins} || n_outs != {n_outs} || n_conds != {n_outs} {{ return 2; }}"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "    let params = std::slice::from_raw_parts(params, n_params);\n    \
+         let ins: [&[u32]; {n_ins}] = std::array::from_fn(|k| {{\n        \
+         let sl = &*ins_p.add(k);\n        \
+         std::slice::from_raw_parts(sl.ptr, sl.len)\n    }});\n    \
+         let mut outs: [&mut [u32]; {n_outs}] = std::array::from_fn(|k| {{\n        \
+         let sl = &*outs_p.add(k);\n        \
+         std::slice::from_raw_parts_mut(sl.ptr, sl.len)\n    }});\n    \
+         let mut conds: [&mut [u32]; {n_outs}] = std::array::from_fn(|k| {{\n        \
+         let sl = &*conds_p.add(k);\n        \
+         std::slice::from_raw_parts_mut(sl.ptr, sl.len)\n    }});\n    \
+         let mut cond_len = [0usize; {n_outs}];"
+    )
+    .unwrap();
+    // Plain output writes use unchecked pair stores (see `st`), justified
+    // by validating each buffer here against the exact span the write
+    // indices cover: (hi - out_base) iterations x c lanes x width words
+    // x 2 u32s. A short buffer is a host/module pairing bug, reported
+    // like a count mismatch. Saturating math so absurd arguments fail
+    // the check instead of wrapping past it.
+    for (k, d) in tape.kernel.outputs().iter().enumerate() {
+        if d.conditional {
+            continue;
+        }
+        writeln!(
+            s,
+            "    if outs[{k}].len() < (hi - out_base).saturating_mul(c).saturating_mul({w2}) \
+             {{ return 2; }}",
+            w2 = d.record_width as usize * 2
+        )
+        .unwrap();
+    }
+    s.push_str(
+        r#"    let sp_bits = std::slice::from_raw_parts_mut(sp_bits_p, sp_len);
+    let sp_init = std::slice::from_raw_parts_mut(sp_init_p, sp_mask_len);
+    let sp_f32 = std::slice::from_raw_parts_mut(sp_f32_p, sp_mask_len);
+    macro_rules! go {
+        ($C:literal, $NV:literal, $NR:literal) => {
+            body::<$C, $NV, $NR>(
+                c, lo, hi, out_base, sp_words, params, &ins, &mut outs, &mut conds,
+                &mut cond_len, sp_bits, sp_init, sp_f32,
+            )
+        };
+    }
+    let r = match c {
+"#,
+    );
+    for w in LANE_WIDTHS {
+        writeln!(
+            s,
+            "        {w} => go!({w}, {}, {}),",
+            tape.n_vals * w,
+            tape.recurs.len() * w
+        )
+        .unwrap();
+    }
+    s.push_str(
+        r#"        _ => go!(0, 0, 0),
+    };
+    for (k, &n) in cond_len.iter().enumerate() {
+        *cond_lens.add(k) = n;
+    }
+    match r {
+        Ok(()) => 0,
+        Err(e) => {
+            if !err.is_null() {
+                *err = NErr { code: e.code, a: e.a, b: e.b, c: e.c, iter: e.iter };
+            }
+            1
+        }
+    }
+}
+"#,
+    );
+}
+
+/// The bits-level expression for a [`BinOp`], verbatim from `for_binop!`
+/// so fused forms stay bit-identical. `x`/`y` are `u32` bindings in scope.
+fn binop_expr(op: BinOp) -> &'static str {
+    match op {
+        BinOp::AddI => "ib(i(x).wrapping_add(i(y)))",
+        BinOp::AddF => "fb(f(x) + f(y))",
+        BinOp::SubI => "ib(i(x).wrapping_sub(i(y)))",
+        BinOp::SubF => "fb(f(x) - f(y))",
+        BinOp::MulI => "ib(i(x).wrapping_mul(i(y)))",
+        BinOp::MulF => "fb(f(x) * f(y))",
+        BinOp::DivF => "fb(f(x) / f(y))",
+        BinOp::MinI => "ib(i(x).min(i(y)))",
+        BinOp::MinF => "fb(f(x).min(f(y)))",
+        BinOp::MaxI => "ib(i(x).max(i(y)))",
+        BinOp::MaxF => "fb(f(x).max(f(y)))",
+        BinOp::And => "ib(i(x) & i(y))",
+        BinOp::Or => "ib(i(x) | i(y))",
+        BinOp::Xor => "ib(i(x) ^ i(y))",
+        BinOp::Shl => "ib(i(x).wrapping_shl(y))",
+        BinOp::Shr => "ib(i(x).wrapping_shr(y))",
+        BinOp::EqI => "u32::from(i(x) == i(y))",
+        BinOp::EqF => "u32::from(f(x) == f(y))",
+        BinOp::NeI => "u32::from(i(x) != i(y))",
+        BinOp::NeF => "u32::from(f(x) != f(y))",
+        BinOp::LtI => "u32::from(i(x) < i(y))",
+        BinOp::LtF => "u32::from(f(x) < f(y))",
+        BinOp::LeI => "u32::from(i(x) <= i(y))",
+        BinOp::LeF => "u32::from(f(x) <= f(y))",
+    }
+}
+
+fn ty_code(ty: Ty) -> u32 {
+    match ty {
+        Ty::I32 => 0,
+        Ty::F32 => 1,
+    }
+}
+
+/// The `Scalar` tag stored next to every payload written to `stream` —
+/// the stream's declared type, exactly what the interpreter's output
+/// conversion (`scalars_of`) tags words with.
+fn out_tag(tape: &Tape, stream: u32) -> u32 {
+    ty_code(tape.kernel.outputs()[stream as usize].ty)
+}
+
+/// Emits `vals[dst] = expr(x, y)` over all lanes with both operands in
+/// the lattice.
+fn emit_bin(s: &mut String, dst: u32, a: u32, b: u32, expr: &str) {
+    writeln!(
+        s,
+        "    for l in 0..c {{ let x = vals[{a} * c + l]; let y = vals[{b} * c + l]; \
+         vals[{dst} * c + l] = {expr}; }}"
+    )
+    .unwrap();
+}
+
+/// Emits `vals[dst] = expr(x)` over all lanes.
+fn emit_un(s: &mut String, dst: u32, a: u32, expr: &str) {
+    writeln!(
+        s,
+        "    for l in 0..c {{ let x = vals[{a} * c + l]; vals[{dst} * c + l] = {expr}; }}"
+    )
+    .unwrap();
+}
+
+/// Emits a bounds-checked stream-row bound: binds `fp` (the pair index
+/// of the first lane's payload) and returns the starved-stream error if
+/// the last lane's *word* is out of range (the same hoisted check
+/// `exec::step` performs, in word units — `src.len() / 2` words).
+fn emit_read_bound(s: &mut String, stream: u32, width: u32, offset: u32) {
+    writeln!(
+        s,
+        "    let first = (iter * c) * {width} + {offset}; \
+         if first + (c - 1) * {width} >= src.len() / 2 {{ return Err(ex({stream}, iter)); }} \
+         let fp = first * 2 + 1;"
+    )
+    .unwrap();
+}
+
+/// Whether an instruction can join a fused lane loop: it must be
+/// lane-local (no cross-lane reads, no order-sensitive appends) and its
+/// only fault sites must be per-iteration stream bounds checks (which
+/// hoist to the segment head without reordering against other faults).
+fn fusible(ins: &Instr) -> bool {
+    !matches!(
+        ins,
+        Instr::CondRead { .. }
+            | Instr::CondWrite { .. }
+            | Instr::SpRead { .. }
+            | Instr::SpWrite { .. }
+            | Instr::Comm { .. }
+            | Instr::DivI { .. }
+            | Instr::Fault { .. }
+            | Instr::PRead { .. }
+            | Instr::PRead2 { .. }
+            | Instr::PWrite { .. }
+            | Instr::PBinW { .. }
+            | Instr::PBflyWF { .. }
+    )
+}
+
+/// Value slots an instruction reads from the lattice.
+fn slot_uses(ins: &Instr) -> Vec<u32> {
+    match *ins {
+        Instr::ConstBits { .. }
+        | Instr::Param { .. }
+        | Instr::IterIndex { .. }
+        | Instr::ClusterId { .. }
+        | Instr::ClusterCount { .. }
+        | Instr::LoadRecur { .. }
+        | Instr::Read { .. }
+        | Instr::Read2 { .. }
+        | Instr::Fault { .. } => vec![],
+        Instr::Write { src, .. } => vec![src],
+        Instr::CondRead { pred, .. } => vec![pred],
+        Instr::CondWrite { pred, src, .. } => vec![pred, src],
+        Instr::SpRead { addr, .. } => vec![addr],
+        Instr::SpWrite { addr, src, .. } => vec![addr, src],
+        Instr::Comm { data, src, .. } => vec![data, src],
+        Instr::AddI { a, b, .. }
+        | Instr::AddF { a, b, .. }
+        | Instr::SubI { a, b, .. }
+        | Instr::SubF { a, b, .. }
+        | Instr::MulI { a, b, .. }
+        | Instr::MulF { a, b, .. }
+        | Instr::DivI { a, b, .. }
+        | Instr::DivF { a, b, .. }
+        | Instr::MinI { a, b, .. }
+        | Instr::MinF { a, b, .. }
+        | Instr::MaxI { a, b, .. }
+        | Instr::MaxF { a, b, .. }
+        | Instr::And { a, b, .. }
+        | Instr::Or { a, b, .. }
+        | Instr::Xor { a, b, .. }
+        | Instr::Shl { a, b, .. }
+        | Instr::Shr { a, b, .. }
+        | Instr::EqI { a, b, .. }
+        | Instr::EqF { a, b, .. }
+        | Instr::NeI { a, b, .. }
+        | Instr::NeF { a, b, .. }
+        | Instr::LtI { a, b, .. }
+        | Instr::LtF { a, b, .. }
+        | Instr::LeI { a, b, .. }
+        | Instr::LeF { a, b, .. }
+        | Instr::BinW { a, b, .. }
+        | Instr::BflyF { a, b, .. }
+        | Instr::BflyWF { a, b, .. } => vec![a, b],
+        Instr::Sqrt { a, .. }
+        | Instr::NegI { a, .. }
+        | Instr::NegF { a, .. }
+        | Instr::AbsI { a, .. }
+        | Instr::AbsF { a, .. }
+        | Instr::Floor { a, .. }
+        | Instr::ItoF { a, .. }
+        | Instr::FtoI { a, .. }
+        | Instr::BinKR { a, .. }
+        | Instr::BinRR { a, .. } => vec![a],
+        Instr::BinKL { b, .. } | Instr::BinRL { b, .. } => vec![b],
+        Instr::Select { cond, a, b, .. } => vec![cond, a, b],
+        Instr::MulAddF { a, b, c, .. }
+        | Instr::AddMulF { a, b, c, .. }
+        | Instr::MulSubF { a, b, c, .. }
+        | Instr::SubMulF { a, b, c, .. }
+        | Instr::MulAddI { a, b, c, .. }
+        | Instr::MulSubI { a, b, c, .. }
+        | Instr::SubMulI { a, b, c, .. } => vec![a, b, c],
+        Instr::MulMulAddF { a, b, c, d, .. } | Instr::MulMulSubF { a, b, c, d, .. } => {
+            vec![a, b, c, d]
+        }
+        Instr::CMulF { a, b, c, d, .. } => vec![a, b, c, d],
+        Instr::PRead { .. } | Instr::PRead2 { .. } => vec![],
+        Instr::PWrite { src, .. } => vec![src],
+        Instr::PBinW { a, b, .. } | Instr::PBflyWF { a, b, .. } => vec![a, b],
+    }
+}
+
+/// Value slots an instruction writes into the lattice.
+fn slot_defs(ins: &Instr) -> Vec<u32> {
+    match *ins {
+        Instr::ConstBits { dst, .. }
+        | Instr::Param { dst, .. }
+        | Instr::IterIndex { dst }
+        | Instr::ClusterId { dst }
+        | Instr::ClusterCount { dst }
+        | Instr::LoadRecur { dst, .. }
+        | Instr::Read { dst, .. }
+        | Instr::CondRead { dst, .. }
+        | Instr::SpRead { dst, .. }
+        | Instr::Comm { dst, .. }
+        | Instr::AddI { dst, .. }
+        | Instr::AddF { dst, .. }
+        | Instr::SubI { dst, .. }
+        | Instr::SubF { dst, .. }
+        | Instr::MulI { dst, .. }
+        | Instr::MulF { dst, .. }
+        | Instr::DivI { dst, .. }
+        | Instr::DivF { dst, .. }
+        | Instr::Sqrt { dst, .. }
+        | Instr::MinI { dst, .. }
+        | Instr::MinF { dst, .. }
+        | Instr::MaxI { dst, .. }
+        | Instr::MaxF { dst, .. }
+        | Instr::NegI { dst, .. }
+        | Instr::NegF { dst, .. }
+        | Instr::AbsI { dst, .. }
+        | Instr::AbsF { dst, .. }
+        | Instr::Floor { dst, .. }
+        | Instr::And { dst, .. }
+        | Instr::Or { dst, .. }
+        | Instr::Xor { dst, .. }
+        | Instr::Shl { dst, .. }
+        | Instr::Shr { dst, .. }
+        | Instr::EqI { dst, .. }
+        | Instr::EqF { dst, .. }
+        | Instr::NeI { dst, .. }
+        | Instr::NeF { dst, .. }
+        | Instr::LtI { dst, .. }
+        | Instr::LtF { dst, .. }
+        | Instr::LeI { dst, .. }
+        | Instr::LeF { dst, .. }
+        | Instr::Select { dst, .. }
+        | Instr::ItoF { dst, .. }
+        | Instr::FtoI { dst, .. }
+        | Instr::MulAddF { dst, .. }
+        | Instr::AddMulF { dst, .. }
+        | Instr::MulSubF { dst, .. }
+        | Instr::SubMulF { dst, .. }
+        | Instr::MulMulAddF { dst, .. }
+        | Instr::MulMulSubF { dst, .. }
+        | Instr::MulAddI { dst, .. }
+        | Instr::MulSubI { dst, .. }
+        | Instr::SubMulI { dst, .. }
+        | Instr::BinKR { dst, .. }
+        | Instr::BinKL { dst, .. }
+        | Instr::BinRL { dst, .. }
+        | Instr::BinRR { dst, .. } => vec![dst],
+        Instr::Read2 { da, db, .. } => vec![da, db],
+        Instr::CMulF { re_dst, im_dst, .. } => vec![re_dst, im_dst],
+        Instr::BflyF {
+            add_dst, sub_dst, ..
+        } => vec![add_dst, sub_dst],
+        Instr::Write { .. }
+        | Instr::CondWrite { .. }
+        | Instr::SpWrite { .. }
+        | Instr::Fault { .. }
+        | Instr::BinW { .. }
+        | Instr::BflyWF { .. } => vec![],
+        Instr::PRead { dst, .. } => vec![dst],
+        Instr::PRead2 { da, db, .. } => vec![da, db],
+        Instr::PWrite { .. } | Instr::PBinW { .. } | Instr::PBflyWF { .. } => vec![],
+    }
+}
+
+/// Emits `tape.body[i0..i1]` (all fusible) as one fused lane loop.
+///
+/// Dataflow: slots live-in to the segment (read before any in-segment
+/// def — including reads of the *previous* iteration's value when the
+/// def comes later in the same segment) load from `vals` at the loop
+/// head; each def shadows its `v{slot}` local; slots the rest of the
+/// program observes (barrier instructions, other segments, recurrence
+/// copy-back, or those same wraparound reads next iteration) spill back
+/// to `vals` at the loop tail. Stream bounds checks hoist to the
+/// segment head in program order — see the module docs for why that
+/// preserves fault semantics.
+fn emit_segment(s: &mut String, tape: &Tape, i0: usize, i1: usize, recur_next: &[u32]) {
+    let seg = &tape.body[i0..i1];
+    let mut live_in = BTreeSet::new();
+    let mut defs = BTreeSet::new();
+    for ins in seg {
+        for u in slot_uses(ins) {
+            if !defs.contains(&u) {
+                live_in.insert(u);
+            }
+        }
+        defs.extend(slot_defs(ins));
+    }
+    let mut observed: BTreeSet<u32> = recur_next.iter().copied().collect();
+    for (k, ins) in tape.body.iter().enumerate() {
+        if k < i0 || k >= i1 {
+            observed.extend(slot_uses(ins));
+        }
+    }
+    let spills: Vec<u32> = defs
+        .iter()
+        .copied()
+        .filter(|d| observed.contains(d) || live_in.contains(d))
+        .collect();
+
+    writeln!(s, "    {{").unwrap();
+    for (k, ins) in seg.iter().enumerate() {
+        emit_hoist(s, k, ins);
+    }
+    writeln!(s, "    for l in 0..c {{").unwrap();
+    for slot in &live_in {
+        writeln!(s, "        let v{slot} = vals[{slot} * c + l];").unwrap();
+    }
+    for (k, ins) in seg.iter().enumerate() {
+        emit_lane(s, tape, k, ins);
+    }
+    for slot in &spills {
+        writeln!(s, "        vals[{slot} * c + l] = v{slot};").unwrap();
+    }
+    writeln!(s, "    }} }}").unwrap();
+}
+
+/// Per-iteration prelude for one fused instruction: input-slice bindings
+/// with their bounds checks (in program order) and output cursor
+/// bindings. `k` is the instruction's index within its segment, used to
+/// keep binding names unique.
+fn emit_hoist(s: &mut String, k: usize, ins: &Instr) {
+    // `ri`/`wi` are *pair* indices (payload / tag position); the bounds
+    // check compares word indices against the word count `len / 2`.
+    let read = |s: &mut String, tag: &str, stream: u32, width: u32, offset: u32| {
+        writeln!(
+            s,
+            "    let rs{k}{tag} = ins[{stream}]; \
+             let rw{k}{tag} = (iter * c) * {width} + {offset}; \
+             if rw{k}{tag} + (c - 1) * {width} >= rs{k}{tag}.len() / 2 \
+             {{ return Err(ex({stream}, iter)); }} \
+             let ri{k}{tag} = rw{k}{tag} * 2 + 1;"
+        )
+        .unwrap();
+    };
+    let write = |s: &mut String, tag: &str, width: u32, offset: u32| {
+        writeln!(
+            s,
+            "    let wi{k}{tag} = (((iter - out_base) * c) * {width} + {offset}) * 2;"
+        )
+        .unwrap();
+    };
+    match *ins {
+        Instr::Read {
+            stream,
+            width,
+            offset,
+            ..
+        }
+        | Instr::BinRL {
+            stream,
+            width,
+            offset,
+            ..
+        }
+        | Instr::BinRR {
+            stream,
+            width,
+            offset,
+            ..
+        } => read(s, "", stream, width, offset),
+        Instr::Read2 {
+            sa,
+            wa,
+            oa,
+            sb,
+            wb,
+            ob,
+            ..
+        } => {
+            read(s, "", sa, wa, oa);
+            read(s, "b", sb, wb, ob);
+        }
+        Instr::Write { width, offset, .. } | Instr::BinW { width, offset, .. } => {
+            write(s, "", width, offset)
+        }
+        Instr::BflyWF {
+            add_width,
+            add_offset,
+            sub_width,
+            sub_offset,
+            ..
+        } => {
+            write(s, "", add_width, add_offset);
+            write(s, "b", sub_width, sub_offset);
+        }
+        _ => {}
+    }
+}
+
+/// One fused instruction's statement(s) inside the lane loop, operating
+/// on `v{slot}` locals (defs shadow; see [`emit_segment`]). Stream
+/// accesses use pair indices bound by [`emit_hoist`] with a doubled
+/// lane stride; writes store the stream's tag next to the payload.
+fn emit_lane(s: &mut String, tape: &Tape, k: usize, ins: &Instr) {
+    match *ins {
+        Instr::ConstBits { dst, bits } => {
+            writeln!(s, "        let v{dst} = 0x{bits:08x}u32;").unwrap();
+        }
+        Instr::Param { dst, idx } => {
+            writeln!(s, "        let v{dst} = params[{idx}];").unwrap();
+        }
+        Instr::IterIndex { dst } => {
+            writeln!(s, "        let v{dst} = iter as i32 as u32;").unwrap();
+        }
+        Instr::ClusterId { dst } => {
+            writeln!(s, "        let v{dst} = l as i32 as u32;").unwrap();
+        }
+        Instr::ClusterCount { dst } => {
+            writeln!(s, "        let v{dst} = c as i32 as u32;").unwrap();
+        }
+        Instr::LoadRecur { dst, slot } => {
+            writeln!(s, "        let v{dst} = recur[{slot} * c + l];").unwrap();
+        }
+        Instr::Read { dst, width, .. } => {
+            writeln!(
+                s,
+                "        let v{dst} = unsafe {{ ld(rs{k}, ri{k} + l * {}) }};",
+                width * 2
+            )
+            .unwrap();
+        }
+        Instr::Read2 { da, wa, db, wb, .. } => {
+            writeln!(
+                s,
+                "        let v{da} = unsafe {{ ld(rs{k}, ri{k} + l * {}) }};\n        \
+                 let v{db} = unsafe {{ ld(rs{k}b, ri{k}b + l * {}) }};",
+                wa * 2,
+                wb * 2
+            )
+            .unwrap();
+        }
+        Instr::Write {
+            src, stream, width, ..
+        } => {
+            writeln!(
+                s,
+                "        unsafe {{ st(&mut *outs[{stream}], wi{k} + l * {w2}, {tag}u32, v{src}) }};",
+                w2 = width * 2,
+                tag = out_tag(tape, stream)
+            )
+            .unwrap();
+        }
+        Instr::DivF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::DivF)),
+        Instr::AddI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::AddI)),
+        Instr::AddF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::AddF)),
+        Instr::SubI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::SubI)),
+        Instr::SubF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::SubF)),
+        Instr::MulI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::MulI)),
+        Instr::MulF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::MulF)),
+        Instr::MinI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::MinI)),
+        Instr::MinF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::MinF)),
+        Instr::MaxI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::MaxI)),
+        Instr::MaxF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::MaxF)),
+        Instr::And { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::And)),
+        Instr::Or { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::Or)),
+        Instr::Xor { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::Xor)),
+        Instr::Shl { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::Shl)),
+        Instr::Shr { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::Shr)),
+        Instr::EqI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::EqI)),
+        Instr::EqF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::EqF)),
+        Instr::NeI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::NeI)),
+        Instr::NeF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::NeF)),
+        Instr::LtI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::LtI)),
+        Instr::LtF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::LtF)),
+        Instr::LeI { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::LeI)),
+        Instr::LeF { dst, a, b } => lane_bin(s, dst, a, b, binop_expr(BinOp::LeF)),
+        Instr::Sqrt { dst, a } => lane_un(s, dst, a, "fb(f(x).sqrt())"),
+        Instr::NegI { dst, a } => lane_un(s, dst, a, "ib(i(x).wrapping_neg())"),
+        Instr::NegF { dst, a } => lane_un(s, dst, a, "fb(-f(x))"),
+        Instr::AbsI { dst, a } => lane_un(s, dst, a, "ib(i(x).wrapping_abs())"),
+        Instr::AbsF { dst, a } => lane_un(s, dst, a, "fb(f(x).abs())"),
+        Instr::Floor { dst, a } => lane_un(s, dst, a, "fb(f(x).floor())"),
+        Instr::ItoF { dst, a } => lane_un(s, dst, a, "fb(i(x) as f32)"),
+        Instr::FtoI { dst, a } => lane_un(s, dst, a, "ib(f(x) as i32)"),
+        Instr::Select { dst, cond, a, b } => {
+            writeln!(
+                s,
+                "        let v{dst} = if v{cond} != 0 {{ v{a} }} else {{ v{b} }};"
+            )
+            .unwrap();
+        }
+        Instr::MulAddF { dst, a, b, c: e } => lane_tri_f(s, dst, a, b, e, "fb(x * y + z)"),
+        Instr::AddMulF { dst, c: e, a, b } => lane_tri_f(s, dst, a, b, e, "fb(z + x * y)"),
+        Instr::MulSubF { dst, a, b, c: e } => lane_tri_f(s, dst, a, b, e, "fb(x * y - z)"),
+        Instr::SubMulF { dst, c: e, a, b } => lane_tri_f(s, dst, a, b, e, "fb(z - x * y)"),
+        Instr::MulMulAddF { dst, a, b, c: e, d } => {
+            writeln!(
+                s,
+                "        let v{dst} = {{ let x = f(v{a}); let y = f(v{b}); \
+                 let z = f(v{e}); let w = f(v{d}); fb(x * y + z * w) }};"
+            )
+            .unwrap();
+        }
+        Instr::MulMulSubF { dst, a, b, c: e, d } => {
+            writeln!(
+                s,
+                "        let v{dst} = {{ let x = f(v{a}); let y = f(v{b}); \
+                 let z = f(v{e}); let w = f(v{d}); fb(x * y - z * w) }};"
+            )
+            .unwrap();
+        }
+        Instr::MulAddI { dst, a, b, c: e } => {
+            lane_tri_i(s, dst, a, b, e, "ib(x.wrapping_mul(y).wrapping_add(z))")
+        }
+        Instr::MulSubI { dst, a, b, c: e } => {
+            lane_tri_i(s, dst, a, b, e, "ib(x.wrapping_mul(y).wrapping_sub(z))")
+        }
+        Instr::SubMulI { dst, c: e, a, b } => {
+            lane_tri_i(s, dst, a, b, e, "ib(z.wrapping_sub(x.wrapping_mul(y)))")
+        }
+        Instr::BinKR { op, dst, a, k: kk } => {
+            writeln!(
+                s,
+                "        let v{dst} = {{ let x = v{a}; let y = 0x{kk:08x}u32; {} }};",
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::BinKL { op, dst, k: kk, b } => {
+            writeln!(
+                s,
+                "        let v{dst} = {{ let x = 0x{kk:08x}u32; let y = v{b}; {} }};",
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::BinW {
+            op,
+            a,
+            b,
+            stream,
+            width,
+            ..
+        } => {
+            writeln!(
+                s,
+                "        {{ let x = v{a}; let y = v{b}; \
+                 unsafe {{ st(&mut *outs[{stream}], wi{k} + l * {w2}, {tag}u32, {}) }}; }}",
+                binop_expr(op),
+                w2 = width * 2,
+                tag = out_tag(tape, stream)
+            )
+            .unwrap();
+        }
+        Instr::BinRL {
+            op, dst, b, width, ..
+        } => {
+            writeln!(
+                s,
+                "        let v{dst} = {{ let x = unsafe {{ ld(rs{k}, ri{k} + l * {}) }}; \
+                 let y = v{b}; {} }};",
+                width * 2,
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::BinRR {
+            op, dst, a, width, ..
+        } => {
+            writeln!(
+                s,
+                "        let v{dst} = {{ let x = v{a}; \
+                 let y = unsafe {{ ld(rs{k}, ri{k} + l * {}) }}; {} }};",
+                width * 2,
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::CMulF {
+            re_dst,
+            im_dst,
+            a,
+            b,
+            c: e,
+            d,
+        } => {
+            writeln!(
+                s,
+                "        let (v{re_dst}, v{im_dst}) = {{ \
+                 let x = f(v{a}); let y = f(v{b}); let z = f(v{e}); let w = f(v{d}); \
+                 (fb(x * y - z * w), fb(x * w + z * y)) }};"
+            )
+            .unwrap();
+        }
+        Instr::BflyF {
+            add_dst,
+            sub_dst,
+            a,
+            b,
+        } => {
+            writeln!(
+                s,
+                "        let (v{add_dst}, v{sub_dst}) = {{ \
+                 let x = f(v{a}); let y = f(v{b}); (fb(x + y), fb(x - y)) }};"
+            )
+            .unwrap();
+        }
+        Instr::BflyWF {
+            a,
+            b,
+            add_stream,
+            add_width,
+            sub_stream,
+            sub_width,
+            ..
+        } => {
+            writeln!(
+                s,
+                "        {{ let x = f(v{a}); let y = f(v{b});\n        \
+                 unsafe {{ st(&mut *outs[{add_stream}], wi{k} + l * {aw2}, {atag}u32, fb(x + y)) }};\n        \
+                 unsafe {{ st(&mut *outs[{sub_stream}], wi{k}b + l * {sw2}, {stag}u32, fb(x - y)) }}; }}",
+                aw2 = add_width * 2,
+                sw2 = sub_width * 2,
+                atag = out_tag(tape, add_stream),
+                stag = out_tag(tape, sub_stream)
+            )
+            .unwrap();
+        }
+        // Barriers and planar forms never reach the fused path.
+        _ => unreachable!("non-fusible instruction in fused segment"),
+    }
+}
+
+/// `let v{dst} = expr(v{a}, v{b});` on lane locals.
+fn lane_bin(s: &mut String, dst: u32, a: u32, b: u32, expr: &str) {
+    writeln!(
+        s,
+        "        let v{dst} = {{ let x = v{a}; let y = v{b}; {expr} }};"
+    )
+    .unwrap();
+}
+
+/// `let v{dst} = expr(v{a});` on lane locals.
+fn lane_un(s: &mut String, dst: u32, a: u32, expr: &str) {
+    writeln!(s, "        let v{dst} = {{ let x = v{a}; {expr} }};").unwrap();
+}
+
+/// Three-operand float form on lane locals.
+fn lane_tri_f(s: &mut String, dst: u32, a: u32, b: u32, e: u32, expr: &str) {
+    writeln!(
+        s,
+        "        let v{dst} = {{ let x = f(v{a}); let y = f(v{b}); let z = f(v{e}); {expr} }};"
+    )
+    .unwrap();
+}
+
+/// Three-operand wrapping-integer form on lane locals.
+fn lane_tri_i(s: &mut String, dst: u32, a: u32, b: u32, e: u32, expr: &str) {
+    writeln!(
+        s,
+        "        let v{dst} = {{ let x = i(v{a}); let y = i(v{b}); let z = i(v{e}); {expr} }};"
+    )
+    .unwrap();
+}
+
+/// Emits one tape instruction as a straight-line statement block.
+/// Returns `Err` for planar instructions (the tape is ineligible).
+fn emit(s: &mut String, tape: &Tape, ins: &Instr) -> Result<(), String> {
+    match *ins {
+        Instr::ConstBits { dst, bits } => {
+            writeln!(
+                s,
+                "    vals[{dst} * c..{dst} * c + c].fill(0x{bits:08x}u32);"
+            )
+            .unwrap();
+        }
+        Instr::Param { dst, idx } => {
+            writeln!(s, "    vals[{dst} * c..{dst} * c + c].fill(params[{idx}]);").unwrap();
+        }
+        Instr::IterIndex { dst } => {
+            writeln!(
+                s,
+                "    vals[{dst} * c..{dst} * c + c].fill(iter as i32 as u32);"
+            )
+            .unwrap();
+        }
+        Instr::ClusterId { dst } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{ vals[{dst} * c + l] = l as i32 as u32; }}"
+            )
+            .unwrap();
+        }
+        Instr::ClusterCount { dst } => {
+            writeln!(
+                s,
+                "    vals[{dst} * c..{dst} * c + c].fill(c as i32 as u32);"
+            )
+            .unwrap();
+        }
+        Instr::LoadRecur { dst, slot } => {
+            writeln!(
+                s,
+                "    vals[{dst} * c..{dst} * c + c].copy_from_slice(&recur[{slot} * c..{slot} * c + c]);"
+            )
+            .unwrap();
+        }
+        Instr::Read {
+            dst,
+            stream,
+            width,
+            offset,
+        } => {
+            writeln!(s, "    {{ let src = ins[{stream}];").unwrap();
+            emit_read_bound(s, stream, width, offset);
+            writeln!(
+                s,
+                "    for l in 0..c {{ vals[{dst} * c + l] = src[fp + l * {}]; }} }}",
+                width * 2
+            )
+            .unwrap();
+        }
+        Instr::Write {
+            src,
+            stream,
+            width,
+            offset,
+        } => {
+            writeln!(
+                s,
+                "    {{ let out = &mut *outs[{stream}]; \
+                 let first = (((iter - out_base) * c) * {width} + {offset}) * 2;\n    \
+                 for l in 0..c {{ out[first + l * {w2}] = {tag}u32; \
+                 out[first + l * {w2} + 1] = vals[{src} * c + l]; }} }}",
+                w2 = width * 2,
+                tag = out_tag(tape, stream)
+            )
+            .unwrap();
+        }
+        Instr::CondRead { dst, pred, stream } => {
+            // `cur` counts words; the payload of word `n` is pair index
+            // `n * 2 + 1`, and `get` fails exactly when the word count
+            // `len / 2` is exhausted.
+            writeln!(
+                s,
+                "    {{ let src = ins[{stream}];\n    for l in 0..c {{\n        \
+                 vals[{dst} * c + l] = if vals[{pred} * c + l] != 0 {{\n            \
+                 match src.get(cur[{stream}] * 2 + 1) {{\n                \
+                 Some(&w) => {{ cur[{stream}] += 1; w }}\n                \
+                 None => return Err(ex({stream}, iter)),\n            }}\n        \
+                 }} else {{ 0 }};\n    }} }}"
+            )
+            .unwrap();
+        }
+        Instr::CondWrite { pred, src, stream } => {
+            writeln!(
+                s,
+                "    {{ let out = &mut *conds[{stream}]; let mut n = cond_len[{stream}];\n    \
+                 for l in 0..c {{ if vals[{pred} * c + l] != 0 {{ \
+                 out[n * 2] = {tag}u32; out[n * 2 + 1] = vals[{src} * c + l]; n += 1; }} }}\n    \
+                 cond_len[{stream}] = n; }}",
+                tag = out_tag(tape, stream)
+            )
+            .unwrap();
+        }
+        Instr::SpRead { dst, addr, ty } => {
+            let exp = ty_code(ty);
+            writeln!(
+                s,
+                "    for l in 0..c {{\n        let a = vals[{addr} * c + l] as i32;\n        \
+                 if a < 0 || a as usize >= sp_words {{ return Err(sp_oob({dst}, a, iter)); }}\n        \
+                 let idx = a as usize * c + l;\n        \
+                 let (w, b) = (idx / 64, idx % 64);\n        \
+                 if sp_init[w] >> b & 1 != 0 {{\n            \
+                 let stored = (sp_f32[w] >> b & 1) as u32;\n            \
+                 if stored != {exp} {{ return Err(tym({dst}, {exp}, stored, iter)); }}\n        \
+                 }}\n        \
+                 vals[{dst} * c + l] = sp_bits[idx];\n    }}"
+            )
+            .unwrap();
+        }
+        Instr::SpWrite { at, addr, src, ty } => {
+            let mask = match ty {
+                Ty::F32 => "sp_f32[w] |= 1 << b;",
+                Ty::I32 => "sp_f32[w] &= !(1 << b);",
+            };
+            writeln!(
+                s,
+                "    for l in 0..c {{\n        let a = vals[{addr} * c + l] as i32;\n        \
+                 if a < 0 || a as usize >= sp_words {{ return Err(sp_oob({at}, a, iter)); }}\n        \
+                 let idx = a as usize * c + l;\n        \
+                 sp_bits[idx] = vals[{src} * c + l];\n        \
+                 let (w, b) = (idx / 64, idx % 64);\n        \
+                 sp_init[w] |= 1 << b;\n        {mask}\n    }}"
+            )
+            .unwrap();
+        }
+        Instr::Comm { dst, data, src } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{\n        let si = vals[{src} * c + l] as i32;\n        \
+                 if si < 0 || si as usize >= c {{ return Err(badcomm({dst}, si, iter)); }}\n        \
+                 vals[{dst} * c + l] = vals[{data} * c + si as usize];\n    }}"
+            )
+            .unwrap();
+        }
+        Instr::AddI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::AddI)),
+        Instr::AddF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::AddF)),
+        Instr::SubI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::SubI)),
+        Instr::SubF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::SubF)),
+        Instr::MulI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::MulI)),
+        Instr::MulF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::MulF)),
+        Instr::DivI { dst, a, b } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{\n        let y = vals[{b} * c + l] as i32;\n        \
+                 if y == 0 {{ return Err(divz({dst}, iter)); }}\n        \
+                 vals[{dst} * c + l] = ib(i(vals[{a} * c + l]).wrapping_div(y));\n    }}"
+            )
+            .unwrap();
+        }
+        Instr::DivF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::DivF)),
+        Instr::Sqrt { dst, a } => emit_un(s, dst, a, "fb(f(x).sqrt())"),
+        Instr::MinI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::MinI)),
+        Instr::MinF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::MinF)),
+        Instr::MaxI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::MaxI)),
+        Instr::MaxF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::MaxF)),
+        Instr::NegI { dst, a } => emit_un(s, dst, a, "ib(i(x).wrapping_neg())"),
+        Instr::NegF { dst, a } => emit_un(s, dst, a, "fb(-f(x))"),
+        Instr::AbsI { dst, a } => emit_un(s, dst, a, "ib(i(x).wrapping_abs())"),
+        Instr::AbsF { dst, a } => emit_un(s, dst, a, "fb(f(x).abs())"),
+        Instr::Floor { dst, a } => emit_un(s, dst, a, "fb(f(x).floor())"),
+        Instr::And { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::And)),
+        Instr::Or { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::Or)),
+        Instr::Xor { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::Xor)),
+        Instr::Shl { dst, a, b } => emit_bin(s, dst, a, b, "ib(i(x).wrapping_shl(y))"),
+        Instr::Shr { dst, a, b } => emit_bin(s, dst, a, b, "ib(i(x).wrapping_shr(y))"),
+        Instr::EqI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::EqI)),
+        Instr::EqF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::EqF)),
+        Instr::NeI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::NeI)),
+        Instr::NeF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::NeF)),
+        Instr::LtI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::LtI)),
+        Instr::LtF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::LtF)),
+        Instr::LeI { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::LeI)),
+        Instr::LeF { dst, a, b } => emit_bin(s, dst, a, b, binop_expr(BinOp::LeF)),
+        Instr::Select { dst, cond, a, b } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{ vals[{dst} * c + l] = if vals[{cond} * c + l] != 0 \
+                 {{ vals[{a} * c + l] }} else {{ vals[{b} * c + l] }}; }}"
+            )
+            .unwrap();
+        }
+        Instr::ItoF { dst, a } => emit_un(s, dst, a, "fb(i(x) as f32)"),
+        Instr::FtoI { dst, a } => emit_un(s, dst, a, "ib(f(x) as i32)"),
+        Instr::Fault {
+            at,
+            expected,
+            found,
+        } => {
+            writeln!(
+                s,
+                "    return Err(tym({at}, {}, {}, iter));",
+                ty_code(expected),
+                ty_code(found)
+            )
+            .unwrap();
+        }
+        // ---- fused superinstructions: two-rounding shapes, never FMA ----
+        Instr::MulAddF { dst, a, b, c: e } => {
+            emit_tri_f(s, dst, a, b, e, "fb(x * y + z)");
+        }
+        Instr::AddMulF { dst, c: e, a, b } => {
+            emit_tri_f(s, dst, a, b, e, "fb(z + x * y)");
+        }
+        Instr::MulSubF { dst, a, b, c: e } => {
+            emit_tri_f(s, dst, a, b, e, "fb(x * y - z)");
+        }
+        Instr::SubMulF { dst, c: e, a, b } => {
+            emit_tri_f(s, dst, a, b, e, "fb(z - x * y)");
+        }
+        Instr::MulMulAddF { dst, a, b, c: e, d } => {
+            emit_quad_f(s, dst, a, b, e, d, "fb(x * y + z * w)");
+        }
+        Instr::MulMulSubF { dst, a, b, c: e, d } => {
+            emit_quad_f(s, dst, a, b, e, d, "fb(x * y - z * w)");
+        }
+        Instr::MulAddI { dst, a, b, c: e } => {
+            emit_tri_i(s, dst, a, b, e, "ib(x.wrapping_mul(y).wrapping_add(z))");
+        }
+        Instr::MulSubI { dst, a, b, c: e } => {
+            emit_tri_i(s, dst, a, b, e, "ib(x.wrapping_mul(y).wrapping_sub(z))");
+        }
+        Instr::SubMulI { dst, c: e, a, b } => {
+            emit_tri_i(s, dst, a, b, e, "ib(z.wrapping_sub(x.wrapping_mul(y)))");
+        }
+        Instr::BinKR { op, dst, a, k } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{ let x = vals[{a} * c + l]; let y = 0x{k:08x}u32; \
+                 vals[{dst} * c + l] = {}; }}",
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::BinKL { op, dst, k, b } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{ let x = 0x{k:08x}u32; let y = vals[{b} * c + l]; \
+                 vals[{dst} * c + l] = {}; }}",
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::BinW {
+            op,
+            a,
+            b,
+            stream,
+            width,
+            offset,
+        } => {
+            writeln!(
+                s,
+                "    {{ let out = &mut *outs[{stream}]; \
+                 let first = (((iter - out_base) * c) * {width} + {offset}) * 2;\n    \
+                 for l in 0..c {{ let x = vals[{a} * c + l]; let y = vals[{b} * c + l]; \
+                 out[first + l * {w2}] = {tag}u32; out[first + l * {w2} + 1] = {}; }} }}",
+                binop_expr(op),
+                w2 = width * 2,
+                tag = out_tag(tape, stream)
+            )
+            .unwrap();
+        }
+        Instr::BinRL {
+            op,
+            dst,
+            b,
+            stream,
+            width,
+            offset,
+        } => {
+            writeln!(s, "    {{ let src = ins[{stream}];").unwrap();
+            emit_read_bound(s, stream, width, offset);
+            writeln!(
+                s,
+                "    for l in 0..c {{ let x = src[fp + l * {}]; \
+                 let y = vals[{b} * c + l]; vals[{dst} * c + l] = {}; }} }}",
+                width * 2,
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        Instr::BinRR {
+            op,
+            dst,
+            a,
+            stream,
+            width,
+            offset,
+        } => {
+            writeln!(s, "    {{ let src = ins[{stream}];").unwrap();
+            emit_read_bound(s, stream, width, offset);
+            writeln!(
+                s,
+                "    for l in 0..c {{ let x = vals[{a} * c + l]; \
+                 let y = src[fp + l * {}]; vals[{dst} * c + l] = {}; }} }}",
+                width * 2,
+                binop_expr(op)
+            )
+            .unwrap();
+        }
+        // ---- pair-fused superinstructions ----
+        Instr::Read2 {
+            da,
+            sa,
+            wa,
+            oa,
+            db,
+            sb,
+            wb,
+            ob,
+        } => {
+            // Both bounds checks fire before either gather, in original
+            // program order (`a` first), exactly as `exec::step`.
+            writeln!(
+                s,
+                "    {{ let src_a = ins[{sa}]; let first_a = (iter * c) * {wa} + {oa};\n    \
+                 if first_a + (c - 1) * {wa} >= src_a.len() / 2 {{ return Err(ex({sa}, iter)); }}\n    \
+                 let src_b = ins[{sb}]; let first_b = (iter * c) * {wb} + {ob};\n    \
+                 if first_b + (c - 1) * {wb} >= src_b.len() / 2 {{ return Err(ex({sb}, iter)); }}\n    \
+                 let (fa, fb_) = (first_a * 2 + 1, first_b * 2 + 1);\n    \
+                 for l in 0..c {{ vals[{da} * c + l] = src_a[fa + l * {wa2}]; }}\n    \
+                 for l in 0..c {{ vals[{db} * c + l] = src_b[fb_ + l * {wb2}]; }} }}",
+                wa2 = wa * 2,
+                wb2 = wb * 2
+            )
+            .unwrap();
+        }
+        Instr::CMulF {
+            re_dst,
+            im_dst,
+            a,
+            b,
+            c: e,
+            d,
+        } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{\n        \
+                 let x = f(vals[{a} * c + l]); let y = f(vals[{b} * c + l]);\n        \
+                 let z = f(vals[{e} * c + l]); let w = f(vals[{d} * c + l]);\n        \
+                 vals[{re_dst} * c + l] = fb(x * y - z * w);\n        \
+                 vals[{im_dst} * c + l] = fb(x * w + z * y);\n    }}"
+            )
+            .unwrap();
+        }
+        Instr::BflyF {
+            add_dst,
+            sub_dst,
+            a,
+            b,
+        } => {
+            writeln!(
+                s,
+                "    for l in 0..c {{\n        \
+                 let x = f(vals[{a} * c + l]); let y = f(vals[{b} * c + l]);\n        \
+                 vals[{add_dst} * c + l] = fb(x + y);\n        \
+                 vals[{sub_dst} * c + l] = fb(x - y);\n    }}"
+            )
+            .unwrap();
+        }
+        Instr::BflyWF {
+            a,
+            b,
+            add_stream,
+            add_width,
+            add_offset,
+            sub_stream,
+            sub_width,
+            sub_offset,
+        } => {
+            // Adds scatter before subs, matching `exec::step`'s order.
+            writeln!(
+                s,
+                "    {{ let out = &mut *outs[{add_stream}]; \
+                 let first = (((iter - out_base) * c) * {add_width} + {add_offset}) * 2;\n    \
+                 for l in 0..c {{ out[first + l * {aw2}] = {atag}u32; out[first + l * {aw2} + 1] = \
+                 fb(f(vals[{a} * c + l]) + f(vals[{b} * c + l])); }} }}\n    \
+                 {{ let out = &mut *outs[{sub_stream}]; \
+                 let first = (((iter - out_base) * c) * {sub_width} + {sub_offset}) * 2;\n    \
+                 for l in 0..c {{ out[first + l * {sw2}] = {stag}u32; out[first + l * {sw2} + 1] = \
+                 fb(f(vals[{a} * c + l]) - f(vals[{b} * c + l])); }} }}",
+                aw2 = add_width * 2,
+                sw2 = sub_width * 2,
+                atag = out_tag(tape, add_stream),
+                stag = out_tag(tape, sub_stream)
+            )
+            .unwrap();
+        }
+        Instr::PRead { .. }
+        | Instr::PRead2 { .. }
+        | Instr::PWrite { .. }
+        | Instr::PBinW { .. }
+        | Instr::PBflyWF { .. } => {
+            return Err("planar instructions are not supported by the native backend".into());
+        }
+    }
+    Ok(())
+}
+
+/// `dst = g(x, y, z)` over all lanes, float operands.
+fn emit_tri_f(s: &mut String, dst: u32, a: u32, b: u32, e: u32, expr: &str) {
+    writeln!(
+        s,
+        "    for l in 0..c {{ let x = f(vals[{a} * c + l]); let y = f(vals[{b} * c + l]); \
+         let z = f(vals[{e} * c + l]); vals[{dst} * c + l] = {expr}; }}"
+    )
+    .unwrap();
+}
+
+/// `dst = g(x, y, z)` over all lanes, wrapping-integer operands.
+fn emit_tri_i(s: &mut String, dst: u32, a: u32, b: u32, e: u32, expr: &str) {
+    writeln!(
+        s,
+        "    for l in 0..c {{ let x = i(vals[{a} * c + l]); let y = i(vals[{b} * c + l]); \
+         let z = i(vals[{e} * c + l]); vals[{dst} * c + l] = {expr}; }}"
+    )
+    .unwrap();
+}
+
+/// `dst = g(x, y, z, w)` over all lanes, float operands.
+fn emit_quad_f(s: &mut String, dst: u32, a: u32, b: u32, e: u32, d: u32, expr: &str) {
+    writeln!(
+        s,
+        "    for l in 0..c {{ let x = f(vals[{a} * c + l]); let y = f(vals[{b} * c + l]); \
+         let z = f(vals[{e} * c + l]); let w = f(vals[{d} * c + l]); \
+         vals[{dst} * c + l] = {expr}; }}"
+    )
+    .unwrap();
+}

@@ -1,0 +1,327 @@
+//! Zero-dependency `dlopen`/`dlsym` loader and the host-side call shim
+//! for generated native modules.
+//!
+//! The loader links the C library's dynamic-loading entry points directly
+//! (no `libloading`, no build script); it is `cfg(unix)`-gated, and every
+//! other platform reports a diagnosed fallback through [`super`]. Loaded
+//! modules are never `dlclose`d — they live in a process-global registry
+//! for the life of the process, so the raw function pointer stays valid
+//! and `Send + Sync` are sound.
+
+use super::super::scratch::Scratchpad;
+use super::super::Tape;
+use crate::{IrError, Scalar, StreamId, Ty, ValueId};
+use std::ffi::{c_char, c_int, c_void, CString};
+use std::path::Path;
+
+mod sys {
+    use super::{c_char, c_int, c_void};
+    extern "C" {
+        pub fn dlopen(filename: *const c_char, flag: c_int) -> *mut c_void;
+        pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        pub fn dlerror() -> *mut c_char;
+    }
+    pub const RTLD_NOW: c_int = 2;
+}
+
+/// Input stream descriptor crossing the C ABI. Stream buffers are the
+/// host's `Scalar` vectors viewed as `(tag, payload)` `u32` pairs
+/// (`#[repr(u32)]` guarantees that layout), so `len` is `words * 2`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct NSlice {
+    ptr: *const u32,
+    len: usize,
+}
+
+impl NSlice {
+    const EMPTY: NSlice = NSlice {
+        ptr: std::ptr::null(),
+        len: 0,
+    };
+}
+
+/// Mutable output buffer descriptor crossing the C ABI (pairs, as above).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct NSliceMut {
+    ptr: *mut u32,
+    len: usize,
+}
+
+impl NSliceMut {
+    const EMPTY: NSliceMut = NSliceMut {
+        ptr: std::ptr::null_mut(),
+        len: 0,
+    };
+}
+
+/// Stream counts at or below this use stack-allocated descriptor arrays
+/// in [`call`]; larger kernels fall back to heap vectors. Descriptor
+/// allocation is pure per-call overhead, so the common case stays free.
+const STACK_STREAMS: usize = 16;
+
+/// Borrows a descriptor slice of length `n` from `arr` when it fits,
+/// else from `vec` (grown on demand).
+fn desc_slice<'a, T: Copy>(
+    arr: &'a mut [T; STACK_STREAMS],
+    vec: &'a mut Vec<T>,
+    empty: T,
+    n: usize,
+) -> &'a mut [T] {
+    if n <= STACK_STREAMS {
+        &mut arr[..n]
+    } else {
+        vec.resize(n, empty);
+        &mut vec[..n]
+    }
+}
+
+/// Error payload crossing the C ABI; decoded to `(iteration, IrError)`.
+#[repr(C)]
+#[derive(Default)]
+struct NErr {
+    code: u32,
+    a: u32,
+    b: i64,
+    c: u32,
+    iter: u64,
+}
+
+#[allow(clippy::type_complexity)]
+type RunFn = unsafe extern "C" fn(
+    c: usize,
+    lo: usize,
+    hi: usize,
+    out_base: usize,
+    sp_words: usize,
+    params: *const u32,
+    n_params: usize,
+    ins: *const NSlice,
+    n_ins: usize,
+    outs: *const NSliceMut,
+    n_outs: usize,
+    conds: *const NSliceMut,
+    cond_lens: *mut usize,
+    n_conds: usize,
+    sp_bits: *mut u32,
+    sp_len: usize,
+    sp_init: *mut u64,
+    sp_f32: *mut u64,
+    sp_mask_len: usize,
+    err: *mut NErr,
+) -> u32;
+
+type AbiFn = extern "C" fn() -> u32;
+
+/// A loaded native module: the entry point plus the buffer-sizing
+/// metadata recomputed from the tape at load time.
+pub(in crate::tape) struct NativeModule {
+    run: RunFn,
+    /// Per output stream: conditional pushes per iteration per lane.
+    cond_mult: Vec<usize>,
+    /// Kept only to document that the handle is intentionally leaked.
+    _handle: *mut c_void,
+}
+
+// SAFETY: the module is never unloaded, so the function pointer is valid
+// for the process lifetime; the handle itself is never used after load.
+unsafe impl Send for NativeModule {}
+unsafe impl Sync for NativeModule {}
+
+fn dl_error() -> String {
+    // SAFETY: dlerror returns a thread-local NUL-terminated string or null.
+    unsafe {
+        let p = sys::dlerror();
+        if p.is_null() {
+            "unknown dlopen error".into()
+        } else {
+            std::ffi::CStr::from_ptr(p).to_string_lossy().into_owned()
+        }
+    }
+}
+
+/// Loads a built artifact, checks its ABI stamp, and resolves the entry
+/// point. The handle is intentionally never closed.
+pub(super) fn load(
+    path: &Path,
+    tape: &Tape,
+    cond_mult: Vec<usize>,
+) -> Result<NativeModule, String> {
+    let cpath = CString::new(path.as_os_str().as_encoded_bytes())
+        .map_err(|_| "artifact path contains a NUL byte".to_string())?;
+    // SAFETY: cpath is a valid NUL-terminated path.
+    let handle = unsafe { sys::dlopen(cpath.as_ptr(), sys::RTLD_NOW) };
+    if handle.is_null() {
+        return Err(format!("dlopen failed: {}", dl_error()));
+    }
+    let sym = |name: &'static str| -> Result<*mut c_void, String> {
+        let cname = CString::new(name).unwrap();
+        // SAFETY: handle is a live dlopen handle, cname NUL-terminated.
+        let p = unsafe { sys::dlsym(handle, cname.as_ptr()) };
+        if p.is_null() {
+            Err(format!("missing symbol `{name}`: {}", dl_error()))
+        } else {
+            Ok(p)
+        }
+    };
+    // SAFETY: the symbol was emitted by our codegen with this signature;
+    // the ABI stamp check below rejects artifacts from other versions.
+    let abi: AbiFn = unsafe { std::mem::transmute(sym("stream_native_abi")?) };
+    let found = abi();
+    if found != super::codegen::ABI_VERSION {
+        return Err(format!(
+            "ABI version mismatch: artifact has {found}, host expects {}",
+            super::codegen::ABI_VERSION
+        ));
+    }
+    // SAFETY: as above — codegen emitted this exact signature.
+    let run: RunFn = unsafe { std::mem::transmute(sym("stream_native_run")?) };
+    debug_assert_eq!(cond_mult.len(), tape.kernel.outputs().len());
+    Ok(NativeModule {
+        run,
+        cond_mult,
+        _handle: handle,
+    })
+}
+
+fn ty_of(code: u32) -> Ty {
+    if code == 0 {
+        Ty::I32
+    } else {
+        Ty::F32
+    }
+}
+
+/// Runs iterations `lo..hi` through the native module — the drop-in
+/// replacement for `exec::dispatch` (and, serially, for the whole
+/// macro-batching path: the native body is per-iteration, which is
+/// bit-identical and needs no failed-batch rerun for exact errors).
+///
+/// Stream buffers stay in the host's tagged `Scalar` representation —
+/// the module reads payloads and writes `(tag, payload)` pairs directly
+/// (see the codegen module docs), so there is no bits marshalling on
+/// either side of this call.
+///
+/// `cond` buffers must arrive empty; they are sized to the exact
+/// worst-case push count, filled by the module, and truncated to the
+/// reported word counts.
+#[allow(clippy::too_many_arguments)]
+pub(in crate::tape) fn call(
+    m: &NativeModule,
+    lo: usize,
+    hi: usize,
+    out_base: usize,
+    c: usize,
+    sp_words: usize,
+    params: &[u32],
+    inputs: &[Vec<Scalar>],
+    plain: &mut [&mut [Scalar]],
+    cond: &mut [Vec<Scalar>],
+    sp: &mut Scratchpad,
+) -> Result<(), (usize, IrError)> {
+    let iters = hi - lo;
+    for (v, &mult) in cond.iter_mut().zip(&m.cond_mult) {
+        debug_assert!(v.is_empty(), "native call expects empty cond buffers");
+        v.resize(iters * c * mult, Scalar::I32(0));
+    }
+    let (mut ins_a, mut ins_v) = ([NSlice::EMPTY; STACK_STREAMS], Vec::new());
+    let ins = desc_slice(&mut ins_a, &mut ins_v, NSlice::EMPTY, inputs.len());
+    for (d, v) in ins.iter_mut().zip(inputs) {
+        *d = NSlice {
+            ptr: v.as_ptr() as *const u32,
+            len: v.len() * 2,
+        };
+    }
+    let (mut outs_a, mut outs_v) = ([NSliceMut::EMPTY; STACK_STREAMS], Vec::new());
+    let outs = desc_slice(&mut outs_a, &mut outs_v, NSliceMut::EMPTY, plain.len());
+    for (d, s) in outs.iter_mut().zip(plain.iter_mut()) {
+        *d = NSliceMut {
+            ptr: s.as_mut_ptr() as *mut u32,
+            len: s.len() * 2,
+        };
+    }
+    let (mut conds_a, mut conds_v) = ([NSliceMut::EMPTY; STACK_STREAMS], Vec::new());
+    let conds = desc_slice(&mut conds_a, &mut conds_v, NSliceMut::EMPTY, cond.len());
+    for (d, v) in conds.iter_mut().zip(cond.iter_mut()) {
+        *d = NSliceMut {
+            ptr: v.as_mut_ptr() as *mut u32,
+            len: v.len() * 2,
+        };
+    }
+    let (mut lens_a, mut lens_v) = ([0usize; STACK_STREAMS], Vec::new());
+    let cond_lens = desc_slice(&mut lens_a, &mut lens_v, 0usize, cond.len());
+    let (sp_bits, sp_init, sp_f32) = sp.raw_parts_mut();
+    let mut err = NErr::default();
+    // SAFETY: every pointer/len pair describes a live buffer owned by this
+    // frame (or the caller), all mutually disjoint; the module stays within
+    // the given lengths (its entry validates counts and output lengths up
+    // front — rc 2 — and every unchecked stream access in the generated
+    // loops is covered by those guards or a hoisted per-iteration bounds
+    // check). Scalar buffers are viewed as u32 pairs — `#[repr(u32)]`
+    // guarantees that layout, and everything the module writes back is a
+    // valid `(tag, payload)` pair for the stream's declared type.
+    let rc = unsafe {
+        (m.run)(
+            c,
+            lo,
+            hi,
+            out_base,
+            sp_words,
+            params.as_ptr(),
+            params.len(),
+            ins.as_ptr(),
+            ins.len(),
+            outs.as_ptr(),
+            outs.len(),
+            conds.as_ptr(),
+            cond_lens.as_mut_ptr(),
+            conds.len(),
+            sp_bits.as_mut_ptr(),
+            sp_bits.len(),
+            sp_init.as_mut_ptr(),
+            sp_f32.as_mut_ptr(),
+            sp_init.len(),
+            &mut err,
+        )
+    };
+    for (v, &n) in cond.iter_mut().zip(cond_lens.iter()) {
+        v.truncate(n);
+    }
+    if rc == 0 {
+        return Ok(());
+    }
+    // rc == 2 is the module's buffer count/length cross-check: the host
+    // derives every count and size from the same tape the module was
+    // generated from, so a mismatch can only be a host/module pairing
+    // bug, never a data error.
+    assert_ne!(
+        rc, 2,
+        "native module rejected buffer counts/lengths (ABI pairing bug)"
+    );
+    let iter = err.iter as usize;
+    let e = match err.code {
+        1 => IrError::StreamExhausted {
+            stream: StreamId(err.a),
+            iteration: iter,
+        },
+        2 => IrError::SpOutOfBounds {
+            at: ValueId(err.a),
+            addr: err.b as i32,
+            capacity: sp_words,
+        },
+        3 => IrError::TypeMismatch {
+            at: ValueId(err.a),
+            expected: ty_of(err.b as u32),
+            found: ty_of(err.c),
+        },
+        4 => IrError::BadCommSource {
+            at: ValueId(err.a),
+            src: err.b as i32,
+            clusters: c,
+        },
+        5 => IrError::DivideByZero(ValueId(err.a)),
+        other => unreachable!("native module returned unknown error code {other}"),
+    };
+    Err((iter, e))
+}

@@ -1,0 +1,266 @@
+//! Tier-3 kernel execution: compile a validated tape to native code.
+//!
+//! The interpreter tiers still pay per-instruction dispatch on every
+//! fused op; this backend removes it entirely by emitting specialized
+//! Rust source for the tape ([`codegen`]), building it with the
+//! toolchain `rustc` as a `cdylib` ([`build`]), and calling it through a
+//! zero-dependency `dlopen` shim ([`ffi`]). Everything about the tier is
+//! *wholesale fallback*: any ineligibility (planar layout, failed
+//! translation validation), missing `rustc`, unsupported platform, or
+//! build/load failure is diagnosed once per tape and execution continues
+//! on tape v2, bit-identically.
+//!
+//! Policy lives in [`crate::NativeMode`] (`TapeConfig::native`) plus the
+//! `STREAM_TAPE_NATIVE` environment override (`on`/`force` builds at
+//! first execute, `off` disables; Auto builds only after a tape proves
+//! hot). Compiled artifacts are shared process-wide through a registry
+//! keyed by source fingerprint, and optionally across processes through
+//! a persistent tier in `stream-store` ([`attach_disk`]), so each
+//! schedule JITs once ever.
+
+mod codegen;
+
+#[cfg(unix)]
+mod build;
+#[cfg(unix)]
+mod ffi;
+
+#[cfg(unix)]
+pub(in crate::tape) use ffi::{call, NativeModule};
+
+#[cfg(not(unix))]
+mod unsupported {
+    use super::super::scratch::Scratchpad;
+    use crate::IrError;
+
+    /// Stub for platforms without `dlopen`; never instantiated.
+    pub(in crate::tape) struct NativeModule;
+
+    #[allow(clippy::too_many_arguments)]
+    pub(in crate::tape) fn call(
+        _m: &NativeModule,
+        _lo: usize,
+        _hi: usize,
+        _out_base: usize,
+        _c: usize,
+        _sp_words: usize,
+        _params: &[u32],
+        _in_bits: &[Vec<u32>],
+        _plain: &mut [&mut [u32]],
+        _cond: &mut [Vec<u32>],
+        _sp: &mut Scratchpad,
+    ) -> Result<(), (usize, IrError)> {
+        unreachable!("native modules are never built on unsupported platforms")
+    }
+}
+#[cfg(not(unix))]
+pub(in crate::tape) use unsupported::{call, NativeModule};
+
+use super::Tape;
+use crate::NativeMode;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Auto mode builds only after this many executes of the same tape…
+const WARMUP_CALLS: u64 = 16;
+/// …and only when one call's work (`iterations × body × lanes`) is big
+/// enough that a ~half-second `rustc` invocation can ever pay off.
+const MIN_WORK: usize = 1 << 14;
+
+// Exact native-tier statistics (standalone atomics, so they are correct
+// even when tracing is disabled; `stream_trace::count` mirrors them into
+// the gated registry for trace consumers).
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Counters for the native tier, process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeStats {
+    /// Modules built by invoking `rustc` in this process.
+    pub compiles: u64,
+    /// Modules rehydrated from the persistent artifact tier.
+    pub disk_hits: u64,
+    /// Tapes that wanted the native tier but fell back to the
+    /// interpreter (ineligible, no `rustc`, or build/load failure).
+    pub fallbacks: u64,
+}
+
+/// Reads the process-wide native-tier counters.
+pub fn stats() -> NativeStats {
+    NativeStats {
+        compiles: COMPILES.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        fallbacks: FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(unix)]
+static DISK: OnceLock<stream_store::DiskStore> = OnceLock::new();
+
+/// Attaches a persistent artifact tier rooted at `root`: every module
+/// built after this call is written through, and later processes (or a
+/// restarted one) rehydrate artifacts instead of re-invoking `rustc`.
+/// Returns `false` if a tier was already attached (the existing one is
+/// kept — the attach is process-wide and happens once).
+///
+/// # Errors
+///
+/// Propagates the failure to create or open the store directory.
+pub fn attach_disk(root: &Path) -> io::Result<bool> {
+    #[cfg(unix)]
+    {
+        if DISK.get().is_some() {
+            return Ok(false);
+        }
+        let store = stream_store::DiskStore::open(root, "natives", codegen::CODEGEN_VERSION)?;
+        Ok(DISK.set(store).is_ok())
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = root;
+        Ok(false)
+    }
+}
+
+/// `STREAM_TAPE_NATIVE` override, parsed once: `Some(true)` forces the
+/// tier for Auto-mode tapes, `Some(false)` disables it, `None` leaves
+/// the Auto policy in charge. Mirrors `STREAM_TAPE_STRIPS`: the
+/// environment never overrides an explicit `TapeConfig::native` setting.
+fn env_override() -> Option<bool> {
+    static MODE: OnceLock<Option<bool>> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("STREAM_TAPE_NATIVE") {
+        Ok(v) => match v.as_str() {
+            "on" | "1" | "true" | "force" => Some(true),
+            "off" | "0" | "false" => Some(false),
+            other => {
+                if cfg!(debug_assertions) {
+                    eprintln!(
+                        "stream-ir: unrecognized STREAM_TAPE_NATIVE value {other:?} \
+                         (expected on/1/true/force or off/0/false); using the default"
+                    );
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// Per-tape native state, shared by every clone of the tape (strip-mode
+/// variants of one compile reuse the same module). The slot is decided
+/// at most once: `Some` pins the loaded module, `None` pins a diagnosed
+/// fallback so the reason is reported once, not per call.
+pub(in crate::tape) struct NativeCell {
+    calls: AtomicU64,
+    slot: OnceLock<Option<Arc<NativeModule>>>,
+}
+
+impl NativeCell {
+    pub(in crate::tape) fn new() -> Self {
+        Self {
+            calls: AtomicU64::new(0),
+            slot: OnceLock::new(),
+        }
+    }
+}
+
+impl Default for NativeCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for NativeCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.slot.get() {
+            None => "undecided",
+            Some(Some(_)) => "built",
+            Some(None) => "fallback",
+        };
+        f.debug_struct("NativeCell")
+            .field("calls", &self.calls.load(Ordering::Relaxed))
+            .field("state", &state)
+            .finish()
+    }
+}
+
+/// Decides whether this execute runs natively. Cheap on every path that
+/// doesn't build: one atomic bump and a `OnceLock` read.
+pub(in crate::tape) fn resolve(
+    tape: &Tape,
+    iterations: usize,
+    c: usize,
+) -> Option<Arc<NativeModule>> {
+    let force = match tape.config.native {
+        NativeMode::Off => return None,
+        NativeMode::Force => true,
+        NativeMode::Auto => match env_override() {
+            Some(false) => return None,
+            Some(true) => true,
+            None => false,
+        },
+    };
+    let cell = &tape.native;
+    if let Some(slot) = cell.slot.get() {
+        return slot.clone();
+    }
+    if !force {
+        let calls = cell.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let work = iterations.saturating_mul(tape.body.len()).saturating_mul(c);
+        if calls < WARMUP_CALLS || work < MIN_WORK {
+            return None;
+        }
+    }
+    cell.slot
+        .get_or_init(|| match try_build(tape) {
+            Ok(m) => Some(m),
+            Err(why) => {
+                FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                stream_trace::count("native.fallbacks", 1);
+                eprintln!(
+                    "stream-ir: native backend fallback for kernel `{}`: {why}",
+                    tape.kernel.name()
+                );
+                None
+            }
+        })
+        .clone()
+}
+
+/// Builds (or fetches) the module for an eligible tape. Only tapes that
+/// pass `tapecheck` translation validation with zero errors may be
+/// lowered — the native tier trusts the tape, so the tape must first be
+/// proven equivalent to its kernel.
+#[cfg(unix)]
+fn try_build(tape: &Tape) -> Result<Arc<NativeModule>, String> {
+    let errors = super::check::check_tape(tape)
+        .into_iter()
+        .filter(|f| f.kind.is_error())
+        .count();
+    if errors > 0 {
+        return Err(format!(
+            "translation validation found {errors} error(s); tape is not native-eligible"
+        ));
+    }
+    build::build_or_fetch(tape)
+}
+
+#[cfg(not(unix))]
+fn try_build(_tape: &Tape) -> Result<Arc<NativeModule>, String> {
+    Err("platform has no dlopen support".into())
+}
+
+#[cfg(unix)]
+fn note_compile() {
+    COMPILES.fetch_add(1, Ordering::Relaxed);
+    stream_trace::count("native.compiles", 1);
+}
+
+#[cfg(unix)]
+fn note_disk_hit() {
+    DISK_HITS.fetch_add(1, Ordering::Relaxed);
+    stream_trace::count("native.disk_hits", 1);
+}

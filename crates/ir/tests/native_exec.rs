@@ -1,0 +1,361 @@
+//! End-to-end differential tests for the native (tier-3) tape backend.
+//!
+//! The in-process tests assert bit-exact agreement between the legacy
+//! oracle, the interpreter tiers, and forced-native execution. The
+//! process-wide counters (`native_stats`) and the environment overrides
+//! (`STREAM_TAPE_NATIVE`, `STREAM_TAPE_RUSTC`) are read once per process,
+//! so those cases re-execute this test binary with a controlled
+//! environment — the same own-process pattern as `strip_env.rs` — and
+//! assert on the child's exact counters and diagnostics.
+
+use std::process::Command;
+use stream_ir::{
+    execute_with_legacy, native_stats, ExecConfig, ExecOptions, Kernel, KernelBuilder, NativeMode,
+    Scalar, StripMode, Tape, Ty,
+};
+
+fn cfg(c: usize) -> ExecConfig {
+    ExecConfig::with_clusters(c)
+}
+
+fn opts(params: &[Scalar]) -> ExecOptions<'_> {
+    ExecOptions {
+        params,
+        sp_init: None,
+        iterations: None,
+    }
+}
+
+/// `a*x + y` over f32 streams: fused multiply-add shapes, strip-eligible.
+fn saxpy() -> Kernel {
+    let mut b = KernelBuilder::new("saxpy");
+    let a = b.param(Ty::F32);
+    let xs = b.in_stream(Ty::F32);
+    let ys = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+    let x = b.read(xs);
+    let y = b.read(ys);
+    let ax = b.mul(a, x);
+    let r = b.add(ax, y);
+    b.write(out, r);
+    b.finish().unwrap()
+}
+
+/// Recurrence + scratchpad + inter-cluster comm + a conditional output:
+/// every stateful feature the native body must reproduce exactly.
+fn busy() -> Kernel {
+    let mut b = KernelBuilder::new("busy");
+    let xs = b.in_stream(Ty::I32);
+    let plain_out = b.out_stream(Ty::I32);
+    let cond_out = b.out_stream(Ty::I32);
+    b.require_sp(4);
+    let x = b.read(xs);
+    let acc = b.recurrence(Scalar::I32(1));
+    let sum = b.add(acc, x);
+    b.bind_next(acc, sum);
+    let three = b.const_i(3);
+    let addr = b.and(x, three);
+    let prev = b.sp_read(addr, Ty::I32);
+    let stored = b.add(prev, x);
+    b.sp_write(addr, stored);
+    // Rotate each cluster's running sum to its left neighbor.
+    let cid = b.cluster_id();
+    let one = b.const_i(1);
+    let zero = b.const_i(0);
+    let cc = b.cluster_count();
+    let nxt = b.add(cid, one);
+    let in_range = b.lt(nxt, cc);
+    let src = b.select(in_range, nxt, zero);
+    let rot = b.comm(sum, src);
+    let r1 = b.add(rot, stored);
+    b.write(plain_out, r1);
+    let is_odd = b.and(x, one);
+    b.cond_write(cond_out, is_odd, sum);
+    b.finish().unwrap()
+}
+
+/// Integer division whose divisor stream can carry a zero.
+fn divider() -> Kernel {
+    let mut b = KernelBuilder::new("divider");
+    let num = b.in_stream(Ty::I32);
+    let den = b.in_stream(Ty::I32);
+    let out = b.out_stream(Ty::I32);
+    let n = b.read(num);
+    let d = b.read(den);
+    let q = b.div(n, d);
+    b.write(out, q);
+    b.finish().unwrap()
+}
+
+fn i32s(vals: impl IntoIterator<Item = i32>) -> Vec<Scalar> {
+    vals.into_iter().map(Scalar::I32).collect()
+}
+
+fn f32s(vals: impl IntoIterator<Item = f32>) -> Vec<Scalar> {
+    vals.into_iter().map(Scalar::F32).collect()
+}
+
+fn saxpy_inputs(iters: usize, c: usize) -> Vec<Vec<Scalar>> {
+    let n = iters * c;
+    vec![
+        f32s((0..n).map(|i| (i as f32).mul_add(0.37, -4.0))),
+        f32s((0..n).map(|i| 1.0 - i as f32 * 0.11)),
+    ]
+}
+
+fn busy_inputs(iters: usize, c: usize) -> Vec<Vec<Scalar>> {
+    vec![i32s(
+        (0..iters * c).map(|i| (i as i32).wrapping_mul(2654435761u32 as i32) >> 3),
+    )]
+}
+
+/// Forced-native execution must agree with the legacy oracle bit-for-bit,
+/// at every cluster count, on both value results and error results.
+#[test]
+fn force_native_matches_legacy() {
+    let sk = saxpy();
+    let bk = busy();
+    let st = Tape::compile(&sk).with_native_mode(NativeMode::Force);
+    let bt = Tape::compile(&bk).with_native_mode(NativeMode::Force);
+    let params = [Scalar::F32(2.5)];
+    for c in [1usize, 3, 4, 8, 16] {
+        let si = saxpy_inputs(7, c);
+        let want = execute_with_legacy(&sk, &opts(&params), &si, &cfg(c)).unwrap();
+        assert_eq!(
+            st.execute(&params, &si, &cfg(c)).unwrap(),
+            want,
+            "saxpy c={c}"
+        );
+
+        let bi = busy_inputs(9, c);
+        let want = execute_with_legacy(&bk, &opts(&[]), &bi, &cfg(c)).unwrap();
+        assert_eq!(bt.execute(&[], &bi, &cfg(c)).unwrap(), want, "busy c={c}");
+    }
+}
+
+/// A forced-strip clone of a forced-native tape must stay bit-identical to
+/// the serial schedule (the strips call the same compiled module with
+/// per-strip iteration windows).
+#[test]
+fn forced_strips_stay_bit_identical() {
+    let k = saxpy();
+    let tape = Tape::compile(&k).with_native_mode(NativeMode::Force);
+    let forced = tape.clone().with_strip_mode(StripMode::Force);
+    let params = [Scalar::F32(-1.125)];
+    for c in [1usize, 4, 8] {
+        let inputs = saxpy_inputs(23, c);
+        let serial = tape.execute(&params, &inputs, &cfg(c)).unwrap();
+        let striped = forced.execute(&params, &inputs, &cfg(c)).unwrap();
+        assert_eq!(serial, striped, "c={c}");
+    }
+}
+
+/// Errors must carry the same values and the same (earliest) iteration as
+/// the oracle: stream exhaustion past the end of input, and a mid-stream
+/// divide-by-zero, serial and strip-parallel.
+#[test]
+fn native_errors_match_legacy() {
+    let sk = saxpy();
+    let st = Tape::compile(&sk).with_native_mode(NativeMode::Force);
+    let forced = st.clone().with_strip_mode(StripMode::Force);
+    let params = [Scalar::F32(0.5)];
+    for c in [1usize, 4, 8] {
+        let inputs = saxpy_inputs(6, c);
+        let o = ExecOptions {
+            params: &params,
+            sp_init: None,
+            iterations: Some(9),
+        };
+        let want = execute_with_legacy(&sk, &o, &inputs, &cfg(c));
+        assert!(want.is_err(), "starved run must fail");
+        assert_eq!(st.execute_with(&o, &inputs, &cfg(c)), want, "serial c={c}");
+        assert_eq!(
+            forced.execute_with(&o, &inputs, &cfg(c)),
+            want,
+            "strips c={c}"
+        );
+    }
+
+    let dk = divider();
+    let dt = Tape::compile(&dk).with_native_mode(NativeMode::Force);
+    for c in [1usize, 4] {
+        let num = i32s((0..8 * c as i32).map(|i| i * 3 + 1));
+        let den = i32s((0..8 * c as i32).map(|i| if i == 5 { 0 } else { i + 1 }));
+        let inputs = vec![num, den];
+        let want = execute_with_legacy(&dk, &opts(&[]), &inputs, &cfg(c));
+        assert!(want.is_err(), "divide by zero must fail");
+        assert_eq!(dt.execute(&[], &inputs, &cfg(c)), want, "c={c}");
+    }
+
+    // The busy kernel is not strip-eligible; starve it too (recurrence +
+    // scratchpad state must be exact up to the failing iteration).
+    let bk = busy();
+    let bt = Tape::compile(&bk).with_native_mode(NativeMode::Force);
+    for c in [1usize, 3] {
+        let inputs = busy_inputs(4, c);
+        let o = ExecOptions {
+            params: &[],
+            sp_init: None,
+            iterations: Some(6),
+        };
+        let want = execute_with_legacy(&bk, &o, &inputs, &cfg(c));
+        assert!(want.is_err());
+        assert_eq!(bt.execute_with(&o, &inputs, &cfg(c)), want, "c={c}");
+    }
+}
+
+/// Drives one child process per environment configuration and asserts its
+/// exact counters (the overrides and stats are per-process one-shots).
+#[test]
+fn native_env_and_counters() {
+    if let Ok(mode) = std::env::var("NATIVE_ENV_CHILD") {
+        child(&mode);
+        return;
+    }
+
+    let run = |mode: &str, envs: &[(&str, &str)]| {
+        let exe = std::env::current_exe().expect("test binary path");
+        let mut cmd = Command::new(exe);
+        cmd.args(["native_env_and_counters", "--exact", "--nocapture"])
+            .env("NATIVE_ENV_CHILD", mode);
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let out = cmd.output().expect("re-running the test binary");
+        assert!(
+            out.status.success(),
+            "child mode {mode} failed:\nstdout:\n{}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+
+    // Forced native: one rustc invocation per distinct tape, reused across
+    // cluster counts, repeat executes, and strip-mode clones.
+    run("force", &[]);
+
+    // STREAM_TAPE_NATIVE=off: a hot Auto tape must never build.
+    run("off", &[("STREAM_TAPE_NATIVE", "off")]);
+
+    // STREAM_TAPE_NATIVE=on: an Auto tape builds at first execute.
+    run("on", &[("STREAM_TAPE_NATIVE", "on")]);
+
+    // Auto with no override: cold tapes interpret, hot tapes build.
+    run("warmup", &[]);
+
+    // Sabotaged toolchain: results identical, fallback diagnosed once.
+    let stderr = run(
+        "sabotage",
+        &[("STREAM_TAPE_RUSTC", "/nonexistent/stream-rustc")],
+    );
+    assert!(
+        stderr.contains("native backend fallback"),
+        "sabotaged child must diagnose the fallback, got:\n{stderr}"
+    );
+
+    // Persistent tier: a second process over the same store rehydrates the
+    // artifact instead of re-invoking rustc.
+    let store = std::env::temp_dir().join(format!("stream-native-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let store_str = store.to_str().expect("utf-8 temp path");
+    run("disk-cold", &[("NATIVE_ENV_STORE", store_str)]);
+    run("disk-warm", &[("NATIVE_ENV_STORE", store_str)]);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+fn child(mode: &str) {
+    let k = saxpy();
+    let params = [Scalar::F32(3.0)];
+    match mode {
+        "force" => {
+            let tape = Tape::compile(&k).with_native_mode(NativeMode::Force);
+            let striped = tape.clone().with_strip_mode(StripMode::Force);
+            for c in [1usize, 8] {
+                let inputs = saxpy_inputs(11, c);
+                let want = execute_with_legacy(&k, &opts(&params), &inputs, &cfg(c)).unwrap();
+                for _ in 0..3 {
+                    assert_eq!(tape.execute(&params, &inputs, &cfg(c)).unwrap(), want);
+                    assert_eq!(striped.execute(&params, &inputs, &cfg(c)).unwrap(), want);
+                }
+            }
+            let s = native_stats();
+            assert_eq!(s.compiles, 1, "one distinct tape, one rustc invocation");
+            assert_eq!(s.fallbacks, 0);
+            assert_eq!(s.disk_hits, 0, "no persistent tier attached");
+        }
+        "off" => {
+            let tape = Tape::compile(&k); // NativeMode::Auto
+            hot_loop(&tape, &k, &params);
+            let s = native_stats();
+            assert_eq!(s.compiles, 0, "off override must never build");
+            assert_eq!(s.fallbacks, 0);
+        }
+        "on" => {
+            let tape = Tape::compile(&k);
+            let c = 8;
+            let inputs = saxpy_inputs(4, c);
+            let want = execute_with_legacy(&k, &opts(&params), &inputs, &cfg(c)).unwrap();
+            assert_eq!(tape.execute(&params, &inputs, &cfg(c)).unwrap(), want);
+            let s = native_stats();
+            assert_eq!(s.compiles, 1, "on override builds at first execute");
+            assert_eq!(s.fallbacks, 0);
+        }
+        "warmup" => {
+            let tape = Tape::compile(&k);
+            let c = 8;
+            // Cold: a few small executes stay interpreted.
+            let inputs = saxpy_inputs(4, c);
+            for _ in 0..3 {
+                tape.execute(&params, &inputs, &cfg(c)).unwrap();
+            }
+            assert_eq!(native_stats().compiles, 0, "cold tape must not build");
+            hot_loop(&tape, &k, &params);
+            let s = native_stats();
+            assert_eq!(s.compiles, 1, "hot tape must build exactly once");
+            assert_eq!(s.fallbacks, 0);
+        }
+        "sabotage" => {
+            let tape = Tape::compile(&k).with_native_mode(NativeMode::Force);
+            for c in [1usize, 8] {
+                let inputs = saxpy_inputs(11, c);
+                let want = execute_with_legacy(&k, &opts(&params), &inputs, &cfg(c)).unwrap();
+                assert_eq!(tape.execute(&params, &inputs, &cfg(c)).unwrap(), want);
+            }
+            let s = native_stats();
+            assert_eq!(s.compiles, 0, "sabotaged rustc cannot have built");
+            assert_eq!(s.fallbacks, 1, "fallback is diagnosed and counted once");
+        }
+        "disk-cold" | "disk-warm" => {
+            let store = std::env::var("NATIVE_ENV_STORE").expect("store path");
+            assert!(stream_ir::attach_native_disk(store.as_ref()).expect("attach store"));
+            let tape = Tape::compile(&k).with_native_mode(NativeMode::Force);
+            let c = 8;
+            let inputs = saxpy_inputs(11, c);
+            let want = execute_with_legacy(&k, &opts(&params), &inputs, &cfg(c)).unwrap();
+            assert_eq!(tape.execute(&params, &inputs, &cfg(c)).unwrap(), want);
+            let s = native_stats();
+            assert_eq!(s.fallbacks, 0);
+            if mode == "disk-cold" {
+                assert_eq!((s.compiles, s.disk_hits), (1, 0), "cold store must compile");
+            } else {
+                assert_eq!(
+                    (s.compiles, s.disk_hits),
+                    (0, 1),
+                    "warm restart must rehydrate without invoking rustc"
+                );
+            }
+        }
+        other => panic!("unknown child mode {other:?}"),
+    }
+}
+
+/// Executes enough big calls that Auto mode's warm-up gate opens.
+fn hot_loop(tape: &Tape, k: &Kernel, params: &[Scalar]) {
+    let c = 8;
+    let inputs = saxpy_inputs(1024, c);
+    let want = execute_with_legacy(k, &opts(params), &inputs, &cfg(c)).unwrap();
+    for _ in 0..20 {
+        assert_eq!(tape.execute(params, &inputs, &cfg(c)).unwrap(), want);
+    }
+}

@@ -120,6 +120,12 @@ fn main() -> ExitCode {
             eprintln!("failed to open schedule cache at {dir}: {e}");
             return ExitCode::FAILURE;
         }
+        // The same root also hosts the native-backend artifact tier, so a
+        // warm cache directory restarts with zero rustc invocations.
+        if let Err(e) = stream_ir::attach_native_disk(std::path::Path::new(dir)) {
+            eprintln!("failed to open native artifact cache at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     // The tape's strip-parallel executor draws from the process-global
     // permit pool; size it to the same worker budget as the sweep engine
@@ -149,9 +155,11 @@ fn main() -> ExitCode {
         // populated cache directory is the "zero schedule compiles" check
         // CI asserts.
         let s = stream_grid::global_cache().stats();
+        let n = stream_ir::native_stats();
         eprintln!(
-            "# cache: compiles={} disk_hits={} disk_misses={}",
-            s.compiles, s.disk_hits, s.disk_misses
+            "# cache: compiles={} disk_hits={} disk_misses={} \
+             native_compiles={} native_disk_hits={} native_fallbacks={}",
+            s.compiles, s.disk_hits, s.disk_misses, n.compiles, n.disk_hits, n.fallbacks
         );
     }
     if let Some(path) = trace_path {

@@ -110,20 +110,6 @@ pub fn run(id: ExperimentId) -> Report {
     run_with(id, &Engine::with_default_parallelism())
 }
 
-/// Parses `id` and runs the experiment.
-///
-/// # Errors
-///
-/// Returns [`UnknownExperiment`] if `id` names no experiment.
-#[deprecated(
-    since = "0.1.0",
-    note = "parse the id with `str::parse::<ExperimentId>()` and call `run`, \
-            or describe the work with `Query`"
-)]
-pub fn try_run(id: &str) -> Result<Report, UnknownExperiment> {
-    id.parse().map(run)
-}
-
 /// Runs several experiments on `engine`. Independent experiments run
 /// concurrently as engine jobs (each experiment's own grid sweeps nest
 /// inside the same engine, bounded by its permit pool); reports come back
@@ -186,9 +172,8 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn unknown_experiment_errors() {
-        let err = try_run("fig99").unwrap_err();
+        let err = "fig99".parse::<ExperimentId>().unwrap_err();
         assert_eq!(err.input, "fig99");
         assert_eq!(err.suggestion, Some(ExperimentId::Fig9));
         assert!(err.to_string().contains("unknown experiment"));

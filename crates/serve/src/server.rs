@@ -83,6 +83,9 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         // Never fails on an already-attached tier: a second server in the
         // same process simply shares the first one's schedule cache.
         stream_grid::attach_global_disk(root)?;
+        // Share the same root with the native-backend artifact tier so a
+        // restarted daemon serves hot kernels without re-running rustc.
+        stream_ir::attach_native_disk(root)?;
     }
     let planner = Arc::new(Planner::new(
         stream_grid::Engine::new(workers),
@@ -397,6 +400,7 @@ fn query_response(request: &Request) -> Response {
 fn stats_response(planner: &Planner) -> Response {
     let p = planner.stats();
     let k = stream_grid::global_cache().stats();
+    let n = stream_ir::native_stats();
     Response::json(
         200,
         object([
@@ -416,6 +420,14 @@ fn stats_response(planner: &Planner) -> Response {
                     ("compiles", Value::Number(k.compiles as f64)),
                     ("disk_hits", Value::Number(k.disk_hits as f64)),
                     ("disk_misses", Value::Number(k.disk_misses as f64)),
+                ]),
+            ),
+            (
+                "native",
+                object([
+                    ("compiles", Value::Number(n.compiles as f64)),
+                    ("disk_hits", Value::Number(n.disk_hits as f64)),
+                    ("fallbacks", Value::Number(n.fallbacks as f64)),
                 ]),
             ),
         ])
