@@ -108,11 +108,15 @@ fn time_paths<const N: usize>(mut fs: [&mut dyn FnMut(); N]) -> [f64; N] {
 /// gain. The v1/v2 tapes pin `NativeMode::Off` so the hot timing loops
 /// cannot auto-promote them; the native tape is forced and pre-warmed so
 /// the one-time `rustc` build never lands inside a timing window.
+/// `recorder_overhead` times the v2 tape with the flight recorder off vs
+/// on and gates the ratio, so "always-on" observability stays cheap enough
+/// to actually leave always on.
 fn emit_json(cases: &[Case]) {
     let mut bench_entries = Vec::new();
     let mut speedup_entries = Vec::new();
     let mut v2_entries = Vec::new();
     let mut native_entries = Vec::new();
+    let mut recorder_entries = Vec::new();
     for case in cases {
         let tape_v1 = Tape::compile_with(&case.kernel, TapeConfig::v1_baseline());
         let tape_v2 = Tape::compile(&case.kernel).with_native_mode(NativeMode::Off);
@@ -157,13 +161,54 @@ fn emit_json(cases: &[Case]) {
                     .unwrap();
             },
         ]);
+        // Flight-recorder overhead guard: the same tape-v2 hot loop with
+        // the always-on recorder off vs on. Each closure re-asserts its own
+        // recorder state (one relaxed RMW, symmetric across both paths) so
+        // the interleaved windows can share the process-global bit. The
+        // ratio is a hard bench gate: the recorder's pitch is "cheap enough
+        // to leave on", so a regression past noise fails loudly here.
+        let [rec_off_ns, rec_on_ns] = time_paths([
+            &mut || {
+                stream_trace::disable_flight_recorder();
+                tape_v2
+                    .execute(&case.params, &case.inputs, &case.cfg)
+                    .unwrap();
+            },
+            &mut || {
+                stream_trace::enable_flight_recorder();
+                tape_v2
+                    .execute(&case.params, &case.inputs, &case.cfg)
+                    .unwrap();
+            },
+        ]);
+        stream_trace::disable_flight_recorder();
+        let recorder_ratio = rec_on_ns / rec_off_ns;
+        assert!(
+            recorder_ratio < 1.25,
+            "flight recorder costs {:.2}x on {} (off {:.0} ns, on {:.0} ns); \
+             the always-on path must stay within noise",
+            recorder_ratio,
+            case.name,
+            rec_off_ns,
+            rec_on_ns
+        );
+
         let speedup = legacy_ns / v2_ns;
         let v2_over_v1 = v1_ns / v2_ns;
         let native_over_v2 = v2_ns / native_ns;
         println!(
             "interp/{}: legacy {:.0} ns, tape v1 {:.0} ns, tape v2 {:.0} ns, \
-             native {:.0} ns, v2/legacy {:.2}x, v2/v1 {:.2}x, native/v2 {:.2}x",
-            case.name, legacy_ns, v1_ns, v2_ns, native_ns, speedup, v2_over_v1, native_over_v2
+             native {:.0} ns, v2/legacy {:.2}x, v2/v1 {:.2}x, native/v2 {:.2}x, \
+             recorder on/off {:.3}x",
+            case.name,
+            legacy_ns,
+            v1_ns,
+            v2_ns,
+            native_ns,
+            speedup,
+            v2_over_v1,
+            native_over_v2,
+            recorder_ratio
         );
         bench_entries.push(format!(
             "    \"legacy_{0}\": {{\"mean_ns\": {1:.1}}},\n    \
@@ -175,13 +220,15 @@ fn emit_json(cases: &[Case]) {
         speedup_entries.push(format!("    \"{}\": {:.3}", case.name, speedup));
         v2_entries.push(format!("    \"{}\": {:.3}", case.name, v2_over_v1));
         native_entries.push(format!("    \"{}\": {:.3}", case.name, native_over_v2));
+        recorder_entries.push(format!("    \"{}\": {:.3}", case.name, recorder_ratio));
     }
     let json = format!
-        ("{{\n  \"bench\": \"interp\",\n  \"unit\": \"ns_per_call\",\n  \"benchmarks\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }},\n  \"speedup_v2_over_v1\": {{\n{}\n  }},\n  \"speedup_native_over_v2\": {{\n{}\n  }}\n}}\n",
+        ("{{\n  \"bench\": \"interp\",\n  \"unit\": \"ns_per_call\",\n  \"benchmarks\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }},\n  \"speedup_v2_over_v1\": {{\n{}\n  }},\n  \"speedup_native_over_v2\": {{\n{}\n  }},\n  \"recorder_overhead\": {{\n{}\n  }}\n}}\n",
         bench_entries.join(",\n"),
         speedup_entries.join(",\n"),
         v2_entries.join(",\n"),
-        native_entries.join(",\n")
+        native_entries.join(",\n"),
+        recorder_entries.join(",\n")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
     std::fs::write(&path, json).expect("write BENCH_interp.json");

@@ -120,6 +120,12 @@ impl DiskTier {
         }
     }
 
+    /// Total on-disk bytes held by this tier (see
+    /// [`stream_store::DiskStore::bytes`]).
+    pub fn bytes(&self) -> u64 {
+        self.store.bytes()
+    }
+
     /// The directory entries are stored in.
     pub fn dir(&self) -> &Path {
         self.store.dir()
@@ -178,8 +184,10 @@ pub struct KernelCache {
     map: Mutex<HashMap<CacheKey, CacheSlot>>,
     disk: OnceLock<DiskTier>,
     // Standalone trace counters: always exact (they are this cache's
-    // statistics, not optional telemetry); the gated `grid.cache.*` and
-    // `cache.disk_*` registry counters mirror them only while tracing is on.
+    // statistics, not optional telemetry). The process-wide cache from
+    // [`global_cache`] registers these very cells in the trace registry's
+    // always-on tier, so exporters read them with no mirror writes;
+    // per-instance caches (tests, embedders) stay unregistered.
     hits: Counter,
     misses: Counter,
     compiles: Counter,
@@ -249,12 +257,10 @@ impl KernelCache {
             if let Some(tier) = self.disk.get() {
                 if let Some(warm) = tier.load(&key, kernel, machine, opts) {
                     self.disk_hits.incr();
-                    stream_trace::count("cache.disk_hit", 1);
                     cache_span.arg("tier", "disk");
                     return Ok(Arc::new(warm));
                 }
                 self.disk_misses.incr();
-                stream_trace::count("cache.disk_miss", 1);
             }
             self.compiles.incr();
             cache_span.arg("tier", "compile");
@@ -270,10 +276,8 @@ impl KernelCache {
         });
         if missed_here {
             self.misses.incr();
-            stream_trace::count("grid.cache.miss", 1);
         } else {
             self.hits.incr();
-            stream_trace::count("grid.cache.hit", 1);
         }
         result.clone()
     }
@@ -318,9 +322,23 @@ impl KernelCache {
 /// The process-wide kernel cache: every consumer (the repro harness, the
 /// application builders, benchmarks) compiles through this cache so a
 /// schedule requested by several of them is compiled once.
+///
+/// The global cache's own counter cells are registered (once) in the
+/// trace registry's always-on tier under `grid.cache.*` / `cache.*`, so
+/// `/metrics` and the trace exporters report exact values with no mirror
+/// writes on the lookup path and no dependence on the tracing flag.
 pub fn global_cache() -> &'static KernelCache {
     static GLOBAL: OnceLock<KernelCache> = OnceLock::new();
-    GLOBAL.get_or_init(KernelCache::new)
+    let cache = GLOBAL.get_or_init(KernelCache::new);
+    static REGISTER: std::sync::Once = std::sync::Once::new();
+    REGISTER.call_once(|| {
+        stream_trace::register_counter("grid.cache.hit", &cache.hits);
+        stream_trace::register_counter("grid.cache.miss", &cache.misses);
+        stream_trace::register_counter("cache.compiles", &cache.compiles);
+        stream_trace::register_counter("cache.disk_hit", &cache.disk_hits);
+        stream_trace::register_counter("cache.disk_miss", &cache.disk_misses);
+    });
+    cache
 }
 
 /// Attaches a persistent tier rooted at `root` to the process-wide cache

@@ -231,12 +231,18 @@ impl Engine {
                 .expect("sweep queue poisoned")
                 .push_back((i, job));
         }
+        // Spawned workers inherit the caller's request correlation, so
+        // a serve request's id follows its jobs across the fan-out.
+        let req = stream_trace::request_id();
         let mut collected = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (1..threads)
                 .map(|me| {
                     let queues = &queues;
-                    s.spawn(move || drain(me, queues, job_spans, steals))
+                    s.spawn(move || {
+                        let _req = stream_trace::request_scope(req);
+                        drain(me, queues, job_spans, steals)
+                    })
                 })
                 .collect();
             collected.extend(drain(0, &queues, job_spans, steals));

@@ -58,3 +58,23 @@ pub use cache::{
     attach_global_disk, global_cache, CacheScope, CacheStats, DiskTier, KernelCache, ScopeCounters,
 };
 pub use engine::{Engine, Sweep, SweepStats};
+
+/// Samples current grid/pool state into the trace registry's always-on
+/// gauges: `cache.entries` (schedules resident in memory),
+/// `store.disk_bytes` (bytes held by the global cache's disk tier, 0
+/// without one), and `pool.permits_free` / `pool.permits_capacity` (the
+/// process-wide permit pool). Touching [`global_cache`] here also
+/// registers the `cache.*` counter series, so one call makes the whole
+/// cache family visible to exporters even before any compile happens.
+/// Intended for scrape/report cadence (it walks the disk tier's
+/// directory), not hot paths.
+pub fn sample_gauges() {
+    let cache = global_cache();
+    let stats = cache.stats();
+    stream_trace::set_gauge("cache.entries", stats.entries as u64);
+    let disk_bytes = cache.disk().map(DiskTier::bytes).unwrap_or(0);
+    stream_trace::set_gauge("store.disk_bytes", disk_bytes);
+    let pool = stream_pool::global();
+    stream_trace::set_gauge("pool.permits_free", pool.available() as u64);
+    stream_trace::set_gauge("pool.permits_capacity", pool.capacity() as u64);
+}

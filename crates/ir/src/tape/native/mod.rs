@@ -69,12 +69,26 @@ const WARMUP_CALLS: u64 = 16;
 /// enough that a ~half-second `rustc` invocation can ever pay off.
 const MIN_WORK: usize = 1 << 14;
 
-// Exact native-tier statistics (standalone atomics, so they are correct
-// even when tracing is disabled; `stream_trace::count` mirrors them into
-// the gated registry for trace consumers).
-static COMPILES: AtomicU64 = AtomicU64::new(0);
-static DISK_HITS: AtomicU64 = AtomicU64::new(0);
-static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+// Exact native-tier statistics: standalone counters (correct even when
+// tracing is disabled) registered once in the trace registry's always-on
+// tier, so `/metrics` and the exporters read these very cells — no
+// gated mirror writes.
+static COMPILES: stream_trace::Counter = stream_trace::Counter::new();
+static DISK_HITS: stream_trace::Counter = stream_trace::Counter::new();
+static FALLBACKS: stream_trace::Counter = stream_trace::Counter::new();
+
+/// Registers the native-tier counters under their exported names.
+/// Idempotent; called from every read/write site so the `native.*`
+/// series exist in `/metrics` as soon as anything touches the tier —
+/// including a freshly restarted daemon that has not built anything yet.
+pub(in crate::tape) fn ensure_registered() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        stream_trace::register_counter("native.compiles", &COMPILES);
+        stream_trace::register_counter("native.disk_hits", &DISK_HITS);
+        stream_trace::register_counter("native.fallbacks", &FALLBACKS);
+    });
+}
 
 /// Counters for the native tier, process-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,10 +104,11 @@ pub struct NativeStats {
 
 /// Reads the process-wide native-tier counters.
 pub fn stats() -> NativeStats {
+    ensure_registered();
     NativeStats {
-        compiles: COMPILES.load(Ordering::Relaxed),
-        disk_hits: DISK_HITS.load(Ordering::Relaxed),
-        fallbacks: FALLBACKS.load(Ordering::Relaxed),
+        compiles: COMPILES.get(),
+        disk_hits: DISK_HITS.get(),
+        fallbacks: FALLBACKS.get(),
     }
 }
 
@@ -218,8 +233,8 @@ pub(in crate::tape) fn resolve(
         .get_or_init(|| match try_build(tape) {
             Ok(m) => Some(m),
             Err(why) => {
-                FALLBACKS.fetch_add(1, Ordering::Relaxed);
-                stream_trace::count("native.fallbacks", 1);
+                ensure_registered();
+                FALLBACKS.incr();
                 eprintln!(
                     "stream-ir: native backend fallback for kernel `{}`: {why}",
                     tape.kernel.name()
@@ -255,12 +270,12 @@ fn try_build(_tape: &Tape) -> Result<Arc<NativeModule>, String> {
 
 #[cfg(unix)]
 fn note_compile() {
-    COMPILES.fetch_add(1, Ordering::Relaxed);
-    stream_trace::count("native.compiles", 1);
+    ensure_registered();
+    COMPILES.incr();
 }
 
 #[cfg(unix)]
 fn note_disk_hit() {
-    DISK_HITS.fetch_add(1, Ordering::Relaxed);
-    stream_trace::count("native.disk_hits", 1);
+    ensure_registered();
+    DISK_HITS.incr();
 }

@@ -29,6 +29,11 @@ use std::sync::OnceLock;
 #[derive(Debug)]
 pub struct PermitPool {
     permits: AtomicUsize,
+    // Configured size, for occupancy gauges (`capacity - available` =
+    // permits out on loan). Plain std atomic even under the `model`
+    // feature: it is written only at configuration time, so it adds no
+    // interleavings worth model-checking.
+    capacity: std::sync::atomic::AtomicUsize,
 }
 
 impl PermitPool {
@@ -36,6 +41,7 @@ impl PermitPool {
     pub const fn new(capacity: usize) -> Self {
         Self {
             permits: AtomicUsize::new(capacity),
+            capacity: std::sync::atomic::AtomicUsize::new(capacity),
         }
     }
 
@@ -73,9 +79,17 @@ impl PermitPool {
         self.permits.load(Ordering::SeqCst)
     }
 
+    /// The configured permit budget (free + on loan), for occupancy
+    /// reporting.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Resets the pool to hold exactly `capacity` free permits. Only
     /// meaningful while no permits are outstanding (e.g. process startup).
     pub fn set_capacity(&self, capacity: usize) {
+        self.capacity
+            .store(capacity, std::sync::atomic::Ordering::Relaxed);
         self.permits.store(capacity, Ordering::SeqCst);
     }
 }
@@ -148,8 +162,13 @@ mod tests {
     #[test]
     fn set_capacity_resizes() {
         let pool = PermitPool::new(1);
+        assert_eq!(pool.capacity(), 1);
         pool.set_capacity(7);
         assert_eq!(pool.available(), 7);
+        assert_eq!(pool.capacity(), 7);
         assert_eq!(pool.take(10), 7);
+        // Loans shrink availability, never the configured capacity.
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.capacity(), 7);
     }
 }

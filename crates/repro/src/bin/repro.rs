@@ -7,6 +7,7 @@
 //! repro fig13 table5             # a subset
 //! repro --jobs 4 all             # sweep on 4 worker threads
 //! repro --trace out.json fig13   # also write a Chrome trace of the run
+//! repro --metrics out.prom all   # dump the metric registry after the run
 //! repro --cache-dir .cache all   # persist compiled schedules across runs
 //! repro list                     # list experiment ids
 //! ```
@@ -16,6 +17,9 @@
 //! `--trace <path>` enables `stream-trace` for the run and writes the
 //! collected spans and counters as Chrome trace-event JSON (loadable in
 //! `chrome://tracing` or Perfetto), plus a text summary on stderr.
+//! `--metrics <path>` writes the full metric registry in Prometheus text
+//! exposition format 0.0.4 after the run — the same bytes `stream-serve`
+//! answers on `GET /metrics` (see `docs/metrics.md` for the catalogue).
 //! `--cache-dir <dir>` (or the `STREAM_CACHE_DIR` environment variable)
 //! attaches a persistent schedule cache: a second run against a populated
 //! directory rehydrates every schedule instead of compiling (the stderr
@@ -33,15 +37,21 @@ use stream_repro::{ExperimentId, Query};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--jobs N] [--trace FILE] [--cache-dir DIR] <all | list | experiment...>"
+        "usage: repro [--jobs N] [--trace FILE] [--metrics FILE] [--cache-dir DIR] \
+         <all | list | experiment...>"
     );
     eprintln!("experiments: {}", stream_repro::EXPERIMENTS.join(" "));
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    // Flight recorder: on by default (STREAM_FLIGHT_RECORDER=off disables;
+    // STREAM_FLIGHT_DUMP=path arms the panic dump). Never touches stdout,
+    // so reproduction output stays byte-identical either way.
+    stream_trace::init_flight_from_env();
     let mut jobs: Option<usize> = None;
     let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut cache_dir: Option<String> = std::env::var("STREAM_CACHE_DIR").ok();
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -70,6 +80,16 @@ fn main() -> ExitCode {
             }
             other if other.starts_with("--trace=") => {
                 trace_path = Some(other["--trace=".len()..].to_string());
+            }
+            "--metrics" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--metrics needs an output path");
+                    return usage();
+                };
+                metrics_path = Some(path);
+            }
+            other if other.starts_with("--metrics=") => {
+                metrics_path = Some(other["--metrics=".len()..].to_string());
             }
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
@@ -172,6 +192,18 @@ fn main() -> ExitCode {
         }
         eprint!("{}", stream_trace::summary(&events));
         eprintln!("trace written to {path} ({} events)", events.len());
+    }
+    if let Some(path) = metrics_path {
+        // The same bytes `stream-serve` answers on GET /metrics: sample the
+        // point-in-time gauges, make sure the always-on families are
+        // registered, then render the registry.
+        stream_grid::sample_gauges();
+        let _ = stream_ir::native_stats();
+        if let Err(e) = std::fs::write(&path, stream_trace::render_prometheus()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -157,6 +157,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value); names must be lowercase
+    /// ASCII tokens. `X-Request-Id` rides here.
+    pub headers: Vec<(&'static str, String)>,
     /// Body bytes.
     pub body: String,
 }
@@ -167,6 +170,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body,
         }
     }
@@ -176,8 +180,25 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body,
         }
+    }
+
+    /// A response in Prometheus text exposition format 0.0.4.
+    pub fn prometheus(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds a response header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 }
 
@@ -201,13 +222,20 @@ fn reason_phrase(status: u16) -> &'static str {
 ///
 /// Propagates socket write failures.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
@@ -291,12 +319,18 @@ mod tests {
             buf
         });
         let (mut conn, _) = listener.accept().unwrap();
-        write_response(&mut conn, &Response::json(200, "{\"ok\":true}".to_string())).unwrap();
+        write_response(
+            &mut conn,
+            &Response::json(200, "{\"ok\":true}".to_string())
+                .with_header("x-request-id", "7".to_string()),
+        )
+        .unwrap();
         drop(conn);
         let wire = reader.join().unwrap();
         assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"), "{wire}");
         assert!(wire.contains("content-type: application/json\r\n"));
         assert!(wire.contains("content-length: 11\r\n"));
+        assert!(wire.contains("x-request-id: 7\r\n"));
         assert!(wire.ends_with("{\"ok\":true}"));
     }
 }

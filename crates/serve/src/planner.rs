@@ -143,6 +143,17 @@ impl Planner {
         }
     }
 
+    /// Number of experiment cells resident in memory (computed or
+    /// rehydrated), for the `serve.planner.cells` gauge.
+    pub fn cells_resident(&self) -> usize {
+        self.cells
+            .lock()
+            .expect("planner poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
     fn cell_key_material(id: ExperimentId) -> Vec<u8> {
         let mut blob = Vec::new();
         blob.extend_from_slice(b"cell\0");

@@ -16,10 +16,47 @@ use crate::planner::Planner;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 use stream_repro::{ExperimentId, Metric, SpaceQuery};
+
+// Always-on daemon counters, registered once in the trace registry so
+// `/metrics` reports them regardless of the tracing flag.
+static CONNECTIONS: stream_trace::Counter = stream_trace::Counter::new();
+static INLINE: stream_trace::Counter = stream_trace::Counter::new();
+static REQUESTS: stream_trace::Counter = stream_trace::Counter::new();
+
+/// Monotonic request-id source; ids are unique per daemon process and
+/// echoed back as `X-Request-Id`.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+fn ensure_serve_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        stream_trace::register_counter("serve.connection", &CONNECTIONS);
+        stream_trace::register_counter("serve.inline", &INLINE);
+        stream_trace::register_counter("serve.requests", &REQUESTS);
+    });
+}
+
+/// The per-endpoint latency histogram name for a request path. A static
+/// table (not the raw path) keys the histograms so hostile paths cannot
+/// mint unbounded series.
+fn latency_series(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/health") => "serve.latency.health",
+        ("GET", "/metrics") => "serve.latency.metrics",
+        ("GET", "/v1/experiments") => "serve.latency.experiments",
+        ("GET", p) if p.starts_with("/v1/run/") => "serve.latency.run",
+        ("GET" | "POST", "/v1/sweep") => "serve.latency.sweep",
+        ("POST", "/v1/query") => "serve.latency.query",
+        ("GET", "/v1/stats") => "serve.latency.stats",
+        ("POST", "/v1/shutdown") => "serve.latency.shutdown",
+        _ => "serve.latency.other",
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone, Default)]
@@ -78,6 +115,7 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         .workers
         .unwrap_or_else(stream_pool::default_parallelism)
         .max(1);
+    ensure_serve_metrics();
     stream_pool::configure_global(workers);
     if let Some(root) = &config.cache_root {
         // Never fails on an already-attached tier: a second server in the
@@ -127,7 +165,7 @@ fn accept_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        stream_trace::count("serve.connection", 1);
+        CONNECTIONS.incr();
         // Permit-bounded dispatch: with a permit, the connection gets its
         // own thread; without one the accept thread serves it itself, so
         // pending clients wait in the listen backlog — backpressure, not
@@ -145,17 +183,30 @@ fn accept_loop(
                 stream_pool::global().give(1);
             }
         } else {
-            stream_trace::count("serve.inline", 1);
+            INLINE.incr();
             handle_connection(conn, addr, planner, stop);
         }
     }
 }
 
 fn handle_connection(mut conn: TcpStream, addr: SocketAddr, planner: &Planner, stop: &AtomicBool) {
+    // Every request gets a process-unique id, correlated with all work
+    // done on its behalf: spans opened under this scope — including grid
+    // jobs and tape/native execution on engine worker threads — carry a
+    // `req=<id>` annotation, and the response echoes `X-Request-Id`.
+    let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+    let _correlation = stream_trace::request_scope(Some(request_id));
+    REQUESTS.incr();
     let response = match read_request(&mut conn) {
         Ok(request) => {
             let shutting_down = request.method == "POST" && request.path == "/v1/shutdown";
+            let started = Instant::now();
             let response = route(&request, planner);
+            // Always-on per-endpoint latency: record through the handle,
+            // not the flag-gated `record`, so `/metrics` sees latency
+            // distributions without tracing enabled.
+            stream_trace::histogram(latency_series(&request.method, &request.path))
+                .record(started.elapsed().as_micros() as u64);
             if shutting_down && response.status == 200 {
                 stop.store(true, Ordering::SeqCst);
             }
@@ -164,6 +215,7 @@ fn handle_connection(mut conn: TcpStream, addr: SocketAddr, planner: &Planner, s
         Err(RequestError::Bad { status, reason }) => error_response(status, reason, None),
         Err(RequestError::Io(_)) => return, // nothing to answer on
     };
+    let response = response.with_header("x-request-id", request_id.to_string());
     let _ = write_response(&mut conn, &response);
     drop(conn);
     if stop.load(Ordering::SeqCst) {
@@ -185,6 +237,7 @@ fn error_response(status: u16, message: &str, suggestion: Option<&str>) -> Respo
 pub(crate) fn route(request: &Request, planner: &Planner) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => Response::json(200, object([("ok", Value::Bool(true))]).render()),
+        ("GET", "/metrics") => metrics_response(planner),
         ("GET", "/v1/experiments") => experiments_response(),
         ("GET", path) if path.starts_with("/v1/run/") => {
             run_response(&path["/v1/run/".len()..], request, planner)
@@ -395,6 +448,26 @@ fn query_response(request: &Request) -> Response {
         ),
         None => error_response(422, "no shape satisfies the constraints", None),
     }
+}
+
+/// `GET /metrics`: Prometheus text exposition over the whole registry.
+/// Scraping samples current state first — pool occupancy, cache
+/// residency, disk bytes, planner cells — so gauges are fresh as of this
+/// response, and touches the cache/native counter registrations so their
+/// series exist even on a daemon that has not compiled anything yet.
+fn metrics_response(planner: &Planner) -> Response {
+    ensure_serve_metrics();
+    stream_grid::sample_gauges();
+    let _ = stream_ir::native_stats(); // registers the native.* series
+    let p = planner.stats();
+    // Planner counters are per-instance (a process can host several
+    // planners), so the global registry carries them as sampled gauges
+    // from the planner actually serving this scrape.
+    stream_trace::set_gauge("serve.planner.lookups", p.lookups);
+    stream_trace::set_gauge("serve.planner.computed", p.computed);
+    stream_trace::set_gauge("serve.planner.disk_hits", p.disk_hits);
+    stream_trace::set_gauge("serve.planner.cells", planner.cells_resident() as u64);
+    Response::prometheus(200, stream_trace::render_prometheus())
 }
 
 fn stats_response(planner: &Planner) -> Response {

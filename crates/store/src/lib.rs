@@ -209,6 +209,17 @@ impl DiskStore {
         self.len() == 0
     }
 
+    /// Total on-disk bytes across this store's entries (frame headers
+    /// included), for disk-usage gauges. Walks the directory; intended
+    /// for sampling on scrape/report cadence, not hot paths.
+    pub fn bytes(&self) -> u64 {
+        self.entries()
+            .iter()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
     fn entry_path(&self, key: Key) -> PathBuf {
         self.dir.join(format!("{}{SUFFIX}", key.file_stem()))
     }

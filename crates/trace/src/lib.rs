@@ -38,32 +38,64 @@
 
 mod chrome;
 mod metrics;
+mod prom;
+mod ring;
 mod span;
 mod summary;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::{
-    count, counter, counters, histogram, histograms, record, reset_metrics, Counter, Histogram,
-    HistogramSnapshot,
+    bucket_upper_bound, count, counter, counters, gauge, gauges, histogram, histograms, record,
+    register_counter, reset_metrics, set_gauge, Counter, Gauge, Histogram, HistogramSnapshot,
+    HISTOGRAM_BUCKETS,
 };
-pub use span::{flush_thread, instant, span, take_events, Phase, Span, SpanEvent};
+pub use prom::render_prometheus;
+pub use ring::{
+    disable_flight_recorder, dump_flight_recorder, enable_flight_recorder, flight_events,
+    flight_recorder_enabled, init_flight_from_env, install_panic_dump, set_flight_capacity,
+};
+pub use span::{
+    flush_thread, instant, request_id, request_scope, span, take_events, Phase, RequestScope, Span,
+    SpanEvent,
+};
 pub use summary::summary;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit in [`STATE`]: full tracing (collector + registry) is on.
+pub(crate) const STATE_TRACE: u8 = 1 << 0;
+/// Bit in [`STATE`]: the flight recorder is on.
+pub(crate) const STATE_FLIGHT: u8 = 1 << 1;
+
+/// One byte holding both the tracing flag and the flight-recorder flag, so
+/// every instrumentation site pays exactly one relaxed load no matter how
+/// many consumers are interested.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+pub(crate) fn set_state_bit(bit: u8, on: bool) {
+    if on {
+        STATE.fetch_or(bit, Ordering::Release);
+    } else {
+        STATE.fetch_and(!bit, Ordering::Release);
+    }
+}
+
+#[inline(always)]
+pub(crate) fn state() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
 
 /// Turns tracing on process-wide. Also pins the trace epoch, so timestamps
 /// count from (at latest) the first `enable` call.
 pub fn enable() {
     span::init_epoch();
-    ENABLED.store(true, Ordering::Release);
+    set_state_bit(STATE_TRACE, true);
 }
 
 /// Turns tracing off process-wide. Already-collected events and counter
 /// values are kept until drained/reset.
 pub fn disable() {
-    ENABLED.store(false, Ordering::Release);
+    set_state_bit(STATE_TRACE, false);
 }
 
 /// Whether tracing is on. One relaxed atomic load; instrumentation sites
@@ -71,7 +103,17 @@ pub fn disable() {
 /// never once per inner-loop iteration.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    state() & STATE_TRACE != 0
+}
+
+/// Whether *any* span consumer is on — full tracing or the flight
+/// recorder. Span sites that pre-gate (to hoist the check out of a loop)
+/// should gate on this, not [`enabled`], so the flight recorder keeps
+/// seeing spans while tracing proper is off. Same cost as [`enabled`]:
+/// one relaxed load.
+#[inline(always)]
+pub fn active() -> bool {
+    state() != 0
 }
 
 /// Per-consumer trace policy, e.g. carried by `stream_grid::Engine`.
@@ -105,11 +147,13 @@ impl TraceConfig {
         }
     }
 
-    /// True if this consumer should emit spans right now (its own policy
-    /// AND the global flag).
+    /// True if this consumer should emit spans right now: its own policy
+    /// AND any span consumer ([`active`] — full tracing or the flight
+    /// recorder). Consumers that hoist this check out of a loop stay
+    /// visible to the flight recorder while tracing proper is off.
     #[inline]
     pub fn spans_active(&self) -> bool {
-        self.spans && enabled()
+        self.spans && active()
     }
 
     /// True if this consumer should bump counters right now.
@@ -180,6 +224,7 @@ mod tests {
     #[test]
     fn trace_config_gates_consumers() {
         let _g = test_lock::hold();
+        disable_flight_recorder();
         enable();
         assert!(TraceConfig::default().spans_active());
         assert!(!TraceConfig::off().spans_active());

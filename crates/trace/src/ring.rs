@@ -1,0 +1,333 @@
+//! The flight recorder: a bounded per-thread ring of recent span/instant
+//! events that stays on even when full tracing is off, so a crashed or
+//! wedged run leaves a loadable post-mortem.
+//!
+//! # Design
+//!
+//! Each thread owns an [`Arc`]-shared ring holding the last
+//! [`set_flight_capacity`] events it produced; old events are overwritten,
+//! never flushed, and memory is bounded at `capacity × threads`. The
+//! global registry keeps a clone of every ring's `Arc` — including rings
+//! of threads that have already exited — so a post-mortem dump sees the
+//! whole process, not just the panicking thread.
+//!
+//! The hot path is the same discipline as the rest of the crate: when the
+//! recorder (and tracing) is off, a span site pays one relaxed atomic
+//! load and nothing else. When the recorder is on, a finished span takes
+//! its own thread's ring mutex — uncontended in steady state, since only
+//! a dump reads other threads' rings — via `try_lock`, *dropping the
+//! event* rather than blocking if a dump happens to hold the lock. The
+//! recorder prefers losing one event to ever stalling a worker.
+//!
+//! Dumps ([`dump_flight_recorder`], or the panic hook installed by
+//! [`install_panic_dump`]) merge every ring, sort by start time, and
+//! write Chrome trace-event JSON loadable in Perfetto. Dumps go to a
+//! file or stderr — never stdout — preserving the crate's determinism
+//! contract.
+
+use crate::span::SpanEvent;
+use crate::{set_state_bit, state, STATE_FLIGHT};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock, PoisonError};
+
+/// Default per-thread ring capacity (events retained per thread).
+const DEFAULT_CAPACITY: usize = 256;
+
+/// Rings of exited threads retained for post-mortem. Beyond this, the
+/// oldest orphaned rings are pruned at registration time so a long-lived
+/// daemon spawning scoped workers per sweep doesn't grow without bound.
+const MAX_ORPHANED_RINGS: usize = 64;
+
+/// Per-thread ring capacity; applies to rings created after the change.
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// One thread's bounded event ring. Shared between the owning thread's
+/// TLS slot and the global registry so events survive thread exit.
+struct ThreadRing {
+    events: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static RING: Arc<ThreadRing> = {
+        let ring = Arc::new(ThreadRing {
+            events: Mutex::new(VecDeque::new()),
+            capacity: CAPACITY.load(Ordering::Relaxed).max(1),
+        });
+        let mut all = rings().lock().unwrap_or_else(PoisonError::into_inner);
+        // Keep only the newest MAX_ORPHANED_RINGS rings whose owning
+        // thread has exited (registry Arc is the sole holder); live
+        // threads' rings are never pruned.
+        let orphaned = all.iter().filter(|r| Arc::strong_count(r) == 1).count();
+        if orphaned > MAX_ORPHANED_RINGS {
+            let mut to_drop = orphaned - MAX_ORPHANED_RINGS;
+            all.retain(|r| {
+                if to_drop > 0 && Arc::strong_count(r) == 1 {
+                    to_drop -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        all.push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Appends `event` to the calling thread's ring, evicting the oldest
+/// entry when full. Never blocks: if the ring mutex is held (a dump in
+/// progress) the event is dropped.
+pub(crate) fn push(event: SpanEvent) {
+    // `try_with`: during thread teardown the TLS slot may be gone.
+    let _ = RING.try_with(|ring| {
+        if let Ok(mut events) = ring.events.try_lock() {
+            if events.len() >= ring.capacity {
+                events.pop_front();
+            }
+            events.push_back(event);
+        }
+    });
+}
+
+/// Turns the flight recorder on process-wide: span/instant sites start
+/// retaining their last events per thread even while full tracing stays
+/// off. Also pins the trace epoch so ring timestamps are meaningful.
+pub fn enable_flight_recorder() {
+    crate::span::init_epoch();
+    set_state_bit(STATE_FLIGHT, true);
+}
+
+/// Turns the flight recorder off. Already-retained events are kept until
+/// the next dump or process exit.
+pub fn disable_flight_recorder() {
+    set_state_bit(STATE_FLIGHT, false);
+}
+
+/// Whether the flight recorder is on (one relaxed load).
+pub fn flight_recorder_enabled() -> bool {
+    state() & STATE_FLIGHT != 0
+}
+
+/// Sets the per-thread ring capacity for rings created **after** this
+/// call (threads that already recorded keep their ring as sized).
+/// Clamped to at least 1.
+pub fn set_flight_capacity(events_per_thread: usize) {
+    CAPACITY.store(events_per_thread.max(1), Ordering::Relaxed);
+}
+
+/// A merged snapshot of every thread's ring (including exited threads),
+/// sorted by start time. Does not drain the rings — a dump is a read,
+/// so a wedged process can be dumped repeatedly.
+pub fn flight_events() -> Vec<SpanEvent> {
+    let rings = rings().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        // Plain `lock`, not `try_lock`: writers only ever `try_lock`, so
+        // the dump waiting here cannot deadlock against them.
+        let events = ring.events.lock().unwrap_or_else(PoisonError::into_inner);
+        out.extend(events.iter().cloned());
+    }
+    out.sort_by_key(|e| (e.start_us, e.tid));
+    out
+}
+
+/// Writes the flight recorder's current contents as Chrome trace-event
+/// JSON to `path` (Perfetto-loadable). Returns the number of events
+/// dumped.
+///
+/// # Errors
+///
+/// Propagates file creation/write failures.
+pub fn dump_flight_recorder(path: &Path) -> std::io::Result<usize> {
+    let events = flight_events();
+    let json = crate::chrome::chrome_trace_json(&events);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    f.sync_all()?;
+    Ok(events.len())
+}
+
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Installs (once) a panic hook that dumps the flight recorder to `path`
+/// before delegating to the previous hook. Calling again just retargets
+/// the dump path. The dump itself writes only to the file and stderr.
+pub fn install_panic_dump(path: &Path) {
+    *DUMP_PATH.lock().unwrap_or_else(PoisonError::into_inner) = Some(path.to_path_buf());
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let path = DUMP_PATH
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            if let Some(path) = path {
+                match dump_flight_recorder(&path) {
+                    Ok(n) => eprintln!(
+                        "stream-trace: flight recorder dumped {n} event(s) to {}",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "stream-trace: flight recorder dump to {} failed: {e}",
+                        path.display()
+                    ),
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Standard binary wiring for the flight recorder, driven by environment
+/// variables so operators can flip it without a rebuild:
+///
+/// - `STREAM_FLIGHT_RECORDER`: `off`/`0`/`false` disables it; anything
+///   else (including unset) enables it — the recorder is **on by
+///   default** in binaries that call this, which is the point of a
+///   flight recorder.
+/// - `STREAM_FLIGHT_DUMP`: when set, installs the panic hook dumping to
+///   this path.
+///
+/// Library code and tests never call this, so the recorder stays off by
+/// default under `cargo test`.
+pub fn init_flight_from_env() {
+    let on = !matches!(
+        std::env::var("STREAM_FLIGHT_RECORDER").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    );
+    if on {
+        enable_flight_recorder();
+        if let Ok(path) = std::env::var("STREAM_FLIGHT_DUMP") {
+            if !path.is_empty() {
+                install_panic_dump(Path::new(&path));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn recorder_retains_spans_while_tracing_is_off() {
+        let _g = test_lock::hold();
+        crate::disable();
+        enable_flight_recorder();
+        {
+            let mut s = crate::span("flight", "ring-only");
+            s.arg("k", 7);
+        }
+        crate::instant("flight", "ring-instant");
+        disable_flight_recorder();
+        // Nothing reached the trace collector…
+        assert!(crate::take_events()
+            .iter()
+            .all(|e| e.name != "ring-only" && e.name != "ring-instant"));
+        // …but the ring has both.
+        let events = flight_events();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "ring-only" && e.args.contains(&(("k"), "7".to_string()))));
+        assert!(events.iter().any(|e| e.name == "ring-instant"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let _g = test_lock::hold();
+        crate::disable();
+        enable_flight_recorder();
+        // Fill from a dedicated thread so its fresh ring gets the small
+        // capacity and no other test's events share it.
+        set_flight_capacity(8);
+        let handle = std::thread::spawn(|| {
+            for i in 0..100 {
+                let mut s = crate::span("flight", "bounded");
+                s.arg("i", i);
+            }
+        });
+        handle.join().unwrap();
+        set_flight_capacity(DEFAULT_CAPACITY);
+        disable_flight_recorder();
+        let kept: Vec<_> = flight_events()
+            .into_iter()
+            .filter(|e| e.name == "bounded")
+            .collect();
+        assert_eq!(kept.len(), 8, "ring kept exactly its capacity");
+        // The survivors are the most recent 92..=99.
+        assert!(kept.iter().all(|e| e
+            .args
+            .iter()
+            .any(|(k, v)| *k == "i" && v.parse::<u32>().unwrap() >= 92)));
+    }
+
+    #[test]
+    fn both_consumers_get_the_event_when_both_are_on() {
+        let _g = test_lock::hold();
+        crate::enable();
+        enable_flight_recorder();
+        let _ = crate::take_events();
+        {
+            let _s = crate::span("flight", "dual");
+        }
+        disable_flight_recorder();
+        crate::disable();
+        assert!(crate::take_events().iter().any(|e| e.name == "dual"));
+        assert!(flight_events().iter().any(|e| e.name == "dual"));
+    }
+
+    #[test]
+    fn dump_writes_loadable_chrome_json() {
+        let _g = test_lock::hold();
+        crate::disable();
+        enable_flight_recorder();
+        {
+            let _s = crate::span("flight", "dumped");
+        }
+        disable_flight_recorder();
+        let dir = std::env::temp_dir().join(format!("flight-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.json");
+        let n = dump_flight_recorder(&path).expect("dump writes");
+        assert!(n >= 1);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"dumped\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_scope_annotates_spans_and_restores() {
+        let _g = test_lock::hold();
+        crate::disable();
+        enable_flight_recorder();
+        {
+            let _outer = crate::request_scope(Some(41));
+            {
+                let _inner = crate::request_scope(Some(42));
+                assert_eq!(crate::request_id(), Some(42));
+                let _s = crate::span("flight", "req-tagged");
+            }
+            assert_eq!(crate::request_id(), Some(41));
+        }
+        assert_eq!(crate::request_id(), None);
+        disable_flight_recorder();
+        let events = flight_events();
+        let tagged = events
+            .iter()
+            .find(|e| e.name == "req-tagged")
+            .expect("span retained");
+        assert!(tagged.args.contains(&("req", "42".to_string())));
+    }
+}

@@ -10,8 +10,8 @@
 //! While tracing is disabled, [`span`] returns an inert guard without
 //! reading the clock or allocating, and drop does nothing.
 
-use crate::enabled;
-use std::cell::RefCell;
+use crate::{state, STATE_FLIGHT, STATE_TRACE};
+use std::cell::{Cell, RefCell};
 use std::fmt::Display;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -99,18 +99,66 @@ thread_local! {
     });
 }
 
-fn push_event(make: impl FnOnce(u64) -> SpanEvent) {
+/// Routes a finished event to the consumers named in `to` (a [`state`]
+/// byte captured when the event began): the trace collector, the flight
+/// ring, or both. The event is built at most once; when both consumers
+/// want it, the flight ring takes a clone.
+fn push_event(to: u8, make: impl FnOnce(u64) -> SpanEvent) {
     // During thread teardown the TLS slot may already be gone; drop the
     // event rather than panic (`try_with`).
     let _ = BUF.try_with(move |buf| {
         let mut buf = buf.borrow_mut();
         let tid = buf.tid;
         let event = make(tid);
+        if to & STATE_FLIGHT != 0 {
+            if to & STATE_TRACE != 0 {
+                crate::ring::push(event.clone());
+            } else {
+                crate::ring::push(event);
+                return;
+            }
+        }
         buf.events.push(event);
         if buf.events.len() >= FLUSH_AT {
             buf.flush();
         }
     });
+}
+
+thread_local! {
+    /// The request id correlated with work on this thread, if any.
+    static REQUEST: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The request id currently correlated with this thread (set by
+/// [`request_scope`]), if any. Engines that spawn worker threads read
+/// this on the caller and re-establish it on each worker so spans keep
+/// their `req` attribute across the fan-out.
+pub fn request_id() -> Option<u64> {
+    REQUEST.with(|r| r.get())
+}
+
+/// Correlates the current thread with request `id` for the guard's
+/// lifetime: every span opened while the guard lives carries a
+/// `req=<id>` annotation. Passing `None` clears the correlation (useful
+/// for background work inside a request). Scopes nest — the previous id
+/// is restored on drop.
+pub fn request_scope(id: Option<u64>) -> RequestScope {
+    let prev = REQUEST.with(|r| r.replace(id));
+    RequestScope { prev }
+}
+
+/// RAII guard from [`request_scope`]; restores the previous request id
+/// on drop.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: Option<u64>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST.with(|r| r.set(self.prev));
+    }
 }
 
 /// An RAII span guard: finishes (and records) the span when dropped. Inert
@@ -126,6 +174,9 @@ struct ActiveSpan {
     name: String,
     start: Instant,
     args: Vec<(&'static str, String)>,
+    /// The [`state`] byte captured at creation: which consumers (trace
+    /// collector, flight ring) get the finished event.
+    to: u8,
 }
 
 impl Span {
@@ -153,7 +204,7 @@ impl Drop for Span {
         if let Some(s) = self.0.take() {
             let start_us = s.start.duration_since(epoch()).as_micros() as u64;
             let dur_us = s.start.elapsed().as_micros() as u64;
-            push_event(move |tid| SpanEvent {
+            push_event(s.to, move |tid| SpanEvent {
                 cat: s.cat,
                 name: s.name,
                 ph: Phase::Complete,
@@ -167,34 +218,47 @@ impl Drop for Span {
 }
 
 /// Opens a span in category `cat` named `name`. Returns an inert guard
-/// (no clock read, no allocation) while tracing is disabled.
+/// (no clock read, no allocation) while both tracing and the flight
+/// recorder are off. Active spans carry the thread's request id (see
+/// [`request_scope`]) as a `req` annotation.
 pub fn span(cat: &'static str, name: &str) -> Span {
-    if !enabled() {
+    let to = state();
+    if to == 0 {
         return Span(None);
+    }
+    let mut args = Vec::new();
+    if let Some(id) = request_id() {
+        args.push(("req", id.to_string()));
     }
     Span(Some(ActiveSpan {
         cat,
         name: name.to_owned(),
         start: Instant::now(),
-        args: Vec::new(),
+        args,
+        to,
     }))
 }
 
 /// Records a structured instant event (a point in time, no duration).
 pub fn instant(cat: &'static str, name: &str) {
-    if !enabled() {
+    let to = state();
+    if to == 0 {
         return;
     }
     let start_us = Instant::now().duration_since(epoch()).as_micros() as u64;
     let name = name.to_owned();
-    push_event(move |tid| SpanEvent {
+    let mut args = Vec::new();
+    if let Some(id) = request_id() {
+        args.push(("req", id.to_string()));
+    }
+    push_event(to, move |tid| SpanEvent {
         cat,
         name,
         ph: Phase::Instant,
         start_us,
         dur_us: 0,
         tid,
-        args: Vec::new(),
+        args,
     });
 }
 

@@ -1,0 +1,71 @@
+//! End-to-end flight-recorder test: a crashing process leaves a loadable
+//! Chrome-trace dump behind.
+//!
+//! The test binary re-enters itself as a child (the same pattern
+//! `stream-store` uses for its two-process writer test): the child enables
+//! the flight recorder, arms the panic dump, does some real sweep work, and
+//! panics mid-flight. The parent asserts the child died, the dump exists,
+//! and the dump parses as valid Chrome trace-event JSON containing the
+//! spans the child recorded *before* anyone knew a crash was coming — the
+//! whole point of an always-on recorder.
+
+use stream_serve::json::{self, Value};
+
+/// Env-var knob letting this test binary re-enter itself as the crashing
+/// child. Holds the dump path.
+const PANIC_ENV: &str = "STREAM_FLIGHT_PANIC_DUMP";
+
+#[test]
+fn a_panicking_process_leaves_a_loadable_flight_dump() {
+    if let Ok(dump) = std::env::var(PANIC_ENV) {
+        // Child mode: record real work with tracing off, then crash.
+        stream_trace::enable_flight_recorder();
+        stream_trace::install_panic_dump(std::path::Path::new(&dump));
+        assert!(!stream_trace::enabled(), "tracing itself must stay off");
+        let engine = stream_grid::Engine::new(2);
+        let sweep = engine.map(vec![1u64, 2, 3, 4], |x| x * x);
+        assert_eq!(sweep.results, vec![1, 4, 9, 16]);
+        {
+            let mut span = stream_trace::span("flight-test", "before-crash");
+            span.arg("marker", "sentinel-7");
+        }
+        panic!("deliberate crash for the flight-recorder test");
+    }
+
+    let dir = std::env::temp_dir().join(format!("stream-flight-panic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("flight.json");
+    let exe = std::env::current_exe().unwrap();
+    let output = std::process::Command::new(&exe)
+        .args([
+            "a_panicking_process_leaves_a_loadable_flight_dump",
+            "--exact",
+        ])
+        .env(PANIC_ENV, &dump)
+        .output()
+        .expect("spawn crashing child");
+    assert!(
+        !output.status.success(),
+        "child was supposed to panic, got: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+
+    let raw = std::fs::read_to_string(&dump).expect("panic hook wrote the flight dump");
+    let doc = json::parse(&raw).expect("dump is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("dump has a traceEvents array");
+    // The metadata record plus at least the sentinel span.
+    assert!(events.len() >= 2, "dump too small: {} events", events.len());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(
+        names.contains(&"before-crash"),
+        "sentinel span missing from dump; got {names:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
