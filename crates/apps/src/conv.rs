@@ -63,10 +63,24 @@ fn band_rows(cfg: &Config, machine: &Machine) -> usize {
 
 /// Builds the CONV stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let kernel = crate::compile_cached(&convolve::kernel(machine), machine, "convolve");
+    program_with(cfg, machine, &stream_sched::CompileOptions::default(), 1)
+}
+
+/// [`program`] with explicit scheduler options and a strip-batching factor:
+/// `strip_scale` output rows share one kernel call (fewer pipeline fills and
+/// host issues per band). `strip_scale = 1` with default options is exactly
+/// [`program`].
+pub fn program_with(
+    cfg: &Config,
+    machine: &Machine,
+    opts: &stream_sched::CompileOptions,
+    strip_scale: u32,
+) -> AppProgram {
+    let kernel = crate::compile_cached_opts(&convolve::kernel(machine), machine, opts, "convolve");
     let mut p = ProgramBuilder::new();
     let band = band_rows(cfg, machine);
     let width = cfg.width as u64;
+    let scale = (strip_scale.max(1) as usize).min(band);
 
     let mut y = HALO;
     while y < cfg.height - HALO {
@@ -76,20 +90,29 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
         let row_streams: Vec<_> = (0..rows_in)
             .map(|r| p.load(format!("row{}", y + r - HALO), width / PACK))
             .collect();
-        for r in 0..rows_out {
+        let mut r = 0usize;
+        while r < rows_out {
+            let rows = scale.min(rows_out - r);
             // The kernel takes four streams (center + three row pairs);
             // for timing, dependencies resolve through the band's loaded
-            // rows — include the latest-loaded of the seven (r + 6) so the
-            // call starts only once its whole window is resident.
+            // rows — include the latest-loaded of the batch's whole window
+            // (r + rows + 5) so the call starts only once it is resident.
             let inputs = [
                 row_streams[r + 3],
-                row_streams[r + 6],
-                row_streams[r + 5],
-                row_streams[r + 4],
+                row_streams[r + rows + 5],
+                row_streams[r + rows + 4],
+                row_streams[r + rows + 3],
             ];
-            let outs = p.kernel(&kernel, &inputs, &[width / PACK, width / PACK], width);
+            let out_words = rows as u64 * width / PACK;
+            let outs = p.kernel(
+                &kernel,
+                &inputs,
+                &[out_words, out_words],
+                rows as u64 * width,
+            );
             p.store(outs[0]);
             p.store(outs[1]);
+            r += rows;
         }
         y += rows_out;
     }

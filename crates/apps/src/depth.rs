@@ -66,14 +66,28 @@ fn band_rows(cfg: &Config, machine: &Machine) -> usize {
 
 /// Builds the DEPTH stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let sad = crate::compile_cached(&blocksad::kernel(machine), machine, "blocksad");
-    let init = crate::compile_cached(&sad_init(machine), machine, "sad_init");
-    let kmin = crate::compile_cached(&sad_min(machine), machine, "sad_min");
+    program_with(cfg, machine, &stream_sched::CompileOptions::default(), 1)
+}
+
+/// [`program`] with explicit scheduler options and a strip-batching factor:
+/// `strip_scale` output rows share each SAD/arg-min call, so one disparity
+/// chain covers the whole batch. `strip_scale = 1` with default options is
+/// exactly [`program`].
+pub fn program_with(
+    cfg: &Config,
+    machine: &Machine,
+    opts: &stream_sched::CompileOptions,
+    strip_scale: u32,
+) -> AppProgram {
+    let sad = crate::compile_cached_opts(&blocksad::kernel(machine), machine, opts, "blocksad");
+    let init = crate::compile_cached_opts(&sad_init(machine), machine, opts, "sad_init");
+    let kmin = crate::compile_cached_opts(&sad_min(machine), machine, opts, "sad_min");
 
     let mut p = ProgramBuilder::new();
     let band = band_rows(cfg, machine);
     let width = cfg.width as u64;
     let right_width = (cfg.width + cfg.disparities) as u64;
+    let scale = (strip_scale.max(1) as usize).min(band);
 
     let mut y = 1usize;
     while y < cfg.height - 1 {
@@ -85,24 +99,29 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
         let right: Vec<_> = (0..rows_in)
             .map(|r| p.load(format!("R{}", y + r - 1), right_width / PACK))
             .collect();
-        for r in 0..rows_out {
-            // d = 0 seeds the arg-min chain.
+        let mut r = 0usize;
+        while r < rows_out {
+            let batch = scale.min(rows_out - r);
+            let recs = batch as u64 * width;
+            // d = 0 seeds the arg-min chain; the input set spans the
+            // batch's whole row window so the call waits for all of it.
             let rows = [
                 left[r],
-                left[r + 1],
-                left[r + 2],
+                left[r + batch],
+                left[r + batch + 1],
                 right[r],
-                right[r + 1],
-                right[r + 2],
+                right[r + batch],
+                right[r + batch + 1],
             ];
-            let sad0 = p.kernel(&sad, &rows, &[width], width);
-            let mut best = p.kernel(&init, &[sad0[0]], &[width, width], width);
+            let sad0 = p.kernel(&sad, &rows, &[recs], recs);
+            let mut best = p.kernel(&init, &[sad0[0]], &[recs, recs], recs);
             for _d in 1..cfg.disparities {
                 // The shifted right-row views are the same SRF streams.
-                let sd = p.kernel(&sad, &rows, &[width], width);
-                best = p.kernel(&kmin, &[best[0], best[1], sd[0]], &[width, width], width);
+                let sd = p.kernel(&sad, &rows, &[recs], recs);
+                best = p.kernel(&kmin, &[best[0], best[1], sd[0]], &[recs, recs], recs);
             }
-            p.store(best[1]); // disparity map row
+            p.store(best[1]); // disparity map rows
+            r += batch;
         }
         y += rows_out;
     }

@@ -43,7 +43,20 @@ impl Config {
 
 /// Builds the FFT stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let kernel = crate::compile_cached(&fft::kernel(machine), machine, "fft");
+    program_with(cfg, machine, &stream_sched::CompileOptions::default(), 1)
+}
+
+/// [`program`] with explicit scheduler options. Each radix-4 stage is
+/// already a single whole-array kernel call, so there is nothing for strip
+/// batching to merge: `strip_scale` is accepted for interface uniformity and
+/// clamped to 1.
+pub fn program_with(
+    cfg: &Config,
+    machine: &Machine,
+    opts: &stream_sched::CompileOptions,
+    _strip_scale: u32,
+) -> AppProgram {
+    let kernel = crate::compile_cached_opts(&fft::kernel(machine), machine, opts, "fft");
     let n = cfg.points as u64;
     let stages = cfg.stages();
     let data_words = 2 * n;

@@ -44,17 +44,22 @@ use stream_sched::{CompileOptions, CompiledKernel};
 use stream_sim::StreamProgram;
 pub use suite::AppId;
 
-/// Compiles one of an application's kernels through the process-wide
-/// compiled-kernel cache ([`stream_grid::global_cache`]): building the same
-/// application on the same machine twice — or sweeping many applications
-/// that share kernels — schedules each kernel once.
-pub(crate) fn compile_cached(
+/// Compiles one of an application's kernels, with explicit scheduler
+/// options, through the process-wide compiled-kernel cache
+/// ([`stream_grid::global_cache`]): building the same application on the
+/// same machine twice — or sweeping many applications that share kernels —
+/// schedules each kernel once. The options participate in the cache key,
+/// so the auto-tuner's candidate compiles share the same process-wide (and
+/// disk) cache as default builds and a warm restart replays tuned programs
+/// with zero scheduler runs too.
+pub(crate) fn compile_cached_opts(
     kernel: &stream_ir::Kernel,
     machine: &Machine,
+    opts: &CompileOptions,
     what: &str,
 ) -> Arc<CompiledKernel> {
     stream_grid::global_cache()
-        .get_or_compile(kernel, machine, &CompileOptions::default())
+        .get_or_compile(kernel, machine, opts)
         .unwrap_or_else(|e| panic!("{what} schedules: {e}"))
 }
 

@@ -50,11 +50,25 @@ fn round_up(x: usize, to: usize) -> usize {
 
 /// Builds the (panel-blocked) QRD stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
+    program_with(cfg, machine, &stream_sched::CompileOptions::default(), 1)
+}
+
+/// [`program`] with explicit scheduler options and a strip-batching factor:
+/// the trailing-matrix sweep uses column strips of `strip_scale * C` columns
+/// (fewer, longer kernel calls per reflector). `strip_scale = 1` with
+/// default options is exactly [`program`].
+pub fn program_with(
+    cfg: &Config,
+    machine: &Machine,
+    opts: &stream_sched::CompileOptions,
+    strip_scale: u32,
+) -> AppProgram {
     let c = machine.clusters() as usize;
-    let knorm = crate::compile_cached(&colnorm(machine), machine, "colnorm");
-    let kscale = crate::compile_cached(&vscale(machine), machine, "vscale");
-    let kdot = crate::compile_cached(&coldot(machine), machine, "coldot");
-    let kaxpy = crate::compile_cached(&colaxpy(machine), machine, "colaxpy");
+    let sc = c * strip_scale.max(1) as usize;
+    let knorm = crate::compile_cached_opts(&colnorm(machine), machine, opts, "colnorm");
+    let kscale = crate::compile_cached_opts(&vscale(machine), machine, opts, "vscale");
+    let kdot = crate::compile_cached_opts(&coldot(machine), machine, opts, "coldot");
+    let kaxpy = crate::compile_cached_opts(&colaxpy(machine), machine, opts, "colaxpy");
 
     let mut p = ProgramBuilder::new();
     let reflectors = cfg.cols.min(cfg.rows - 1);
@@ -84,12 +98,12 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
             vs.push(v[0]);
         }
 
-        // Trailing sweep: strips of C columns, all panel reflectors applied
-        // while the strip is resident.
+        // Trailing sweep: strips of `strip_scale * C` columns, all panel
+        // reflectors applied while the strip is resident.
         let trailing = cfg.cols.saturating_sub(j0 + panel_cols);
-        let strips = round_up(trailing, c) / c;
+        let strips = round_up(trailing, sc) / sc;
         for s in 0..strips {
-            let strip_words = (c * row_iters * 8) as u64;
+            let strip_words = (sc * row_iters * 8) as u64;
             // Column strips gather with the panel stride through the
             // row-major matrix (memory-access-scheduling territory).
             let mut strip = p.load_patterned(
@@ -98,8 +112,8 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
                 AccessPattern::Strided,
             );
             for &v in &vs {
-                let recs = (c * row_iters) as u64;
-                let dots = p.kernel(&kdot, &[strip, v], &[c as u64], recs);
+                let recs = (sc * row_iters) as u64;
+                let dots = p.kernel(&kdot, &[strip, v], &[sc as u64], recs);
                 let upd = p.kernel(&kaxpy, &[strip, v, dots[0]], &[strip_words], recs);
                 strip = upd[0];
             }

@@ -114,11 +114,25 @@ fn pad_to_multiple(mut v: Vec<Scalar>, m: usize, fill: Scalar) -> Vec<Scalar> {
 
 /// Builds the RENDER stream program for `machine`.
 pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
-    let ktrans = crate::compile_cached(&transform(machine), machine, "transform");
-    let kirast = crate::compile_cached(&irast::kernel(machine), machine, "irast");
-    let kdecode = crate::compile_cached(&decode_frag(machine), machine, "decode");
-    let knoise = crate::compile_cached(&noise::kernel(machine), machine, "noise");
-    let kblend = crate::compile_cached(&blend(machine), machine, "blend");
+    program_with(cfg, machine, &stream_sched::CompileOptions::default(), 1)
+}
+
+/// [`program`] with explicit scheduler options and a strip-batching factor:
+/// `strip_scale` multiplies the SRF-fitted span batch (larger batches trade
+/// SRF slack for fewer pipeline fills; infeasible sizes are rejected by the
+/// simulator's residency check). `strip_scale = 1` with default options is
+/// exactly [`program`].
+pub fn program_with(
+    cfg: &Config,
+    machine: &Machine,
+    opts: &stream_sched::CompileOptions,
+    strip_scale: u32,
+) -> AppProgram {
+    let ktrans = crate::compile_cached_opts(&transform(machine), machine, opts, "transform");
+    let kirast = crate::compile_cached_opts(&irast::kernel(machine), machine, opts, "irast");
+    let kdecode = crate::compile_cached_opts(&decode_frag(machine), machine, opts, "decode");
+    let knoise = crate::compile_cached_opts(&noise::kernel(machine), machine, opts, "noise");
+    let kblend = crate::compile_cached_opts(&blend(machine), machine, opts, "blend");
 
     let spans = pin_spans(cfg);
     let n_verts = (3 * cfg.triangles) as u64;
@@ -145,6 +159,10 @@ pub fn program(cfg: &Config, machine: &Machine) -> AppProgram {
     {
         batch /= 2;
     }
+    // The tuner can trade the remaining SRF slack for fewer, larger batches;
+    // sizes that no longer fit fail the simulator's residency check and the
+    // candidate is discarded there.
+    batch = batch.saturating_mul(strip_scale.max(1) as usize);
     for chunk in spans.chunks(batch) {
         let n_spans = chunk.len() as u64;
         let n_frags: u64 = chunk.iter().map(|s| s.width as u64).sum();

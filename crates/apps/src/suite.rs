@@ -46,13 +46,65 @@ impl AppId {
 
     /// Builds this application's paper-scale stream program for `machine`.
     pub fn program(&self, machine: &Machine) -> AppProgram {
+        self.program_with(machine, &stream_sched::CompileOptions::default(), 1)
+    }
+
+    /// [`Self::program`] with explicit scheduler options and a
+    /// strip-batching factor — the auto-tuner's entry point. With default
+    /// options and `strip_scale = 1` the built program is identical to
+    /// [`Self::program`] (the tuner's baseline candidate relies on this).
+    pub fn program_with(
+        &self,
+        machine: &Machine,
+        opts: &stream_sched::CompileOptions,
+        strip_scale: u32,
+    ) -> AppProgram {
         match self {
-            AppId::Render => render::program(&render::Config::paper(), machine),
-            AppId::Depth => depth::program(&depth::Config::paper(), machine),
-            AppId::Conv => conv::program(&conv::Config::paper(), machine),
-            AppId::Qrd => qrd::program(&qrd::Config::paper(), machine),
-            AppId::Fft1k => fft_app::program(&fft_app::Config::fft1k(), machine),
-            AppId::Fft4k => fft_app::program(&fft_app::Config::fft4k(), machine),
+            AppId::Render => {
+                render::program_with(&render::Config::paper(), machine, opts, strip_scale)
+            }
+            AppId::Depth => {
+                depth::program_with(&depth::Config::paper(), machine, opts, strip_scale)
+            }
+            AppId::Conv => conv::program_with(&conv::Config::paper(), machine, opts, strip_scale),
+            AppId::Qrd => qrd::program_with(&qrd::Config::paper(), machine, opts, strip_scale),
+            AppId::Fft1k => {
+                fft_app::program_with(&fft_app::Config::fft1k(), machine, opts, strip_scale)
+            }
+            AppId::Fft4k => {
+                fft_app::program_with(&fft_app::Config::fft4k(), machine, opts, strip_scale)
+            }
+        }
+    }
+
+    /// The IR kernels this application's program calls, built for
+    /// `machine`, keyed by their kernel names (the same names the compiled
+    /// program's kernel instructions report). The auto-tuner uses this to
+    /// bound candidate configurations without compiling them.
+    pub fn kernels(&self, machine: &Machine) -> Vec<stream_ir::Kernel> {
+        use crate::kernels as ak;
+        use stream_kernels::{blocksad, convolve, fft, irast, noise};
+        match self {
+            AppId::Render => vec![
+                ak::transform(machine),
+                irast::kernel(machine),
+                ak::decode_frag(machine),
+                noise::kernel(machine),
+                ak::blend(machine),
+            ],
+            AppId::Depth => vec![
+                blocksad::kernel(machine),
+                ak::sad_init(machine),
+                ak::sad_min(machine),
+            ],
+            AppId::Conv => vec![convolve::kernel(machine)],
+            AppId::Qrd => vec![
+                ak::colnorm(machine),
+                ak::vscale(machine),
+                ak::coldot(machine),
+                ak::colaxpy(machine),
+            ],
+            AppId::Fft1k | AppId::Fft4k => vec![fft::kernel(machine)],
         }
     }
 
@@ -89,6 +141,29 @@ mod tests {
         for id in AppId::ALL {
             let app = id.program(&m);
             let r = simulate(&app.program, &m, &sys).unwrap_or_else(|e| panic!("{id} failed: {e}"));
+            assert!(r.cycles > 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn program_with_defaults_is_program() {
+        let m = Machine::baseline();
+        let opts = stream_sched::CompileOptions::default();
+        for id in AppId::ALL {
+            let a = format!("{:?}", id.program(&m).program);
+            let b = format!("{:?}", id.program_with(&m, &opts, 1).program);
+            assert_eq!(a, b, "{id}: strip_scale=1 must rebuild the default");
+        }
+    }
+
+    #[test]
+    fn strip_batched_programs_simulate() {
+        let m = Machine::baseline();
+        let sys = SystemParams::paper_2007();
+        let opts = stream_sched::CompileOptions::default();
+        for id in AppId::ALL {
+            let app = id.program_with(&m, &opts, 2);
+            let r = simulate(&app.program, &m, &sys).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert!(r.cycles > 0, "{id}");
         }
     }

@@ -823,6 +823,19 @@ impl Tape {
         self.strip_eligible
     }
 
+    /// Whether consecutive iterations may execute as one wide dispatch
+    /// (strip-independent *and* lane-topology neutral) — the precondition
+    /// for [`TapeConfig::batch`] to have any effect. The auto-tuner's
+    /// static tier cost reads this to decide whether macro-batching pays.
+    pub fn batchable(&self) -> bool {
+        self.batchable
+    }
+
+    /// The configuration this tape was compiled with.
+    pub fn config(&self) -> &TapeConfig {
+        &self.config
+    }
+
     /// Executes the tape, inferring the iteration count from the first
     /// plain input stream. Drop-in equivalent of [`crate::execute`].
     ///

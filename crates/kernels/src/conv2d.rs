@@ -1,0 +1,217 @@
+//! Conv2d: dense 3x3 stencil convolution (extension workload, f32).
+//!
+//! Three image rows stream in (one pixel column per cluster, one word per
+//! record): the row above, the center row, and the row below. Each cluster
+//! forms the three *weight-column* partial sums over its own pixels, then
+//! fetches the left-column sum from its left neighbor and the right-column
+//! sum from its right neighbor over the intercluster switch, so the whole
+//! 3x3 window costs just two COMMs. Columns wrap within a SIMD strip.
+//!
+//! Deliberately the lightest kernel in the suite (~17 ALU ops, 2 comms, 4
+//! SRF accesses per element): where Convolve and FFT are ALU- and
+//! switch-heavy, Conv2d is fill/drain- and stream-dominated, so its best
+//! unroll factor and strip batching differ — exactly the contrast the
+//! auto-tuner needs in its target set.
+
+use crate::util::{to_f32, words_f32, wrap_cluster, XorShift32};
+use stream_ir::{Kernel, KernelBuilder, Scalar, Ty, ValueId};
+use stream_machine::Machine;
+
+/// A 3x3 stencil, row-major: `w[dr][dc]` weights pixel `(r+dr-1, c+dc-1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// The nine taps, rows top-to-bottom, columns left-to-right.
+    pub w: [[f32; 3]; 3],
+}
+
+impl Weights {
+    /// The separable 3x3 binomial smoothing stencil (taps sum to one, so a
+    /// constant image is a fixed point).
+    pub fn smoothing() -> Self {
+        Self {
+            w: [
+                [0.0625, 0.125, 0.0625],
+                [0.125, 0.25, 0.125],
+                [0.0625, 0.125, 0.0625],
+            ],
+        }
+    }
+
+    /// A sharpening stencil (identity plus scaled Laplacian).
+    pub fn sharpen() -> Self {
+        Self {
+            w: [[0.0, -0.25, 0.0], [-0.25, 2.0, -0.25], [0.0, -0.25, 0.0]],
+        }
+    }
+}
+
+/// Builds the Conv2d kernel for `machine`. Stencil weights are uniform
+/// scalar parameters — pass [`params`] at execution.
+pub fn kernel(machine: &Machine) -> Kernel {
+    let c = machine.clusters();
+    let mut b = KernelBuilder::new("conv2d");
+
+    let top = b.in_stream(Ty::F32);
+    let mid = b.in_stream(Ty::F32);
+    let bot = b.in_stream(Ty::F32);
+    let out = b.out_stream(Ty::F32);
+
+    // w[dr][dc] as params, row-major — matches `params`.
+    let w: Vec<Vec<ValueId>> = (0..3)
+        .map(|_| (0..3).map(|_| b.param(Ty::F32)).collect())
+        .collect();
+
+    let px = [b.read(top), b.read(mid), b.read(bot)];
+
+    // Weight-column partial sums over this cluster's own pixel column:
+    // t[j] = w[0][j]*top + w[1][j]*mid + w[2][j]*bot.
+    let t: Vec<ValueId> = (0..3)
+        .map(|j| {
+            let mut acc = b.mul(w[0][j], px[0]);
+            for dr in 1..3usize {
+                let term = b.mul(w[dr][j], px[dr]);
+                acc = b.add(acc, term);
+            }
+            acc
+        })
+        .collect();
+
+    // out[c] = t0[c-1] + t1[c] + t2[c+1], neighbors over the switch.
+    let cid = b.cluster_id();
+    let left = wrap_cluster(&mut b, cid, -1, c);
+    let right = wrap_cluster(&mut b, cid, 1, c);
+    let tl = b.comm(t[0], left);
+    let tr = b.comm(t[2], right);
+    let s = b.add(tl, t[1]);
+    let o = b.add(s, tr);
+
+    b.write(out, o);
+    b.finish().expect("conv2d kernel is structurally valid")
+}
+
+/// The kernel's parameter vector for `weights` (row-major taps).
+pub fn params(weights: &Weights) -> Vec<Scalar> {
+    weights
+        .w
+        .iter()
+        .flat_map(|row| row.iter().map(|&v| Scalar::F32(v)))
+        .collect()
+}
+
+/// Scalar reference with the kernel's strip-wrapped column semantics and
+/// accumulation order.
+pub fn reference(rows: &[Vec<f32>; 3], weights: &Weights, clusters: usize) -> Vec<f32> {
+    let cols = rows[0].len();
+    assert!(cols.is_multiple_of(clusters));
+    let strips = cols / clusters;
+    // Weight-column partial sums, in the kernel's fold order.
+    let mut t = [vec![0f32; cols], vec![0f32; cols], vec![0f32; cols]];
+    for col in 0..cols {
+        for j in 0..3usize {
+            let mut acc = weights.w[0][j] * rows[0][col];
+            for dr in 1..3usize {
+                acc += weights.w[dr][j] * rows[dr][col];
+            }
+            t[j][col] = acc;
+        }
+    }
+    let mut out = vec![0f32; cols];
+    for s in 0..strips {
+        for c in 0..clusters {
+            let col = s * clusters + c;
+            let at = |j: usize, dc: i32| -> f32 {
+                let nb = (c as i32 + dc).rem_euclid(clusters as i32) as usize;
+                t[j][s * clusters + nb]
+            };
+            out[col] = (at(0, -1) + at(1, 0)) + at(2, 1);
+        }
+    }
+    out
+}
+
+/// Deterministic sample rows of pixel data (above, center, below).
+pub fn sample_rows(columns: usize, seed: u32) -> [Vec<f32>; 3] {
+    let mut rng = XorShift32(seed);
+    std::array::from_fn(|_| (0..columns).map(|_| rng.next_f32() * 255.0).collect())
+}
+
+/// Packs reference-format rows into the kernel's three input streams.
+pub fn input_streams(rows: &[Vec<f32>; 3]) -> Vec<Vec<Scalar>> {
+    rows.iter().map(|r| words_f32(r.iter().copied())).collect()
+}
+
+/// Convenience for tests and the tuner: executes the kernel on `rows` and
+/// returns the stencil output as f32.
+pub fn run(kernel: &Kernel, rows: &[Vec<f32>; 3], weights: &Weights, clusters: usize) -> Vec<f32> {
+    let outs = stream_ir::execute(
+        kernel,
+        &params(weights),
+        &input_streams(rows),
+        &stream_ir::ExecConfig::with_clusters(clusters),
+    )
+    .expect("conv2d executes");
+    to_f32(&outs[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_ir::{execute, ExecConfig};
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                "index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let weights = Weights::sharpen();
+        let rows = sample_rows(64, 23);
+        let got = run(&k, &rows, &weights, 8);
+        assert_close(&got, &reference(&rows, &weights, 8));
+    }
+
+    #[test]
+    fn constant_image_is_a_smoothing_fixed_point() {
+        let machine = Machine::baseline();
+        let k = kernel(&machine);
+        let rows: [Vec<f32>; 3] = std::array::from_fn(|_| vec![100.0; 16]);
+        let outs = execute(
+            &k,
+            &params(&Weights::smoothing()),
+            &input_streams(&rows),
+            &ExecConfig::with_clusters(8),
+        )
+        .unwrap();
+        for &v in to_f32(&outs[0]).iter() {
+            assert!((v - 100.0).abs() < 1e-3, "smoothed constant = {v}");
+        }
+    }
+
+    #[test]
+    fn stats_are_in_the_expected_band() {
+        let machine = Machine::baseline();
+        let s = kernel(&machine).stats();
+        assert!(s.alu_ops >= 17 && s.alu_ops <= 40, "alu = {}", s.alu_ops);
+        assert_eq!(s.srf_accesses, 4); // 3 reads + 1 write
+        assert_eq!(s.comms, 2);
+        assert_eq!(s.sp_accesses, 0);
+    }
+
+    #[test]
+    fn matches_reference_on_16_clusters() {
+        let machine = Machine::paper(stream_vlsi::Shape::new(16, 5));
+        let k = kernel(&machine);
+        let weights = Weights::smoothing();
+        let rows = sample_rows(64, 7);
+        let got = run(&k, &rows, &weights, 16);
+        assert_close(&got, &reference(&rows, &weights, 16));
+    }
+}

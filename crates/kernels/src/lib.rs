@@ -9,7 +9,8 @@
 //! [`update`] (Householder block update with a butterfly all-reduce),
 //! [`fft`] (radix-4 DIT butterfly stage), [`noise`] (Perlin marble
 //! shader), and [`irast`] (span rasterization through conditional
-//! streams).
+//! streams), plus the extension tier beyond the paper's suite:
+//! [`conv2d`] (dense 3x3 stencil with neighbor-column exchange).
 //!
 //! Kernels are built *per machine*, mirroring the paper's per-configuration
 //! recompilation: COMM index arithmetic depends on the cluster count, and
@@ -35,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod blocksad;
+pub mod conv2d;
 pub mod convolve;
 pub mod dct;
 pub mod fft;

@@ -1,7 +1,7 @@
-//! The six-kernel suite of Tables 2 and 4, behind one enumeration so the
-//! figure generators can sweep it.
+//! The kernel suite — the six kernels of Tables 2 and 4 plus the extension
+//! tier — behind one enumeration so the figure generators can sweep it.
 
-use crate::{blocksad, convolve, fft, irast, noise, update};
+use crate::{blocksad, conv2d, convolve, fft, irast, noise, update};
 use std::fmt;
 use stream_ir::Kernel;
 use stream_machine::Machine;
@@ -21,17 +21,20 @@ pub enum KernelId {
     Noise,
     /// Triangle/span rasterizer (16-bit, conditional streams).
     Irast,
+    /// Dense 3x3 stencil convolution (extension workload, tuner target).
+    Conv2d,
 }
 
 impl KernelId {
-    /// All six kernels in Table 2/4 order.
-    pub const ALL: [KernelId; 6] = [
+    /// The six paper kernels in Table 2/4 order, then the extension tier.
+    pub const ALL: [KernelId; 7] = [
         KernelId::Blocksad,
         KernelId::Convolve,
         KernelId::Update,
         KernelId::Fft,
         KernelId::Noise,
         KernelId::Irast,
+        KernelId::Conv2d,
     ];
 
     /// The kernel's display name, as the paper spells it.
@@ -43,6 +46,7 @@ impl KernelId {
             KernelId::Fft => "FFT",
             KernelId::Noise => "Noise",
             KernelId::Irast => "Irast",
+            KernelId::Conv2d => "Conv2d",
         }
     }
 
@@ -55,6 +59,7 @@ impl KernelId {
             KernelId::Fft => "radix-4 fast Fourier transform",
             KernelId::Noise => "Perlin noise function used in procedural marble shader",
             KernelId::Irast => "triangle rasterizer",
+            KernelId::Conv2d => "dense 3x3 stencil convolution (extension tier)",
         }
     }
 
@@ -69,6 +74,7 @@ impl KernelId {
             KernelId::Fft => fft::kernel(machine),
             KernelId::Noise => noise::kernel(machine),
             KernelId::Irast => irast::kernel(machine),
+            KernelId::Conv2d => conv2d::kernel(machine),
         }
     }
 
@@ -80,8 +86,9 @@ impl KernelId {
             KernelId::Convolve => Some((133, 14, 5, 2)),
             KernelId::Update => Some((61, 4, 16, 32)),
             KernelId::Fft => Some((145, 64, 40, 72)),
-            // DCT appears in the paper's Table 2 instead of Noise/Irast.
-            KernelId::Noise | KernelId::Irast => None,
+            // DCT appears in the paper's Table 2 instead of Noise/Irast;
+            // Conv2d is an extension beyond the paper's suite.
+            KernelId::Noise | KernelId::Irast | KernelId::Conv2d => None,
         }
     }
 }
@@ -114,7 +121,7 @@ mod tests {
         let names: Vec<_> = KernelId::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["Blocksad", "Convolve", "Update", "FFT", "Noise", "Irast"]
+            vec!["Blocksad", "Convolve", "Update", "FFT", "Noise", "Irast", "Conv2d"]
         );
     }
 

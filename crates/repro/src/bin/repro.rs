@@ -146,6 +146,12 @@ fn main() -> ExitCode {
             eprintln!("failed to open native artifact cache at {dir}: {e}");
             return ExitCode::FAILURE;
         }
+        // And the auto-tuner's results tier, so a warm directory replays
+        // validated tuning winners with zero searches.
+        if let Err(e) = stream_tune::attach_global_disk(std::path::Path::new(dir)) {
+            eprintln!("failed to open tuning results cache at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     // The tape's strip-parallel executor draws from the process-global
     // permit pool; size it to the same worker budget as the sweep engine
@@ -181,6 +187,14 @@ fn main() -> ExitCode {
              native_compiles={} native_disk_hits={} native_fallbacks={}",
             s.compiles, s.disk_hits, s.disk_misses, n.compiles, n.disk_hits, n.fallbacks
         );
+        // `searches=0` on a warm directory is the zero-search restart
+        // check CI asserts (rehydrated winners are re-validated, so
+        // `rehydrated` counts successful replays).
+        let t = stream_tune::stats();
+        eprintln!(
+            "# tune: searches={} rehydrated={} pruned={} candidates={} sched_compiles={}",
+            t.searches, t.rehydrated, t.pruned, t.candidates, t.sched_compiles
+        );
     }
     if let Some(path) = trace_path {
         stream_trace::disable();
@@ -199,6 +213,7 @@ fn main() -> ExitCode {
         // registered, then render the registry.
         stream_grid::sample_gauges();
         let _ = stream_ir::native_stats();
+        let _ = stream_tune::stats();
         if let Err(e) = std::fs::write(&path, stream_trace::render_prometheus()) {
             eprintln!("failed to write metrics to {path}: {e}");
             return ExitCode::FAILURE;

@@ -68,13 +68,15 @@ pub enum ExperimentId {
     RegisterOrg,
     /// FFT local-gather vs intercluster-exchange formulations.
     FftExchange,
+    /// Per-application auto-tuning: tuned vs default configuration.
+    Tune,
     /// Independent schedule verification across the `(C, N)` grid.
     Verify,
 }
 
 impl ExperimentId {
     /// Every experiment, in the order `repro all` runs them.
-    pub const ALL: [ExperimentId; 29] = [
+    pub const ALL: [ExperimentId; 30] = [
         ExperimentId::Table1,
         ExperimentId::Table2,
         ExperimentId::Table3,
@@ -103,6 +105,7 @@ impl ExperimentId {
         ExperimentId::Multiproc,
         ExperimentId::RegisterOrg,
         ExperimentId::FftExchange,
+        ExperimentId::Tune,
         ExperimentId::Verify,
     ];
 
@@ -137,6 +140,7 @@ impl ExperimentId {
             ExperimentId::Multiproc => "multiproc",
             ExperimentId::RegisterOrg => "register_org",
             ExperimentId::FftExchange => "fft_exchange",
+            ExperimentId::Tune => "tune",
             ExperimentId::Verify => "verify",
         }
     }
@@ -255,6 +259,7 @@ mod tests {
             ("fig99", ExperimentId::Fig9),
             ("headlines", ExperimentId::Headline),
             ("ablation-swp", ExperimentId::AblationSwp),
+            ("tuen", ExperimentId::Tune),
             ("VERIFY", ExperimentId::Verify),
         ] {
             let err = typo.parse::<ExperimentId>().unwrap_err();

@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn table2_lists_all_kernels() {
         let r = table2();
-        assert_eq!(r.rows.len(), 7); // six suite kernels + DCT
+        assert_eq!(r.rows.len(), 8); // seven suite kernels + DCT
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod kernel_figs;
 mod query;
 mod report;
 mod sweep;
+mod tune_figs;
 mod verify_figs;
 
 pub use app_figs::{fig15, headline};
@@ -48,6 +49,7 @@ pub use extras::{
 pub use kernel_figs::{fig13, fig14, table2, table4, table5, FIG13_NS, FIG14_CS};
 pub use query::{Constraint, Metric, Query, SpaceAnswer, SpaceQuery, UnknownMetric};
 pub use report::Report;
+pub use tune_figs::tune;
 pub use verify_figs::verify;
 
 use stream_grid::Engine;
@@ -99,6 +101,7 @@ pub fn run_with(id: ExperimentId, engine: &Engine) -> Report {
         ExperimentId::Multiproc => extras::multiproc_impl(&ctx),
         ExperimentId::RegisterOrg => register_org(),
         ExperimentId::FftExchange => extras::fft_exchange_impl(&ctx),
+        ExperimentId::Tune => tune_figs::tune_impl(&ctx),
         ExperimentId::Verify => verify_figs::verify_impl(&ctx),
     };
     ctx.finish(&mut r);
@@ -130,7 +133,7 @@ mod tests {
 
     /// Experiments whose full grids are too heavy for this smoke test;
     /// each is exercised by its own module test instead.
-    const HEAVYWEIGHT: [ExperimentId; 12] = [
+    const HEAVYWEIGHT: [ExperimentId; 13] = [
         ExperimentId::Fig13,
         ExperimentId::Fig14,
         ExperimentId::Table5,
@@ -142,6 +145,7 @@ mod tests {
         ExperimentId::AblationMemory,
         ExperimentId::Multiproc,
         ExperimentId::FftExchange,
+        ExperimentId::Tune,
         ExperimentId::Verify,
     ];
 

@@ -28,7 +28,8 @@
 //! | GET | `/v1/run/<id>?format=json\|text` | one report (text is byte-identical to `repro <id>` stdout) |
 //! | GET/POST | `/v1/sweep?experiments=a,b` | several reports, request order |
 //! | POST | `/v1/query` | constrained design-space argmin |
-//! | GET | `/v1/stats` | planner + kernel-cache counters |
+//! | GET | `/v1/tune?app=NAME[&clusters=C][&alus_per_cluster=N]` | auto-tuner verdict: tuned vs default and the winning configuration |
+//! | GET | `/v1/stats` | planner + kernel-cache + tuner counters |
 //! | GET | `/metrics` | Prometheus text exposition (counters, gauges, latency histograms) |
 //! | POST | `/v1/shutdown` | stops the daemon |
 //!
@@ -213,6 +214,47 @@ mod tests {
             &p,
         );
         assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn tune_endpoint_answers_and_memoizes() {
+        let p = planner();
+        let resp = route(&get("/v1/tune?app=conv"), &p);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("stream-scaling.tune.v1")
+        );
+        assert_eq!(parsed.get("app").and_then(|v| v.as_str()), Some("CONV"));
+        let shape = parsed.get("shape").unwrap();
+        assert_eq!(shape.get("clusters").and_then(|v| v.as_f64()), Some(8.0));
+        assert_eq!(
+            shape.get("alus_per_cluster").and_then(|v| v.as_f64()),
+            Some(5.0)
+        );
+        // Default evaluated first: tuned can never lose.
+        let speedup = parsed.get("speedup").and_then(|v| v.as_f64()).unwrap();
+        assert!(speedup >= 1.0, "{speedup}");
+        assert!(parsed.get("winner").unwrap().get("describe").is_some());
+        // A repeat query is a memo read: byte-identical, no new search.
+        let again = route(&get("/v1/tune?app=CONV"), &p);
+        assert_eq!(again.body, resp.body);
+    }
+
+    #[test]
+    fn tune_endpoint_rejects_bad_inputs() {
+        let p = planner();
+        assert_eq!(route(&get("/v1/tune"), &p).status, 400);
+        let resp = route(&get("/v1/tune?app=nosuch"), &p);
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("CONV"), "{}", resp.body);
+        assert_eq!(route(&get("/v1/tune?app=conv&clusters=0"), &p).status, 400);
+        assert_eq!(
+            route(&get("/v1/tune?app=conv&alus_per_cluster=1000"), &p).status,
+            400
+        );
+        assert_eq!(route(&post("/v1/tune", ""), &p).status, 404);
     }
 
     #[test]

@@ -41,12 +41,17 @@ pub struct Cell {
 }
 
 type CellSlot = Arc<OnceLock<Arc<Cell>>>;
+type TuneSlot = Arc<OnceLock<Arc<stream_tune::Tuned>>>;
 
 /// Deduplicating, disk-backed cell planner. Cheap to share behind an `Arc`.
 #[derive(Debug)]
 pub struct Planner {
     engine: Engine,
     cells: Mutex<HashMap<ExperimentId, CellSlot>>,
+    /// Tuning results, keyed by `(app, clusters, alus_per_cluster)` —
+    /// the same coalescing slot pattern as experiment cells, so concurrent
+    /// clients tuning the same point share one search.
+    tuned: Mutex<HashMap<(stream_apps::AppId, u32, u32), TuneSlot>>,
     disk: Option<DiskStore>,
     lookups: Counter,
     computed: Counter,
@@ -87,6 +92,7 @@ impl Planner {
         Ok(Self {
             engine,
             cells: Mutex::new(HashMap::new()),
+            tuned: Mutex::new(HashMap::new()),
             disk,
             lookups: Counter::new(),
             computed: Counter::new(),
@@ -132,6 +138,33 @@ impl Planner {
     /// Cells for several experiments, in request order.
     pub fn cells(&self, ids: &[ExperimentId]) -> Vec<Arc<Cell>> {
         ids.iter().map(|&id| self.cell(id)).collect()
+    }
+
+    /// The auto-tuning result for `app` on a `clusters × alus_per_cluster`
+    /// machine, searched at most once per daemon lifetime per point.
+    /// `stream-tune` itself rehydrates validated winners from the shared
+    /// cache root (attached in `start`), so a restarted daemon answers
+    /// warm points without re-searching.
+    pub fn tuned(
+        &self,
+        app: stream_apps::AppId,
+        clusters: u32,
+        alus: u32,
+    ) -> Arc<stream_tune::Tuned> {
+        let slot: TuneSlot = {
+            let mut tuned = self.tuned.lock().expect("planner poisoned");
+            Arc::clone(tuned.entry((app, clusters, alus)).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            let mut span = stream_trace::span("serve", "tune");
+            span.arg("app", app.name());
+            let machine = stream_machine::Machine::paper(stream_vlsi::Shape::new(clusters, alus));
+            Arc::new(stream_tune::tune_app(
+                app,
+                &machine,
+                &stream_machine::SystemParams::paper_2007(),
+            ))
+        }))
     }
 
     /// Current planner counters.

@@ -52,6 +52,7 @@ fn latency_series(method: &str, path: &str) -> &'static str {
         ("GET", p) if p.starts_with("/v1/run/") => "serve.latency.run",
         ("GET" | "POST", "/v1/sweep") => "serve.latency.sweep",
         ("POST", "/v1/query") => "serve.latency.query",
+        ("GET", "/v1/tune") => "serve.latency.tune",
         ("GET", "/v1/stats") => "serve.latency.stats",
         ("POST", "/v1/shutdown") => "serve.latency.shutdown",
         _ => "serve.latency.other",
@@ -124,6 +125,9 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         // Share the same root with the native-backend artifact tier so a
         // restarted daemon serves hot kernels without re-running rustc.
         stream_ir::attach_native_disk(root)?;
+        // And with the auto-tuner's results tier, so `/v1/tune` answers
+        // warm points with zero searches after a restart.
+        stream_tune::attach_global_disk(root)?;
     }
     let planner = Arc::new(Planner::new(
         stream_grid::Engine::new(workers),
@@ -244,6 +248,7 @@ pub(crate) fn route(request: &Request, planner: &Planner) -> Response {
         }
         ("GET" | "POST", "/v1/sweep") => sweep_response(request, planner),
         ("POST", "/v1/query") => query_response(request),
+        ("GET", "/v1/tune") => tune_response(request, planner),
         ("GET", "/v1/stats") => stats_response(planner),
         ("POST", "/v1/shutdown") => {
             Response::json(200, object([("ok", Value::Bool(true))]).render())
@@ -450,6 +455,100 @@ fn query_response(request: &Request) -> Response {
     }
 }
 
+/// `GET /v1/tune?app=NAME[&clusters=C][&alus_per_cluster=N]`: the
+/// auto-tuner's verdict for one application on one machine shape —
+/// default vs tuned cycle counts and the winning configuration. Shape
+/// defaults to the paper baseline (C=8, N=5); results are memoized per
+/// daemon and persisted under the cache root, so repeated queries are
+/// reads, not searches.
+fn tune_response(request: &Request, planner: &Planner) -> Response {
+    let Some(name) = request.query_param("app") else {
+        return error_response(400, "missing `app` query parameter", None);
+    };
+    let Some(app) = stream_apps::AppId::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+    else {
+        let known = stream_apps::AppId::ALL.map(|a| a.name()).join(" ");
+        return error_response(404, &format!("unknown app `{name}`; known: {known}"), None);
+    };
+    let dim = |key: &str, default: u32, max: u32| -> Result<u32, Response> {
+        match request.query_param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<u32>()
+                .ok()
+                .filter(|n| (1..=max).contains(n))
+                .ok_or_else(|| {
+                    error_response(
+                        400,
+                        &format!("`{key}` must be an integer in 1..={max}"),
+                        None,
+                    )
+                }),
+        }
+    };
+    let clusters = match dim("clusters", 8, 1024) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let alus = match dim("alus_per_cluster", 5, 64) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let t = planner.tuned(app, clusters, alus);
+    let winner = object([
+        (
+            "unroll_factors",
+            Value::Array(
+                t.candidate
+                    .unroll_factors
+                    .iter()
+                    .map(|&u| Value::Number(f64::from(u)))
+                    .collect(),
+            ),
+        ),
+        (
+            "strip_scale",
+            Value::Number(f64::from(t.candidate.strip_scale)),
+        ),
+        ("tape", Value::String(t.candidate.tape.name().to_string())),
+        ("native_auto", Value::Bool(t.candidate.native_auto)),
+        ("describe", Value::String(t.candidate.describe())),
+    ]);
+    Response::json(
+        200,
+        object([
+            (
+                "schema",
+                Value::String("stream-scaling.tune.v1".to_string()),
+            ),
+            ("app", Value::String(app.name().to_string())),
+            (
+                "shape",
+                object([
+                    ("clusters", Value::Number(f64::from(clusters))),
+                    ("alus_per_cluster", Value::Number(f64::from(alus))),
+                ]),
+            ),
+            ("default_cycles", Value::Number(t.default_cycles as f64)),
+            ("tuned_cycles", Value::Number(t.tuned_cycles as f64)),
+            ("speedup", Value::Number(t.speedup())),
+            ("winner", winner),
+            (
+                "search",
+                object([
+                    ("from_disk", Value::Bool(t.from_disk)),
+                    ("evaluated", Value::Number(t.evaluated as f64)),
+                    ("pruned", Value::Number(t.pruned as f64)),
+                    ("sched_compiles", Value::Number(t.sched_compiles as f64)),
+                ]),
+            ),
+        ])
+        .render(),
+    )
+}
+
 /// `GET /metrics`: Prometheus text exposition over the whole registry.
 /// Scraping samples current state first — pool occupancy, cache
 /// residency, disk bytes, planner cells — so gauges are fresh as of this
@@ -459,6 +558,7 @@ fn metrics_response(planner: &Planner) -> Response {
     ensure_serve_metrics();
     stream_grid::sample_gauges();
     let _ = stream_ir::native_stats(); // registers the native.* series
+    let _ = stream_tune::stats(); // registers the tune.* series
     let p = planner.stats();
     // Planner counters are per-instance (a process can host several
     // planners), so the global registry carries them as sampled gauges
@@ -474,6 +574,7 @@ fn stats_response(planner: &Planner) -> Response {
     let p = planner.stats();
     let k = stream_grid::global_cache().stats();
     let n = stream_ir::native_stats();
+    let t = stream_tune::stats();
     Response::json(
         200,
         object([
@@ -501,6 +602,16 @@ fn stats_response(planner: &Planner) -> Response {
                     ("compiles", Value::Number(n.compiles as f64)),
                     ("disk_hits", Value::Number(n.disk_hits as f64)),
                     ("fallbacks", Value::Number(n.fallbacks as f64)),
+                ]),
+            ),
+            (
+                "tune",
+                object([
+                    ("searches", Value::Number(t.searches as f64)),
+                    ("rehydrated", Value::Number(t.rehydrated as f64)),
+                    ("pruned", Value::Number(t.pruned as f64)),
+                    ("candidates", Value::Number(t.candidates as f64)),
+                    ("sched_compiles", Value::Number(t.sched_compiles as f64)),
                 ]),
             ),
         ])

@@ -1,0 +1,623 @@
+//! `stream-tune`: cost-guided per-application auto-tuning of unroll
+//! factor × strip batching × tape tier × native policy.
+//!
+//! The paper fixes one scheduling recipe for every application; this crate
+//! searches a small configuration space per `(app, machine)` instead and
+//! returns the fastest point:
+//!
+//! * **Unroll factors** — which set the VLIW scheduler's own II search may
+//!   choose from (the default 1/2/4/8, capped subsets, and a deeper
+//!   1..16 set).
+//! * **Strip batching** — how many natural strips each stream-level kernel
+//!   call covers ([`stream_apps::AppId::program_with`]), trading SRF
+//!   residency for fill/drain amortization.
+//! * **Tape tier** ([`TapeTier`]) and the tier-3 native-backend policy —
+//!   functional-execution knobs that cannot change results (every tier is
+//!   differential-tested bit-exact), chosen by a static cost model over
+//!   the compiled tapes.
+//!
+//! The objective is deterministic: analytic simulated cycles of the
+//! candidate's stream program ([`stream_sim::simulate`]), ties broken
+//! toward the earlier candidate — the default point is evaluated first, so
+//! the tuner never regresses below the default configuration.
+//!
+//! # Pruning: fewer scheduler runs than the cross-product
+//!
+//! Compiling a candidate is the expensive part (one modulo-scheduler
+//! search per kernel per distinct option set). Before compiling anything,
+//! each candidate is bounded from below using only ResMII/RecMII bounds
+//! from the scheduler's [`SearchMemo`] (no scheduling): a kernel unrolled
+//! by `u` retires at most `u / MII(u)` records per cycle per cluster, so
+//!
+//! ```text
+//! lb(candidate) = Σ_kernels  records(kernel) · min_{u ∈ set} MII(u)/u / C
+//! ```
+//!
+//! is a valid lower bound on the program's kernel-busy cycles — and the
+//! simulator's total is never below kernel-busy. Strip batching never
+//! reduces total records, so the bound is strip-invariant. Any candidate
+//! whose bound already meets the incumbent's cycles is discarded unseen.
+//!
+//! A second rule — *identity pruning* — removes candidates whose outcome
+//! is already known: the scheduler's factor selection is a deterministic
+//! argmax over the offered set, so if an evaluated superset's chosen
+//! factors all lie inside a candidate subset, the subset would compile to
+//! the identical program (same strip scale → same simulated cycles) and
+//! is skipped without a compile. (The argmax is subset-stable except
+//! inside the scheduler's 0.01 % epc tie band; a candidate pruned in that
+//! corner could differ only by an epsilon-equivalent schedule, and the
+//! never-worse-than-default guarantee is unaffected because the default
+//! point is always evaluated directly.)
+//!
+//! Together the two rules make the search run measurably fewer scheduler
+//! invocations than the raw cross-product; the compile count is exposed
+//! as `tune.sched_compiles` and asserted strictly below the cross-product
+//! in tests.
+//!
+//! # Persistence
+//!
+//! With [`attach_global_disk`], finished searches are written to a
+//! `tune-<version>` namespace keyed by (app, machine config, search
+//! space). Warm restarts replay winners with **zero** searches — but
+//! rehydrated entries are re-validated (both the default and the winning
+//! program are rebuilt and re-simulated; the stored cycle counts must
+//! still match) rather than trusted.
+//!
+//! # Environment overrides
+//!
+//! Read fresh on every call: `STREAM_TUNE_SEARCH=off` disables searching
+//! entirely, `STREAM_TUNE_UNROLL` / `STREAM_TUNE_STRIPS` narrow the axes,
+//! and `STREAM_TUNE_BUDGET` caps simulated candidates ([`TuneSpace::from_env`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod persist;
+mod space;
+
+pub use persist::attach_global_disk;
+pub use space::{search_enabled, Candidate, TapeTier, TuneSpace};
+
+use std::collections::BTreeMap;
+use std::sync::Once;
+
+use stream_apps::AppId;
+use stream_ir::{Kernel, Tape};
+use stream_machine::{Machine, SystemParams};
+use stream_sched::{CompileOptions, SearchMemo};
+use stream_sim::{simulate, StreamInstr, StreamProgram};
+use stream_trace::Counter;
+
+/// Work floor below which the native tier would refuse to engage anyway
+/// (mirrors the native backend's own `MIN_WORK` gate): per-call records ×
+/// tape loop length.
+const NATIVE_WORK_FLOOR: u64 = 1 << 14;
+
+static SEARCHES: Counter = Counter::new();
+static REHYDRATED: Counter = Counter::new();
+static PRUNED: Counter = Counter::new();
+static CANDIDATES: Counter = Counter::new();
+static SCHED_COMPILES: Counter = Counter::new();
+
+fn ensure_registered() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        stream_trace::register_counter("tune.searches", &SEARCHES);
+        stream_trace::register_counter("tune.rehydrated", &REHYDRATED);
+        stream_trace::register_counter("tune.pruned", &PRUNED);
+        stream_trace::register_counter("tune.candidates", &CANDIDATES);
+        stream_trace::register_counter("tune.sched_compiles", &SCHED_COMPILES);
+    });
+}
+
+/// Process-wide tuner counters (also exported through the metrics
+/// registry as `tune.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Full searches run (a disk rehydration is not a search).
+    pub searches: u64,
+    /// Results served by the persistent tier after re-validation.
+    pub rehydrated: u64,
+    /// Candidates discarded by the MII lower bound before compiling.
+    pub pruned: u64,
+    /// Candidates actually simulated (includes each search's baseline).
+    pub candidates: u64,
+    /// Scheduler invocations attributed to tuning searches.
+    pub sched_compiles: u64,
+}
+
+/// Reads the process-wide tuner counters.
+pub fn stats() -> TuneStats {
+    ensure_registered();
+    TuneStats {
+        searches: SEARCHES.get(),
+        rehydrated: REHYDRATED.get(),
+        pruned: PRUNED.get(),
+        candidates: CANDIDATES.get(),
+        sched_compiles: SCHED_COMPILES.get(),
+    }
+}
+
+/// The tuner's verdict for one `(app, machine)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuned {
+    /// Which application this tunes.
+    pub app: AppId,
+    /// The winning configuration (the default point if nothing beat it).
+    pub candidate: Candidate,
+    /// Simulated cycles of the default configuration.
+    pub default_cycles: u64,
+    /// Simulated cycles of the winner (`<= default_cycles` always).
+    pub tuned_cycles: u64,
+    /// Whether this result was rehydrated from the persistent tier.
+    pub from_disk: bool,
+    /// Candidates discarded by the lower bound in this call.
+    pub pruned: u64,
+    /// Candidates simulated in this call (0 when rehydrated/disabled).
+    pub evaluated: u64,
+    /// Scheduler compiles the global cache attributed to this call.
+    pub sched_compiles: u64,
+}
+
+impl Tuned {
+    /// Tuned-over-default speedup; `>= 1.0` by construction (the default
+    /// point opens the search and ties break toward it).
+    pub fn speedup(&self) -> f64 {
+        self.default_cycles as f64 / self.tuned_cycles.max(1) as f64
+    }
+}
+
+/// Per-kernel pruning state: the kernel, its memoized MII bounds, and the
+/// total records the default program feeds it.
+struct KernelBound {
+    kernel: Kernel,
+    memo: SearchMemo,
+    records: u64,
+}
+
+/// One processed unroll set: which factor the scheduler actually chose
+/// per kernel, and which strip scales have been covered with it.
+struct SetRecord {
+    set: Vec<u32>,
+    picks: BTreeMap<String, u32>,
+    strips: Vec<u32>,
+}
+
+/// The unroll factor the scheduler chose for each kernel of `program`.
+fn unroll_picks(program: &StreamProgram) -> BTreeMap<String, u32> {
+    let mut picks = BTreeMap::new();
+    for instr in program.instrs() {
+        if let StreamInstr::Kernel { kernel, .. } = instr {
+            picks.insert(kernel.name().to_string(), kernel.unroll_factor());
+        }
+    }
+    picks
+}
+
+fn kernel_record_totals(program: &StreamProgram) -> BTreeMap<String, u64> {
+    let mut totals = BTreeMap::new();
+    for instr in program.instrs() {
+        if let StreamInstr::Kernel {
+            kernel, records, ..
+        } = instr
+        {
+            *totals.entry(kernel.name().to_string()).or_insert(0) += records;
+        }
+    }
+    totals
+}
+
+/// Lower bound (in cycles) on any program running `bounds`' kernels with
+/// an unroll-factor set `set`, from MII bounds alone. `None` only if some
+/// kernel has no feasible factor in the set — impossible for the shipped
+/// space (every set contains 1), but callers treat it as "cannot prune".
+fn lower_bound(bounds: &mut [KernelBound], machine: &Machine, set: &[u32]) -> Option<f64> {
+    let c = f64::from(machine.clusters());
+    let mut lb = 0.0f64;
+    for kb in bounds.iter_mut() {
+        if kb.records == 0 {
+            continue;
+        }
+        let mut best_ratio = f64::INFINITY;
+        for &u in set {
+            if let Some(b) = kb.memo.bounds(&kb.kernel, machine, u) {
+                best_ratio = best_ratio.min(f64::from(b.mii()) / f64::from(u));
+            }
+        }
+        if !best_ratio.is_finite() {
+            return None;
+        }
+        lb += kb.records as f64 * best_ratio / c;
+    }
+    Some(lb)
+}
+
+/// Static cost of running `kernels` on `tier`, in scaled "interpreter
+/// steps": loop ops weigh 8× hoisted ops (they run every iteration),
+/// macro-batching earns a 7/8 discount on kernels it can legally batch,
+/// and the planar rewrite pays a 9/8 penalty (the measured edge-transpose
+/// loss on strips that fit in cache — see `TapeConfig::planar`).
+fn tier_cost(kernels: &[Kernel], tier: TapeTier) -> u64 {
+    let cfg = tier.config(false);
+    kernels
+        .iter()
+        .map(|k| {
+            let tape = Tape::compile_with(k, cfg);
+            let mut c = (8 * tape.loop_len() + tape.hoisted_len()) as u64 * 8;
+            if cfg.batch && tape.batchable() {
+                c = c * 7 / 8;
+            }
+            if cfg.planar {
+                c = c * 9 / 8;
+            }
+            c
+        })
+        .sum()
+}
+
+/// Picks the cheapest tape tier (ties to the earlier tier in
+/// [`TapeTier::ALL`]) and decides the native policy: allow tier 3 only if
+/// some call's work (records × loop length) clears the native tier's own
+/// minimum-work gate — below that the attempt would just burn a `rustc`
+/// invocation to then fall back.
+fn pick_tier(kernels: &[Kernel], program: &StreamProgram) -> (TapeTier, bool) {
+    let mut best = TapeTier::ALL[0];
+    let mut best_cost = u64::MAX;
+    for tier in TapeTier::ALL {
+        let cost = tier_cost(kernels, tier);
+        if cost < best_cost {
+            best = tier;
+            best_cost = cost;
+        }
+    }
+    let loop_lens: BTreeMap<&str, u64> = kernels
+        .iter()
+        .map(|k| {
+            (
+                k.name(),
+                Tape::compile_with(k, TapeTier::V2.config(false)).loop_len() as u64,
+            )
+        })
+        .collect();
+    let native_auto = program.instrs().iter().any(|i| {
+        if let StreamInstr::Kernel {
+            kernel, records, ..
+        } = i
+        {
+            let len = loop_lens.get(kernel.name()).copied().unwrap_or(0);
+            records.saturating_mul(len) >= NATIVE_WORK_FLOOR
+        } else {
+            false
+        }
+    });
+    (best, native_auto)
+}
+
+fn default_report(id: AppId, machine: &Machine, sys: &SystemParams) -> (StreamProgram, u64) {
+    let app = id.program_with(machine, &CompileOptions::default(), 1);
+    let report = simulate(&app.program, machine, sys)
+        .unwrap_or_else(|e| panic!("{id}: default program must simulate: {e}"));
+    (app.program, report.cycles)
+}
+
+/// Validates a stored winner: both the default and the winning program
+/// must rebuild and re-simulate to exactly the stored cycle counts.
+fn revalidate(
+    id: AppId,
+    machine: &Machine,
+    sys: &SystemParams,
+    stored: &persist::StoredTuned,
+) -> bool {
+    let (_, default_cycles) = default_report(id, machine, sys);
+    if default_cycles != stored.default_cycles {
+        return false;
+    }
+    let app = id.program_with(
+        machine,
+        &stored.winner.compile_options(),
+        stored.winner.strip_scale,
+    );
+    matches!(simulate(&app.program, machine, sys), Ok(r) if r.cycles == stored.tuned_cycles)
+}
+
+/// Tunes `id` for `machine` under `sys`: returns the fastest found
+/// configuration, never slower than the default (which is always
+/// evaluated first and wins ties).
+///
+/// Deterministic for a fixed (app, machine, system, environment): the
+/// candidate order is fixed, the objective is the analytic simulator, and
+/// no wall-clock measurement is involved — so results are identical at
+/// any `--jobs` level and across runs.
+pub fn tune_app(id: AppId, machine: &Machine, sys: &SystemParams) -> Tuned {
+    ensure_registered();
+    let compiles_before = stream_grid::global_cache().stats().compiles;
+
+    if !search_enabled() {
+        let (program, default_cycles) = default_report(id, machine, sys);
+        let kernels = id.kernels(machine);
+        let (tape, native_auto) = pick_tier(&kernels, &program);
+        return Tuned {
+            app: id,
+            candidate: Candidate {
+                tape,
+                native_auto,
+                ..Candidate::default_point()
+            },
+            default_cycles,
+            tuned_cycles: default_cycles,
+            from_disk: false,
+            pruned: 0,
+            evaluated: 0,
+            sched_compiles: stream_grid::global_cache().stats().compiles - compiles_before,
+        };
+    }
+
+    let space = TuneSpace::from_env();
+
+    if let Some(stored) = persist::load(id.name(), machine, &space) {
+        if revalidate(id, machine, sys, &stored) {
+            REHYDRATED.incr();
+            let delta = stream_grid::global_cache().stats().compiles - compiles_before;
+            SCHED_COMPILES.add(delta);
+            return Tuned {
+                app: id,
+                candidate: stored.winner,
+                default_cycles: stored.default_cycles,
+                tuned_cycles: stored.tuned_cycles,
+                from_disk: true,
+                pruned: 0,
+                evaluated: 0,
+                sched_compiles: delta,
+            };
+        }
+    }
+
+    SEARCHES.incr();
+    let (default_program, default_cycles) = default_report(id, machine, sys);
+    CANDIDATES.incr();
+
+    let totals = kernel_record_totals(&default_program);
+    let mut bounds: Vec<KernelBound> = id
+        .kernels(machine)
+        .into_iter()
+        .map(|kernel| {
+            let records = totals.get(kernel.name()).copied().unwrap_or(0);
+            KernelBound {
+                kernel,
+                memo: SearchMemo::new(),
+                records,
+            }
+        })
+        .collect();
+
+    let mut best = Candidate::default_point();
+    let mut best_cycles = default_cycles;
+    let mut pruned = 0u64;
+    let mut evaluated = 1u64; // the default point
+                              // The bound depends only on the unroll set, not the strip scale;
+                              // memoize per set so the three strip variants share one computation.
+    let mut lb_memo: Vec<(Vec<u32>, Option<f64>)> = Vec::new();
+    // Processed (set, strip) points with the factors the scheduler chose,
+    // for identity pruning (see the module docs): set → per-kernel picks
+    // plus the strip scales already covered.
+    let mut seen: Vec<SetRecord> = vec![SetRecord {
+        set: Candidate::default_point().unroll_factors,
+        picks: unroll_picks(&default_program),
+        strips: vec![1],
+    }];
+
+    for cand in space.schedule_candidates().into_iter().skip(1) {
+        if evaluated >= space.budget as u64 {
+            break;
+        }
+        // Identity pruning: an evaluated superset whose chosen factors all
+        // lie inside this candidate's set would make the scheduler pick
+        // identically, so the program (at the same strip scale) is already
+        // accounted for.
+        let redundant = seen.iter().any(|r| {
+            r.strips.contains(&cand.strip_scale)
+                && cand.unroll_factors.iter().all(|u| r.set.contains(u))
+                && r.picks.values().all(|u| cand.unroll_factors.contains(u))
+        });
+        if redundant {
+            pruned += 1;
+            PRUNED.incr();
+            continue;
+        }
+        let lb = match lb_memo.iter().find(|(s, _)| *s == cand.unroll_factors) {
+            Some((_, lb)) => *lb,
+            None => {
+                let lb = lower_bound(&mut bounds, machine, &cand.unroll_factors);
+                lb_memo.push((cand.unroll_factors.clone(), lb));
+                lb
+            }
+        };
+        match lb {
+            // No feasible factor at all: the compile would fail.
+            None => {
+                pruned += 1;
+                PRUNED.incr();
+                continue;
+            }
+            // Provably cannot beat the incumbent: skip without compiling.
+            Some(lb) if lb >= best_cycles as f64 => {
+                pruned += 1;
+                PRUNED.incr();
+                continue;
+            }
+            Some(_) => {}
+        }
+        evaluated += 1;
+        CANDIDATES.incr();
+        let app = id.program_with(machine, &cand.compile_options(), cand.strip_scale);
+        match seen.iter_mut().find(|r| r.set == cand.unroll_factors) {
+            Some(r) => r.strips.push(cand.strip_scale),
+            None => seen.push(SetRecord {
+                set: cand.unroll_factors.clone(),
+                picks: unroll_picks(&app.program),
+                strips: vec![cand.strip_scale],
+            }),
+        }
+        // Infeasible programs (e.g. a strip batch that overflows the SRF)
+        // are legal candidates that simply lose.
+        if let Ok(r) = simulate(&app.program, machine, sys) {
+            if r.cycles < best_cycles {
+                best_cycles = r.cycles;
+                best = cand;
+            }
+        }
+    }
+
+    let kernels: Vec<Kernel> = bounds.into_iter().map(|b| b.kernel).collect();
+    let (tape, native_auto) = pick_tier(&kernels, &default_program);
+    let winner = Candidate {
+        tape,
+        native_auto,
+        ..best
+    };
+
+    let delta = stream_grid::global_cache().stats().compiles - compiles_before;
+    SCHED_COMPILES.add(delta);
+
+    persist::save(
+        id.name(),
+        machine,
+        &space,
+        &persist::StoredTuned {
+            winner: winner.clone(),
+            default_cycles,
+            tuned_cycles: best_cycles,
+        },
+    );
+
+    Tuned {
+        app: id,
+        candidate: winner,
+        default_cycles,
+        tuned_cycles: best_cycles,
+        from_disk: false,
+        pruned,
+        evaluated,
+        sched_compiles: delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_vlsi::Shape;
+
+    fn sys() -> SystemParams {
+        SystemParams::paper_2007()
+    }
+
+    #[test]
+    fn tuner_never_loses_to_the_default() {
+        let m = Machine::baseline();
+        for id in AppId::ALL {
+            let t = tune_app(id, &m, &sys());
+            assert!(
+                t.tuned_cycles <= t.default_cycles,
+                "{id}: tuned {} > default {}",
+                t.tuned_cycles,
+                t.default_cycles
+            );
+            assert!(t.speedup() >= 1.0, "{id}");
+            assert!(t.evaluated >= 1, "{id}");
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        // Distinct shape so other tests' cache warmth cannot matter.
+        let m = Machine::paper(Shape::new(4, 4));
+        let a = tune_app(AppId::Conv, &m, &sys());
+        let b = tune_app(AppId::Conv, &m, &sys());
+        assert_eq!(a.candidate, b.candidate);
+        assert_eq!(a.tuned_cycles, b.tuned_cycles);
+        assert_eq!(a.default_cycles, b.default_cycles);
+    }
+
+    #[test]
+    fn pruned_search_compiles_fewer_than_cross_product() {
+        // Cold shape: nothing else in this test binary compiles at (16, 5).
+        let m = Machine::paper(Shape::new(16, 5));
+        let space = TuneSpace::default();
+        let t = tune_app(AppId::Depth, &m, &sys());
+        let exhaustive = space.cross_product_compiles(AppId::Depth.kernels(&m).len());
+        assert!(
+            t.sched_compiles < exhaustive,
+            "pruned search ran {} scheduler compiles, cross-product needs {exhaustive}",
+            t.sched_compiles
+        );
+        assert!(t.pruned > 0, "expected pruning to discard candidates");
+        assert_eq!(t.pruned + t.evaluated, 21, "full space is 21 candidates");
+    }
+
+    #[test]
+    fn identity_pruning_is_sound() {
+        // The rule: if an evaluated superset's chosen factors all lie in a
+        // subset, the subset compiles identically. Check it directly — the
+        // default set's picks, offered alone, rebuild the same program.
+        let m = Machine::baseline();
+        let (default_program, _) = default_report(AppId::Depth, &m, &sys());
+        let picks: Vec<u32> = unroll_picks(&default_program).into_values().collect();
+        let mut factors = picks.clone();
+        factors.sort_unstable();
+        factors.dedup();
+        let app =
+            AppId::Depth.program_with(&m, &CompileOptions::default().unroll_factors(factors), 1);
+        assert_eq!(
+            format!("{default_program:?}"),
+            format!("{:?}", app.program),
+            "subset containing the chosen factors must compile identically"
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_below_observed_cycles() {
+        let m = Machine::baseline();
+        let (program, cycles) = default_report(AppId::Conv, &m, &sys());
+        let totals = kernel_record_totals(&program);
+        let mut bounds: Vec<KernelBound> = AppId::Conv
+            .kernels(&m)
+            .into_iter()
+            .map(|kernel| {
+                let records = totals.get(kernel.name()).copied().unwrap_or(0);
+                KernelBound {
+                    kernel,
+                    memo: SearchMemo::new(),
+                    records,
+                }
+            })
+            .collect();
+        let lb = lower_bound(&mut bounds, &m, &[1, 2, 4, 8]).unwrap();
+        assert!(
+            lb <= cycles as f64,
+            "bound {lb} exceeds observed {cycles} cycles"
+        );
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn tier_choice_differentiates_apps() {
+        let m = Machine::baseline();
+        // CONV's convolve kernel uses COMM ops, which are not batchable;
+        // RENDER's pipeline has batchable stages. The static tier cost must
+        // see that difference.
+        let conv = tune_app(AppId::Conv, &m, &sys());
+        let render = tune_app(AppId::Render, &m, &sys());
+        assert_eq!(conv.candidate.tape, TapeTier::V2);
+        assert_eq!(render.candidate.tape, TapeTier::V2Batch);
+    }
+
+    #[test]
+    fn stats_reflect_searches() {
+        let m = Machine::baseline();
+        let before = stats();
+        let _ = tune_app(AppId::Fft1k, &m, &sys());
+        let after = stats();
+        assert!(after.searches > before.searches || after.rehydrated > before.rehydrated);
+        assert!(after.candidates > before.candidates || after.rehydrated > before.rehydrated);
+    }
+}

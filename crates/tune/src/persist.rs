@@ -1,0 +1,187 @@
+//! Persistent tuning results: a `stream-store` namespace keyed by
+//! (application, machine configuration, search space), so warm restarts
+//! replay winners instead of re-running searches.
+//!
+//! Rehydrated winners are **re-validated, not trusted**: the caller
+//! rebuilds both the default and the winning program and re-simulates
+//! them; the stored entry is only honored when both cycle counts still
+//! match. Anything else — a changed cost model, simulator, scheduler, or
+//! a corrupt payload — falls through to a full search that overwrites the
+//! stale entry.
+
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use stream_machine::Machine;
+use stream_store::{DiskStore, Key};
+
+use crate::space::{Candidate, TuneSpace};
+
+/// Bump when the payload layout or its semantics change; stale versions
+/// land in a different namespace directory and are simply never read.
+const FORMAT_VERSION: u32 = 1;
+
+/// Namespace carries the crate version, like the serve planner's results
+/// tier: a rebuilt binary never replays winners tuned by another build.
+const NAMESPACE: &str = concat!("tune-", env!("CARGO_PKG_VERSION"));
+
+static DISK: OnceLock<DiskStore> = OnceLock::new();
+
+/// Attaches the process-wide persistent tuning-results tier rooted at
+/// `root`. Every search completed after this call is written through, and
+/// later processes (or a restarted one) rehydrate validated winners with
+/// zero searches. Returns `false` if a tier was already attached (the
+/// existing one is kept).
+///
+/// # Errors
+///
+/// Propagates the failure to create or open the store directory.
+pub fn attach_global_disk(root: &Path) -> io::Result<bool> {
+    if DISK.get().is_some() {
+        return Ok(false);
+    }
+    let store = DiskStore::open(root, NAMESPACE, FORMAT_VERSION)?;
+    Ok(DISK.set(store).is_ok())
+}
+
+/// A decoded stored result, pending re-validation by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StoredTuned {
+    pub winner: Candidate,
+    pub default_cycles: u64,
+    pub tuned_cycles: u64,
+}
+
+/// The key material ties a result to everything that could change it:
+/// the app, the machine's shape *and* technology fingerprint, the search
+/// space (env overrides narrow it → different key), and the format
+/// version. Sections are u32-le length-framed so no field can bleed into
+/// its neighbor.
+fn key_material(app: &str, machine: &Machine, space: &TuneSpace) -> Vec<u8> {
+    let cfg = machine.config();
+    let mut blob = Vec::with_capacity(64);
+    let section = |bytes: &[u8], out: &mut Vec<u8>| {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    };
+    section(b"stream-tune.key", &mut blob);
+    section(app.as_bytes(), &mut blob);
+    section(&cfg.shape.clusters.to_le_bytes(), &mut blob);
+    section(&cfg.shape.alus_per_cluster.to_le_bytes(), &mut blob);
+    section(&cfg.params_fingerprint.to_le_bytes(), &mut blob);
+    section(&space.fingerprint().to_le_bytes(), &mut blob);
+    section(&FORMAT_VERSION.to_le_bytes(), &mut blob);
+    blob
+}
+
+fn encode(material: &[u8], stored: &StoredTuned) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(material.len() + 64);
+    payload.extend_from_slice(&(material.len() as u32).to_le_bytes());
+    payload.extend_from_slice(material);
+    stored.winner.encode(&mut payload);
+    payload.extend_from_slice(&stored.default_cycles.to_le_bytes());
+    payload.extend_from_slice(&stored.tuned_cycles.to_le_bytes());
+    payload
+}
+
+/// `None` on any structural mismatch — truncation, trailing garbage, or
+/// embedded key material that differs from what we looked up (a hash
+/// collision or cross-namespace mixup); corrupt entries read as misses.
+fn decode(payload: &[u8], material: &[u8]) -> Option<StoredTuned> {
+    let len = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+    let mut at = 4usize;
+    if payload.get(at..at + len)? != material {
+        return None;
+    }
+    at += len;
+    let (winner, used) = Candidate::decode(payload.get(at..)?)?;
+    at += used;
+    let default_cycles = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+    at += 8;
+    let tuned_cycles = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+    at += 8;
+    if at != payload.len() {
+        return None;
+    }
+    Some(StoredTuned {
+        winner,
+        default_cycles,
+        tuned_cycles,
+    })
+}
+
+/// Loads the stored result for `(app, machine, space)`, if a disk tier is
+/// attached and holds a structurally valid entry. The caller still
+/// re-validates cycle counts before honoring it.
+pub(crate) fn load(app: &str, machine: &Machine, space: &TuneSpace) -> Option<StoredTuned> {
+    let disk = DISK.get()?;
+    let material = key_material(app, machine, space);
+    let payload = disk.get(Key::of(&material))?;
+    decode(&payload, &material)
+}
+
+/// Writes `stored` through to the disk tier, if one is attached. Write
+/// failures are swallowed: persistence is an accelerator, never a
+/// correctness dependency.
+pub(crate) fn save(app: &str, machine: &Machine, space: &TuneSpace, stored: &StoredTuned) {
+    if let Some(disk) = DISK.get() {
+        let material = key_material(app, machine, space);
+        let _ = disk.put(Key::of(&material), &encode(&material, stored));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::TapeTier;
+
+    fn sample() -> StoredTuned {
+        StoredTuned {
+            winner: Candidate {
+                unroll_factors: vec![1, 2, 4],
+                strip_scale: 2,
+                tape: TapeTier::V2Batch,
+                native_auto: true,
+            },
+            default_cycles: 123_456,
+            tuned_cycles: 98_765,
+        }
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let m = Machine::baseline();
+        let material = key_material("CONV", &m, &TuneSpace::default());
+        let stored = sample();
+        let payload = encode(&material, &stored);
+        assert_eq!(decode(&payload, &material), Some(stored));
+    }
+
+    #[test]
+    fn truncated_or_padded_payloads_are_misses() {
+        let m = Machine::baseline();
+        let material = key_material("CONV", &m, &TuneSpace::default());
+        let payload = encode(&material, &sample());
+        for cut in [0, 1, payload.len() / 2, payload.len() - 1] {
+            assert_eq!(decode(&payload[..cut], &material), None, "cut at {cut}");
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(decode(&padded, &material), None);
+    }
+
+    #[test]
+    fn key_material_separates_machines_spaces_and_apps() {
+        let space = TuneSpace::default();
+        let base = key_material("CONV", &Machine::baseline(), &space);
+        let big = Machine::paper(stream_vlsi::Shape::new(64, 8));
+        assert_ne!(base, key_material("CONV", &big, &space));
+        assert_ne!(base, key_material("QRD", &Machine::baseline(), &space));
+        let narrowed = TuneSpace {
+            strip_scales: vec![1],
+            ..TuneSpace::default()
+        };
+        assert_ne!(base, key_material("CONV", &Machine::baseline(), &narrowed));
+    }
+}

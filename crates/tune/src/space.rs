@@ -1,0 +1,400 @@
+//! The tuner's candidate space: unroll policies × strip batching × tape
+//! tier × native policy, plus the `STREAM_TUNE_*` environment overrides
+//! that bound it.
+
+use stream_ir::{LaneMode, NativeMode, StripMode, TapeConfig};
+use stream_sched::CompileOptions;
+
+/// Execution-tier choice for an application's kernels. The tiers mirror the
+/// repo's tape generations: the tier only affects *functional* execution
+/// throughput, never results (every tier is differential-tested bit-exact
+/// against the legacy interpreter), so the tuner picks one with a static
+/// cost model over the compiled tapes rather than by timing runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TapeTier {
+    /// Fused superinstructions + lane-specialized dispatch (tape v2).
+    V2,
+    /// v2 plus serial iteration macro-batching where provably legal.
+    V2Batch,
+    /// v2 plus the planar (structure-of-arrays) input rewrite.
+    V2Planar,
+    /// The unfused, generic-lane v1 baseline.
+    V1,
+}
+
+impl TapeTier {
+    /// All tiers in deterministic preference order (ties in the static
+    /// cost go to the earlier tier).
+    pub const ALL: [TapeTier; 4] = [
+        TapeTier::V2,
+        TapeTier::V2Batch,
+        TapeTier::V2Planar,
+        TapeTier::V1,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TapeTier::V2 => "v2",
+            TapeTier::V2Batch => "v2-batch",
+            TapeTier::V2Planar => "v2-planar",
+            TapeTier::V1 => "v1",
+        }
+    }
+
+    /// The [`TapeConfig`] this tier compiles with; `native_auto` selects
+    /// the tier-3 native backend policy (V1 keeps native off — it *is* the
+    /// baseline).
+    pub fn config(&self, native_auto: bool) -> TapeConfig {
+        let native = if native_auto && *self != TapeTier::V1 {
+            NativeMode::Auto
+        } else {
+            NativeMode::Off
+        };
+        match self {
+            TapeTier::V2 => TapeConfig {
+                fuse: true,
+                lanes: LaneMode::Specialized,
+                strips: StripMode::Auto,
+                batch: false,
+                planar: false,
+                native,
+            },
+            TapeTier::V2Batch => TapeConfig {
+                batch: true,
+                ..TapeTier::V2.config(native_auto)
+            },
+            TapeTier::V2Planar => TapeConfig {
+                planar: true,
+                ..TapeTier::V2.config(native_auto)
+            },
+            TapeTier::V1 => TapeConfig::v1_baseline(),
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            TapeTier::V2 => 0,
+            TapeTier::V2Batch => 1,
+            TapeTier::V2Planar => 2,
+            TapeTier::V1 => 3,
+        }
+    }
+
+    fn decode(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => TapeTier::V2,
+            1 => TapeTier::V2Batch,
+            2 => TapeTier::V2Planar,
+            3 => TapeTier::V1,
+            _ => return None,
+        })
+    }
+}
+
+/// One point of the search space. `unroll_factors` is the set the scheduler
+/// may pick from (always containing 1, so candidate compiles never fail
+/// outright); `strip_scale` batches that many natural strips per kernel
+/// call in the application's stream program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Unroll factors the scheduler's search may choose between.
+    pub unroll_factors: Vec<u32>,
+    /// Natural strips batched per kernel call (1 = the default program).
+    pub strip_scale: u32,
+    /// Execution tier for the application's kernels.
+    pub tape: TapeTier,
+    /// Whether the tier-3 native backend is allowed to engage.
+    pub native_auto: bool,
+}
+
+impl Candidate {
+    /// The baseline: default scheduler options, no strip batching, default
+    /// execution tier. Always evaluated first; the winner must beat it
+    /// strictly or the tuner returns it unchanged.
+    pub fn default_point() -> Self {
+        Self {
+            unroll_factors: CompileOptions::default().unroll_factors,
+            strip_scale: 1,
+            tape: TapeTier::V2Batch,
+            native_auto: true,
+        }
+    }
+
+    /// Scheduler options for this candidate.
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions::default().unroll_factors(self.unroll_factors.clone())
+    }
+
+    /// Whether the schedule-relevant axes match the default program's.
+    pub fn is_schedule_default(&self) -> bool {
+        let d = Candidate::default_point();
+        self.unroll_factors == d.unroll_factors && self.strip_scale == 1
+    }
+
+    /// One-line display, e.g. `unroll<=4 strip=2 tape=v2-batch native=auto`.
+    pub fn describe(&self) -> String {
+        let cap = self.unroll_factors.iter().copied().max().unwrap_or(1);
+        let unroll = if self.unroll_factors == Candidate::default_point().unroll_factors {
+            "default".to_string()
+        } else {
+            format!("<={cap}")
+        };
+        format!(
+            "unroll={unroll} strip={} tape={} native={}",
+            self.strip_scale,
+            self.tape.name(),
+            if self.native_auto { "auto" } else { "off" }
+        )
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.unroll_factors.len() as u32).to_le_bytes());
+        for &u in &self.unroll_factors {
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        out.extend_from_slice(&self.strip_scale.to_le_bytes());
+        out.push(self.tape.encode());
+        out.push(u8::from(self.native_auto));
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let mut at = 0usize;
+        let take4 = |at: &mut usize| -> Option<[u8; 4]> {
+            let b = bytes.get(*at..*at + 4)?;
+            *at += 4;
+            Some([b[0], b[1], b[2], b[3]])
+        };
+        let n = u32::from_le_bytes(take4(&mut at)?) as usize;
+        if n > 64 {
+            return None;
+        }
+        let mut unroll = Vec::with_capacity(n);
+        for _ in 0..n {
+            unroll.push(u32::from_le_bytes(take4(&mut at)?));
+        }
+        let strip = u32::from_le_bytes(take4(&mut at)?);
+        let tape = TapeTier::decode(*bytes.get(at)?)?;
+        at += 1;
+        let native_auto = *bytes.get(at)? != 0;
+        at += 1;
+        Some((
+            Self {
+                unroll_factors: unroll,
+                strip_scale: strip,
+                tape,
+                native_auto,
+            },
+            at,
+        ))
+    }
+}
+
+/// The (possibly env-bounded) candidate space the search enumerates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneSpace {
+    /// Unroll-factor sets, default first.
+    pub unroll_sets: Vec<Vec<u32>>,
+    /// Strip-batching factors, 1 first.
+    pub strip_scales: Vec<u32>,
+    /// Maximum number of candidates simulated (the search budget); the
+    /// default-point evaluation counts against it.
+    pub budget: usize,
+}
+
+/// The unroll-factor sets the full space searches. Every set contains 1
+/// (so candidate compiles cannot fail outright); `default` is the
+/// scheduler's own 1/2/4/8 search, `deep` extends it past the default cap.
+const UNROLL_SETS: [&[u32]; 7] = [
+    &[1, 2, 4, 8], // default — must stay first
+    &[1],
+    &[1, 2],
+    &[1, 2, 3],
+    &[1, 2, 4],
+    &[1, 2, 4, 6],
+    &[1, 2, 4, 8, 12, 16], // deep
+];
+
+impl Default for TuneSpace {
+    fn default() -> Self {
+        Self {
+            unroll_sets: UNROLL_SETS.iter().map(|s| s.to_vec()).collect(),
+            strip_scales: vec![1, 2, 4],
+            budget: usize::MAX,
+        }
+    }
+}
+
+impl TuneSpace {
+    /// The full space, narrowed by any `STREAM_TUNE_*` environment
+    /// overrides:
+    ///
+    /// * `STREAM_TUNE_UNROLL` — comma-separated unroll caps (`default`,
+    ///   `deep`, or an integer from {1, 2, 3, 4, 6, 8}); the default set is
+    ///   always searched first even when not listed.
+    /// * `STREAM_TUNE_STRIPS` — comma-separated strip-batching factors;
+    ///   1 is always included.
+    /// * `STREAM_TUNE_BUDGET` — maximum candidates simulated per app.
+    ///
+    /// Variables are re-read on every call (no caching) so tests and
+    /// operators can toggle them at runtime.
+    pub fn from_env() -> Self {
+        let mut space = Self::default();
+        if let Ok(v) = std::env::var("STREAM_TUNE_UNROLL") {
+            let mut sets: Vec<Vec<u32>> = vec![UNROLL_SETS[0].to_vec()];
+            for tok in v.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                let set: Option<&[u32]> = match tok {
+                    "default" => Some(UNROLL_SETS[0]),
+                    "deep" => Some(UNROLL_SETS[6]),
+                    "1" => Some(UNROLL_SETS[1]),
+                    "2" => Some(UNROLL_SETS[2]),
+                    "3" => Some(UNROLL_SETS[3]),
+                    "4" => Some(UNROLL_SETS[4]),
+                    "6" => Some(UNROLL_SETS[5]),
+                    "8" => Some(UNROLL_SETS[0]),
+                    _ => None,
+                };
+                if let Some(s) = set {
+                    if !sets.iter().any(|e| e == s) {
+                        sets.push(s.to_vec());
+                    }
+                }
+            }
+            space.unroll_sets = sets;
+        }
+        if let Ok(v) = std::env::var("STREAM_TUNE_STRIPS") {
+            let mut scales = vec![1u32];
+            for tok in v.split(',').map(str::trim) {
+                if let Ok(s) = tok.parse::<u32>() {
+                    if (1..=64).contains(&s) && !scales.contains(&s) {
+                        scales.push(s);
+                    }
+                }
+            }
+            space.strip_scales = scales;
+        }
+        if let Ok(v) = std::env::var("STREAM_TUNE_BUDGET") {
+            if let Ok(b) = v.parse::<usize>() {
+                space.budget = b.max(1);
+            }
+        }
+        space
+    }
+
+    /// Schedule-relevant candidates in deterministic evaluation order,
+    /// default point first. (Tape tier and native policy are chosen by the
+    /// static tier cost afterwards — they do not affect simulated cycles,
+    /// so enumerating them here would multiply compiles for nothing.)
+    pub fn schedule_candidates(&self) -> Vec<Candidate> {
+        let mut out = vec![Candidate::default_point()];
+        for set in &self.unroll_sets {
+            for &strip in &self.strip_scales {
+                let c = Candidate {
+                    unroll_factors: set.clone(),
+                    strip_scale: strip,
+                    ..Candidate::default_point()
+                };
+                if !c.is_schedule_default() {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scheduler invocations an exhaustive search would need for an
+    /// application with `n_kernels` kernels: one compile per (kernel,
+    /// distinct option set). The pruned search's observed compile count is
+    /// asserted strictly below this in tests.
+    pub fn cross_product_compiles(&self, n_kernels: usize) -> u64 {
+        (self.unroll_sets.len() * n_kernels) as u64
+    }
+
+    /// A stable fingerprint of the space, mixed into the persistence key so
+    /// results found under a narrowed (env-overridden) space are never
+    /// replayed as full-space winners.
+    pub fn fingerprint(&self) -> u64 {
+        let mut blob = Vec::new();
+        for set in &self.unroll_sets {
+            blob.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            for &u in set {
+                blob.extend_from_slice(&u.to_le_bytes());
+            }
+        }
+        blob.push(0xfe);
+        for &s in &self.strip_scales {
+            blob.extend_from_slice(&s.to_le_bytes());
+        }
+        blob.push(0xfd);
+        blob.extend_from_slice(&(self.budget.min(1 << 32) as u64).to_le_bytes());
+        stream_store::fnv1a(&blob)
+    }
+}
+
+/// True unless `STREAM_TUNE_SEARCH` disables searching (`off`, `0`,
+/// `false`): the tuner then returns the default configuration untouched.
+pub fn search_enabled() -> bool {
+    match std::env::var("STREAM_TUNE_SEARCH") {
+        Ok(v) => !matches!(v.trim(), "off" | "0" | "false" | "no"),
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_point_is_first_and_unique() {
+        let space = TuneSpace::default();
+        let cands = space.schedule_candidates();
+        assert!(cands[0].is_schedule_default());
+        assert_eq!(cands.iter().filter(|c| c.is_schedule_default()).count(), 1);
+        // 7 unroll sets x 3 strips = 21 points, one of which is default.
+        assert_eq!(cands.len(), 21);
+    }
+
+    #[test]
+    fn every_unroll_set_contains_one() {
+        for set in TuneSpace::default().unroll_sets {
+            assert!(set.contains(&1), "{set:?} could fail to compile");
+        }
+    }
+
+    #[test]
+    fn candidate_roundtrips_through_bytes() {
+        let c = Candidate {
+            unroll_factors: vec![1, 2, 4, 6],
+            strip_scale: 4,
+            tape: TapeTier::V2Planar,
+            native_auto: false,
+        };
+        let mut bytes = Vec::new();
+        c.encode(&mut bytes);
+        let (back, used) = Candidate::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(used, bytes.len());
+        assert!(Candidate::decode(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn tier_configs_differ_where_expected() {
+        let v2 = TapeTier::V2.config(true);
+        assert!(v2.fuse && !v2.batch && !v2.planar);
+        assert!(TapeTier::V2Batch.config(true).batch);
+        assert!(TapeTier::V2Planar.config(true).planar);
+        let v1 = TapeTier::V1.config(true);
+        assert!(!v1.fuse);
+        assert_eq!(v1, stream_ir::TapeConfig::v1_baseline());
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_space() {
+        let a = TuneSpace::default().fingerprint();
+        let narrowed = TuneSpace {
+            strip_scales: vec![1, 2],
+            ..TuneSpace::default()
+        };
+        assert_ne!(a, narrowed.fingerprint());
+    }
+}

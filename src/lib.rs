@@ -22,7 +22,8 @@
 //! * [`tapecheck`] — translation validation for compiled execution tapes,
 //! * [`repro`] — per-table/figure reproduction reports,
 //! * [`store`] — the corruption-tolerant on-disk key/value store,
-//! * [`serve`] — the `stream-serve` query daemon and its planner.
+//! * [`serve`] — the `stream-serve` query daemon and its planner,
+//! * [`tune`] — cost-guided per-application auto-tuning.
 //!
 //! The typed query API ([`Query`], [`SpaceQuery`], [`Metric`]) is the one
 //! public way to describe work; the `repro` CLI and the `stream-serve`
@@ -52,6 +53,7 @@ pub use stream_serve as serve;
 pub use stream_sim as sim;
 pub use stream_store as store;
 pub use stream_tapecheck as tapecheck;
+pub use stream_tune as tune;
 pub use stream_verify as verify;
 pub use stream_vlsi as vlsi;
 

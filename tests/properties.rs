@@ -206,6 +206,55 @@ proptest! {
         prop_assert_eq!(&legacy, &planar);
     }
 
+    /// Every tape configuration on the auto-tuner's tier axis
+    /// (`tune::TapeTier::ALL` × the native policy — exactly the configs
+    /// `tune_app` can select as winners) is observationally identical to
+    /// the legacy tree-walk interpreter on random valid kernels and random
+    /// inputs: a tuning winner may change cycle counts, never results.
+    #[test]
+    fn tuner_tape_tiers_match_legacy_interpreter(
+        script in proptest::collection::vec(any::<u8>(), 1..24),
+        kind in 0u8..3,
+        clusters in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        let k = match kind {
+            0 => elementwise_kernel(&script),
+            1 => structured_kernel(&script, clusters as u32),
+            _ => condstream_kernel(&script),
+        };
+        let iters = 3usize;
+        let inputs: Vec<Vec<Scalar>> = k
+            .inputs()
+            .iter()
+            .map(|d| {
+                let words = iters * clusters * d.record_width as usize;
+                (0..words)
+                    .map(|i| match d.ty {
+                        Ty::I32 => Scalar::I32((i as i32 * 29) % 89 - 44),
+                        Ty::F32 => Scalar::F32(i as f32 * 0.25 - 3.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = ExecConfig::with_clusters(clusters);
+        let opts = ExecOptions::default();
+        let legacy = execute_with_legacy(&k, &opts, &inputs, &cfg).map(output_bits);
+        for tier in stream_scaling::tune::TapeTier::ALL {
+            for native_auto in [false, true] {
+                let got = Tape::compile_with(&k, tier.config(native_auto))
+                    .execute_with(&opts, &inputs, &cfg)
+                    .map(output_bits);
+                prop_assert_eq!(
+                    &legacy,
+                    &got,
+                    "tier {} native_auto={} diverged from the legacy interpreter",
+                    tier.name(),
+                    native_auto
+                );
+            }
+        }
+    }
+
     /// The translation validator accepts every tape the compiler produces
     /// for random valid kernels — under the v1 baseline, the fused default,
     /// and the planar layout — and every validator-accepted tape is
